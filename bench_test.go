@@ -1,0 +1,390 @@
+package kepler_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation: run `go test -bench=. -benchmem` at the module root. Each
+// BenchmarkFigure*/BenchmarkTable* target rebuilds one artifact per
+// iteration over the shared historical or case-study environment (built
+// once, like the paper's archived BGP corpus) and reports rows/series via
+// b.Log on the first iteration. Component micro-benchmarks at the bottom
+// measure the hot paths of the pipeline itself.
+
+import (
+	"net/netip"
+	"testing"
+
+	kepler "kepler"
+	"kepler/internal/bgp"
+	"kepler/internal/experiments"
+	"kepler/internal/mrt"
+	"kepler/internal/routing"
+	"kepler/internal/topology"
+)
+
+func histEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.Historical()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func amsCase(b *testing.B) *experiments.CaseStudy {
+	b.Helper()
+	cs, err := experiments.AMSIXCase()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cs
+}
+
+func lonCase(b *testing.B) *experiments.CaseStudy {
+	b.Helper()
+	cs, err := experiments.LondonCase()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cs
+}
+
+// logOnce prints the regenerated artifact on the first iteration only.
+func logOnce(b *testing.B, i int, render func() string) {
+	if i == 0 {
+		b.Log("\n" + render())
+	}
+}
+
+// BenchmarkFigure1 regenerates the detected-vs-reported outage timeline.
+func BenchmarkFigure1(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure3 regenerates the community-usage growth series.
+func BenchmarkFigure3(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure3(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure5 regenerates the geographic spread of trackable
+// infrastructure.
+func BenchmarkFigure5(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure5(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkTable1 regenerates the facility-coverage table.
+func BenchmarkTable1(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure7a regenerates the threshold-sensitivity sweep (this one
+// re-runs detection per threshold and is the most expensive target).
+func BenchmarkFigure7a(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure7a(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure7b regenerates the facility-trackability scatter.
+func BenchmarkFigure7b(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure7b(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure7c regenerates the monthly community-coverage fractions.
+func BenchmarkFigure7c(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure7c(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure8a regenerates the ground-truth mapping validation.
+func BenchmarkFigure8a(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure8a(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure8b regenerates the outage-duration CDFs.
+func BenchmarkFigure8b(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure8b(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure8c regenerates the AMS-IX case study granularity series.
+func BenchmarkFigure8c(b *testing.B) {
+	cs := amsCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure8c(cs)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure9a regenerates the London two-outage granularity series.
+func BenchmarkFigure9a(b *testing.B) {
+	cs := lonCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure9a(cs)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure9b regenerates the per-facility affected-path series.
+func BenchmarkFigure9b(b *testing.B) {
+	cs := lonCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure9b(cs)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure9c regenerates the remote-impact distance distribution.
+func BenchmarkFigure9c(b *testing.B) {
+	cs := lonCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure9c(cs)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure10a regenerates the BGP convergence curve.
+func BenchmarkFigure10a(b *testing.B) {
+	cs := amsCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10a(cs)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure10b regenerates the traceroute convergence curve.
+func BenchmarkFigure10b(b *testing.B) {
+	cs := amsCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10b(cs)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure10c regenerates the RTT impact distributions.
+func BenchmarkFigure10c(b *testing.B) {
+	cs := amsCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10c(cs)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkFigure10d regenerates the remote-IXP traffic series.
+func BenchmarkFigure10d(b *testing.B) {
+	cs := amsCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10d(cs)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkDictionaryStats regenerates the Section 3.2 dictionary numbers
+// and attrition comparison.
+func BenchmarkDictionaryStats(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.DictionaryStats(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkValidation regenerates the Section 5.3 TP/FP/FN accounting.
+func BenchmarkValidation(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Validation(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// BenchmarkSummaryStats regenerates the Section 6.1 headline statistics.
+func BenchmarkSummaryStats(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Summary(env)
+		logOnce(b, i, r.Render)
+	}
+}
+
+// --- ablation benches (DESIGN.md design decisions) ---
+
+// BenchmarkAblationThresholds sweeps the Tfail knob, the core calibration
+// the paper's Figure 7a justifies.
+func BenchmarkAblationThresholds(b *testing.B) {
+	env := histEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Figure7a(env)
+	}
+}
+
+// BenchmarkAblationPerASGrouping compares detection with the paper's
+// per-AS signal grouping against aggregate-only thresholding (the
+// Section 4.2 design decision): the aggregate variant misses partial
+// outages masked by large ASes.
+func BenchmarkAblationPerASGrouping(b *testing.B) {
+	env := histEnv(b)
+	records := env.Res.Records
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grouped := kepler.DefaultConfig()
+		aggregate := kepler.DefaultConfig()
+		aggregate.DisablePerASGrouping = true
+		og, _ := env.Stack.Run(records, grouped, nil)
+		oa, _ := env.Stack.Run(records, aggregate, nil)
+		if i == 0 {
+			b.Logf("per-AS grouping: %d outages; aggregate-only: %d outages (grouping must not lose detections)",
+				len(og), len(oa))
+		}
+		if len(og) < len(oa) {
+			b.Fatalf("grouping lost detections: %d < %d", len(og), len(oa))
+		}
+	}
+}
+
+// --- component micro-benchmarks ---
+
+// BenchmarkUpdateCodec measures the BGP UPDATE wire codec round trip.
+func BenchmarkUpdateCodec(b *testing.B) {
+	u := &bgp.Update{
+		Announced: []netip.Prefix{netip.MustParsePrefix("184.84.242.0/24")},
+		Attrs: bgp.Attributes{
+			ASPath:  bgp.Path{13030, 3356, 20940},
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+			Communities: bgp.Communities{
+				bgp.MakeCommunity(13030, 51904),
+				bgp.MakeCommunity(13030, 4006),
+			},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := bgp.MarshalUpdate(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := bgp.UnmarshalUpdate(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteComputation measures one per-origin valley-free table
+// computation over the default world.
+func BenchmarkRouteComputation(b *testing.B) {
+	w, err := topology.Generate(topology.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := routing.New(w)
+	origin := w.ASes[len(w.ASes)/2].ASN
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := eng.ComputeOrigin(origin, nil)
+		if t.Size() == 0 {
+			b.Fatal("no routes")
+		}
+	}
+}
+
+// BenchmarkDetectorThroughput measures raw record-processing throughput of
+// the detection pipeline over the historical archive.
+func BenchmarkDetectorThroughput(b *testing.B) {
+	env := histEnv(b)
+	records := env.Res.Records
+	if len(records) > 100000 {
+		records = records[:100000]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := env.Stack.NewDetector(kepler.DefaultConfig())
+		for _, rec := range records {
+			det.Process(rec)
+		}
+		det.Flush(records[len(records)-1].Time)
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// BenchmarkMRTArchive measures archive serialization throughput.
+func BenchmarkMRTArchive(b *testing.B) {
+	env := histEnv(b)
+	records := env.Res.Records
+	if len(records) > 20000 {
+		records = records[:20000]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink countWriter
+		w := mrt.NewWriter(&sink)
+		for _, r := range records {
+			if err := w.WriteRecord(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(sink.n)
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,60 @@
+// Command dictgen runs the community-dictionary mining pipeline of
+// Section 3.2 over a generated world's documentation corpus and prints the
+// dictionary with its statistics — the artifact the paper recomputes every
+// two weeks.
+//
+// Usage:
+//
+//	dictgen -seed 1 [-entries]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kepler/internal/colo"
+	"kepler/internal/geo"
+	"kepler/internal/pipeline"
+	"kepler/internal/topology"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "world generation seed")
+		entries = flag.Bool("entries", false, "print every dictionary entry")
+	)
+	flag.Parse()
+
+	cfg := topology.DefaultConfig()
+	cfg.Seed = *seed
+	w, err := topology.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dictgen:", err)
+		os.Exit(1)
+	}
+	stack := pipeline.Build(w, 77)
+
+	stats := stack.Dict.ComputeStats(stack.Map, stack.Geo)
+	fmt.Printf("communities:   %d\n", stats.Communities)
+	fmt.Printf("operators:     %d\n", stats.ASNs)
+	fmt.Printf("route servers: %d\n", stats.RouteServers)
+	fmt.Printf("cities:        %d in %d countries\n", stats.Cities, stats.Countries)
+	fmt.Printf("ixps:          %d\n", stats.IXPs)
+	fmt.Printf("facilities:    %d\n", stats.Facilities)
+	fmt.Printf("granularity:   city=%d ixp=%d facility=%d\n",
+		stats.ByGranularity[colo.PoPCity], stats.ByGranularity[colo.PoPIXP],
+		stats.ByGranularity[colo.PoPFacility])
+	for _, c := range geo.Continents {
+		if n := stats.ByContinent[c]; n > 0 {
+			fmt.Printf("  %-14s %d entries\n", c, n)
+		}
+	}
+
+	if *entries {
+		fmt.Println()
+		for _, e := range stack.Dict.Entries() {
+			fmt.Printf("%-14s %-12s %-10s %q\n", e.Community, e.PoP, e.Source, e.Label)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command kepler-eval regenerates every table and figure of the paper's
+// evaluation and prints them to stdout. It is the command-line twin of the
+// module's benchmark harness.
+//
+// Usage:
+//
+//	kepler-eval            # print everything
+//	kepler-eval -only f1   # print one artifact (f1 f3 f5 t1 f7a f7b f7c
+//	                       # f8a f8b f8c f9a f9b f9c f10a f10b f10c f10d
+//	                       # dict valid summary)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kepler/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "print a single artifact (e.g. f1, t1, f10d)")
+	flag.Parse()
+
+	type artifact struct {
+		key    string
+		needs  string // "hist", "ams", "lon"
+		render func(env *experiments.Env, ams, lon *experiments.CaseStudy) string
+	}
+	artifacts := []artifact{
+		{"f1", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Figure1(e).Render() }},
+		{"f3", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Figure3(e).Render() }},
+		{"f5", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Figure5(e).Render() }},
+		{"t1", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Table1(e).Render() }},
+		{"f7a", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Figure7a(e).Render() }},
+		{"f7b", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Figure7b(e).Render() }},
+		{"f7c", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Figure7c(e).Render() }},
+		{"f8a", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Figure8a(e).Render() }},
+		{"f8b", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Figure8b(e).Render() }},
+		{"f8c", "ams", func(_ *experiments.Env, a, _ *experiments.CaseStudy) string { return experiments.Figure8c(a).Render() }},
+		{"f9a", "lon", func(_ *experiments.Env, _, l *experiments.CaseStudy) string { return experiments.Figure9a(l).Render() }},
+		{"f9b", "lon", func(_ *experiments.Env, _, l *experiments.CaseStudy) string { return experiments.Figure9b(l).Render() }},
+		{"f9c", "lon", func(_ *experiments.Env, _, l *experiments.CaseStudy) string { return experiments.Figure9c(l).Render() }},
+		{"f10a", "ams", func(_ *experiments.Env, a, _ *experiments.CaseStudy) string { return experiments.Figure10a(a).Render() }},
+		{"f10b", "ams", func(_ *experiments.Env, a, _ *experiments.CaseStudy) string { return experiments.Figure10b(a).Render() }},
+		{"f10c", "ams", func(_ *experiments.Env, a, _ *experiments.CaseStudy) string { return experiments.Figure10c(a).Render() }},
+		{"f10d", "ams", func(_ *experiments.Env, a, _ *experiments.CaseStudy) string { return experiments.Figure10d(a).Render() }},
+		{"dict", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string {
+			return experiments.DictionaryStats(e).Render()
+		}},
+		{"valid", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string {
+			return experiments.Validation(e).Render()
+		}},
+		{"summary", "hist", func(e *experiments.Env, _, _ *experiments.CaseStudy) string { return experiments.Summary(e).Render() }},
+	}
+
+	need := map[string]bool{}
+	for _, a := range artifacts {
+		if *only == "" || a.key == *only {
+			need[a.needs] = true
+		}
+	}
+	if len(need) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *only)
+		os.Exit(2)
+	}
+
+	var (
+		env      *experiments.Env
+		ams, lon *experiments.CaseStudy
+		err      error
+	)
+	if need["hist"] {
+		fmt.Fprintln(os.Stderr, "building 5-year historical environment (one-time, ~20s)...")
+		if env, err = experiments.Historical(); err != nil {
+			fatal(err)
+		}
+	}
+	if need["ams"] {
+		fmt.Fprintln(os.Stderr, "building AMS-IX case study...")
+		if ams, err = experiments.AMSIXCase(); err != nil {
+			fatal(err)
+		}
+	}
+	if need["lon"] {
+		fmt.Fprintln(os.Stderr, "building London case study...")
+		if lon, err = experiments.LondonCase(); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, a := range artifacts {
+		if *only != "" && a.key != *only {
+			continue
+		}
+		fmt.Println(a.render(env, ams, lon))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kepler-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command topogen generates a synthetic Internet, schedules infrastructure
+// outages over it, renders the resulting BGP dynamics, and writes the
+// multi-collector archive as an MRT-lite file that cmd/kepler can replay.
+//
+// Usage:
+//
+//	topogen -seed 1 -days 30 -facility-outages 3 -ixp-outages 1 -out archive.mrt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kepler/internal/mrt"
+	"kepler/internal/simulate"
+	"kepler/internal/topology"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "world generation seed")
+		days  = flag.Int("days", 30, "scenario length in days")
+		facN  = flag.Int("facility-outages", 3, "facility outages to inject")
+		ixpN  = flag.Int("ixp-outages", 1, "IXP outages to inject")
+		linkN = flag.Int("link-outages", 10, "link-level background events")
+		asN   = flag.Int("as-outages", 2, "AS-level background events")
+		out   = flag.String("out", "archive.mrt", "output archive path")
+		truth = flag.String("truth", "", "optional path for the ground-truth event list (text)")
+	)
+	flag.Parse()
+
+	cfg := topology.DefaultConfig()
+	cfg.Seed = *seed
+	w, err := topology.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(time.Duration(*days) * 24 * time.Hour)
+
+	events := simulate.GenerateSchedule(w, simulate.ScheduleConfig{
+		Seed:            *seed + 1,
+		Start:           start.Add(3 * 24 * time.Hour),
+		End:             end.Add(-24 * time.Hour),
+		FacilityOutages: *facN,
+		IXPOutages:      *ixpN,
+		LinkOutages:     *linkN,
+		ASOutages:       *asN,
+		PartialFraction: 0.15,
+		MinMembers:      6,
+	})
+	res, err := simulate.Render(w, events, start, end, simulate.RenderConfig{
+		Seed: *seed + 2, SessionResets: 2, StickyFraction: 0.05,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := mrt.WriteAll(f, res.Records); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("world: %d ASes, %d facilities, %d IXPs, %d links\n",
+		len(w.ASes), w.Map.NumFacilities(), w.Map.NumIXPs(), len(w.Links))
+	fmt.Printf("archive: %d records over %d days -> %s\n", len(res.Records), *days, *out)
+
+	if *truth != "" {
+		tf, err := os.Create(*truth)
+		if err != nil {
+			fatal(err)
+		}
+		defer tf.Close()
+		for _, ev := range res.Truth {
+			fmt.Fprintf(tf, "%s\t%s\t%q\t%s\tfull=%v\n",
+				ev.Time.Format(time.RFC3339), ev.PoP, ev.Name,
+				ev.Duration.Round(time.Minute), ev.Full)
+		}
+		fmt.Printf("ground truth: %d infrastructure events -> %s\n", len(res.Truth), *truth)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// The AMS-IX case study of Sections 6.2 and 6.3: a loop in the switching
+// fabric takes the largest exchange down for half an hour. The example
+// shows the outage through the three community granularities (Figure 8c),
+// the control- and data-plane convergence behaviour (Figures 10a and 10b),
+// the RTT impact on rerouted paths (Figure 10c), and the traffic dip at a
+// remote exchange hundreds of kilometres away (Figure 10d).
+//
+//	go run ./examples/amsix-outage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kepler/internal/experiments"
+)
+
+func main() {
+	cs, err := experiments.AMSIXCase()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, _ := cs.Stack.Map.IXP(cs.IXP)
+	fmt.Printf("case study: %q (%d members), fabric outage %s for %s\n\n",
+		ix.Name, len(ix.Members),
+		cs.Events[0].Start.Format("2006-01-02 15:04"), cs.Events[0].Duration)
+
+	fmt.Println(experiments.Figure8c(cs).Render())
+	fmt.Println(experiments.Figure10a(cs).Render())
+	fmt.Println(experiments.Figure10b(cs).Render())
+	fmt.Println(experiments.Figure10c(cs).Render())
+	fmt.Println(experiments.Figure10d(cs).Render())
+}

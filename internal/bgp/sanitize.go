@@ -1,0 +1,91 @@
+package bgp
+
+import "net/netip"
+
+// Path sanitation, Section 4.1 of the paper: "Kepler sanitizes the collected
+// paths by discarding paths with AS loops, private ASNs, or special-purpose
+// ASNs", plus the customary bogon-prefix filter applied by every collector
+// pipeline.
+
+// bogons4 are IPv4 prefixes that must never be globally routed
+// (RFC 6890 special-purpose registry plus multicast/reserved space).
+var bogons4 = []netip.Prefix{
+	netip.MustParsePrefix("0.0.0.0/8"),
+	netip.MustParsePrefix("10.0.0.0/8"),
+	netip.MustParsePrefix("100.64.0.0/10"),
+	netip.MustParsePrefix("127.0.0.0/8"),
+	netip.MustParsePrefix("169.254.0.0/16"),
+	netip.MustParsePrefix("172.16.0.0/12"),
+	netip.MustParsePrefix("192.0.0.0/24"),
+	netip.MustParsePrefix("192.0.2.0/24"),
+	netip.MustParsePrefix("192.168.0.0/16"),
+	netip.MustParsePrefix("198.18.0.0/15"),
+	netip.MustParsePrefix("198.51.100.0/24"),
+	netip.MustParsePrefix("203.0.113.0/24"),
+	netip.MustParsePrefix("224.0.0.0/4"),
+	netip.MustParsePrefix("240.0.0.0/4"),
+}
+
+// bogons6 are the equivalent IPv6 never-route prefixes.
+var bogons6 = []netip.Prefix{
+	netip.MustParsePrefix("::/8"),
+	netip.MustParsePrefix("100::/64"),
+	netip.MustParsePrefix("2001:db8::/32"),
+	netip.MustParsePrefix("fc00::/7"),
+	netip.MustParsePrefix("fe80::/10"),
+	netip.MustParsePrefix("ff00::/8"),
+}
+
+// IsBogon reports whether the prefix overlaps reserved, private or
+// documentation address space and must be discarded by the input module.
+func IsBogon(p netip.Prefix) bool {
+	if !p.IsValid() {
+		return true
+	}
+	set := bogons4
+	if p.Addr().Is6() && !p.Addr().Is4In6() {
+		set = bogons6
+	}
+	for _, b := range set {
+		if b.Overlaps(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// SanitizeError explains why a path or prefix was rejected.
+type SanitizeError string
+
+// Error implements the error interface.
+func (e SanitizeError) Error() string { return "bgp: sanitize: " + string(e) }
+
+// Rejection reasons returned by Sanitize.
+const (
+	RejectEmptyPath    SanitizeError = "empty AS path"
+	RejectASLoop       SanitizeError = "AS path contains a loop"
+	RejectPrivateASN   SanitizeError = "AS path contains a private or special-purpose ASN"
+	RejectBogonPrefix  SanitizeError = "bogon prefix"
+	RejectDefaultRoute SanitizeError = "default route"
+)
+
+// Sanitize validates one announced route (prefix + path) against the input
+// module's rules. It returns nil when the route may enter the pipeline.
+func Sanitize(prefix netip.Prefix, path Path) error {
+	if prefix.Bits() == 0 {
+		return RejectDefaultRoute
+	}
+	if IsBogon(prefix) {
+		return RejectBogonPrefix
+	}
+	if len(path) == 0 {
+		return RejectEmptyPath
+	}
+	if path.ContainsUnroutable() {
+		return RejectPrivateASN
+	}
+	if path.HasLoop() {
+		return RejectASLoop
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestIsBogon(t *testing.T) {
+	cases := []struct {
+		prefix string
+		bogon  bool
+	}{
+		{"10.0.0.0/8", true},
+		{"10.1.2.0/24", true},
+		{"192.168.1.0/24", true},
+		{"172.20.0.0/16", true},
+		{"172.32.0.0/16", false},
+		{"8.8.8.0/24", false},
+		{"184.84.242.0/24", false},
+		{"224.1.0.0/16", true},
+		{"240.0.0.0/8", true},
+		{"0.0.0.0/32", true},
+		{"100.64.0.0/10", true},
+		{"100.128.0.0/10", false},
+		{"2001:db8::/32", true},
+		{"fe80::/10", true},
+		{"fc00::/7", true},
+		{"2a02:2e0::/32", false},
+		{"ff02::/16", true},
+	}
+	for _, c := range cases {
+		if got := IsBogon(netip.MustParsePrefix(c.prefix)); got != c.bogon {
+			t.Errorf("IsBogon(%s) = %v, want %v", c.prefix, got, c.bogon)
+		}
+	}
+	if !IsBogon(netip.Prefix{}) {
+		t.Error("invalid prefix should be bogon")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	good := netip.MustParsePrefix("184.84.242.0/24")
+	cases := []struct {
+		name   string
+		prefix netip.Prefix
+		path   Path
+		want   error
+	}{
+		{"clean", good, Path{3356, 13030, 20940}, nil},
+		{"prepended", good, Path{3356, 13030, 13030, 20940}, nil},
+		{"empty path", good, nil, RejectEmptyPath},
+		{"loop", good, Path{3356, 13030, 3356}, RejectASLoop},
+		{"private asn", good, Path{3356, 64512, 20940}, RejectPrivateASN},
+		{"special asn", good, Path{3356, 23456, 20940}, RejectPrivateASN},
+		{"as0", good, Path{0, 13030}, RejectPrivateASN},
+		{"bogon", netip.MustParsePrefix("10.0.0.0/8"), Path{3356}, RejectBogonPrefix},
+		{"default route", netip.MustParsePrefix("0.0.0.0/0"), Path{3356}, RejectDefaultRoute},
+	}
+	for _, c := range cases {
+		if got := Sanitize(c.prefix, c.path); got != c.want {
+			t.Errorf("%s: Sanitize = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeErrorMessage(t *testing.T) {
+	if RejectASLoop.Error() == "" {
+		t.Error("empty error message")
+	}
+}

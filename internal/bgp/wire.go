@@ -1,0 +1,500 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Wire codec for BGP UPDATE messages, RFC 4271 §4.3, with two widely
+// deployed extensions: 4-octet AS numbers carried natively in AS_PATH
+// (RFC 6793 "NEW_AS_PATH everywhere" form, as modern collectors emit) and
+// IPv6 NLRI via MP_REACH_NLRI / MP_UNREACH_NLRI (RFC 4760).
+//
+// The codec is deliberately strict on decode: malformed attribute lengths,
+// truncated NLRI and unknown mandatory fields are errors, because Kepler's
+// input module must distinguish feed corruption from routing dynamics.
+
+// Message header constants (RFC 4271 §4.1).
+const (
+	markerLen     = 16
+	headerLen     = markerLen + 2 + 1 // marker + length + type
+	maxMessageLen = 4096
+
+	msgTypeUpdate = 2
+)
+
+// Path-attribute type codes.
+const (
+	attrOrigin          = 1
+	attrASPath          = 2
+	attrNextHop         = 3
+	attrMED             = 4
+	attrLocalPref       = 5
+	attrCommunities     = 8
+	attrMPReachNLRI     = 14
+	attrMPUnreachNLRI   = 15
+	attrLargeCommunity  = 32 // recognised and skipped
+	flagOptional        = 0x80
+	flagTransitive      = 0x40
+	flagExtendedLength  = 0x10
+	segTypeASSet        = 1
+	segTypeASSequence   = 2
+	afiIPv6             = 2
+	safiUnicast         = 1
+	maxASPathSegmentLen = 255
+)
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("bgp: truncated message")
+	ErrBadMarker   = errors.New("bgp: bad message marker")
+	ErrBadLength   = errors.New("bgp: bad message length")
+	ErrNotUpdate   = errors.New("bgp: not an UPDATE message")
+	ErrBadAttr     = errors.New("bgp: malformed path attribute")
+	ErrBadNLRI     = errors.New("bgp: malformed NLRI")
+	ErrTooLarge    = errors.New("bgp: message exceeds 4096 bytes")
+	ErrMixedFamily = errors.New("bgp: IPv4 and IPv6 prefixes mixed in one family field")
+)
+
+// MarshalUpdate encodes an Update into a full BGP message (header
+// included). IPv4 announcements ride the classic NLRI field; IPv6
+// announcements and withdrawals are encoded as MP_REACH_NLRI /
+// MP_UNREACH_NLRI attributes. An update may carry either family but the
+// encoder rejects mixing families within the same announcement set, which
+// mirrors how collectors emit records.
+func MarshalUpdate(u *Update) ([]byte, error) {
+	v4Ann, v6Ann, err := splitFamily(u.Announced)
+	if err != nil {
+		return nil, err
+	}
+	v4Wdr, v6Wdr, err := splitFamily(u.Withdrawn)
+	if err != nil {
+		return nil, err
+	}
+
+	body := make([]byte, 0, 256)
+
+	// Withdrawn routes (IPv4 only here).
+	wdr := encodePrefixes(nil, v4Wdr)
+	if len(wdr) > 0xffff {
+		return nil, ErrTooLarge
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(wdr)))
+	body = append(body, wdr...)
+
+	// Path attributes.
+	attrs, err := marshalAttrs(&u.Attrs, v4Ann, v6Ann, v6Wdr)
+	if err != nil {
+		return nil, err
+	}
+	if len(attrs) > 0xffff {
+		return nil, ErrTooLarge
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+	body = append(body, attrs...)
+
+	// Classic NLRI (IPv4).
+	body = encodePrefixes(body, v4Ann)
+
+	total := headerLen + len(body)
+	if total > maxMessageLen {
+		return nil, ErrTooLarge
+	}
+	msg := make([]byte, headerLen, total)
+	for i := 0; i < markerLen; i++ {
+		msg[i] = 0xff
+	}
+	binary.BigEndian.PutUint16(msg[markerLen:], uint16(total))
+	msg[markerLen+2] = msgTypeUpdate
+	return append(msg, body...), nil
+}
+
+// UnmarshalUpdate decodes a full BGP message produced by MarshalUpdate (or
+// any conforming peer). It returns the decoded update and the number of
+// bytes consumed, allowing streams of back-to-back messages.
+func UnmarshalUpdate(b []byte) (*Update, int, error) {
+	if len(b) < headerLen {
+		return nil, 0, ErrTruncated
+	}
+	for i := 0; i < markerLen; i++ {
+		if b[i] != 0xff {
+			return nil, 0, ErrBadMarker
+		}
+	}
+	total := int(binary.BigEndian.Uint16(b[markerLen:]))
+	if total < headerLen || total > maxMessageLen {
+		return nil, 0, ErrBadLength
+	}
+	if len(b) < total {
+		return nil, 0, ErrTruncated
+	}
+	if b[markerLen+2] != msgTypeUpdate {
+		return nil, 0, ErrNotUpdate
+	}
+	body := b[headerLen:total]
+	u := &Update{}
+
+	if len(body) < 2 {
+		return nil, 0, ErrTruncated
+	}
+	wdrLen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < wdrLen {
+		return nil, 0, ErrTruncated
+	}
+	var err error
+	u.Withdrawn, err = decodePrefixes(body[:wdrLen], false)
+	if err != nil {
+		return nil, 0, err
+	}
+	body = body[wdrLen:]
+
+	if len(body) < 2 {
+		return nil, 0, ErrTruncated
+	}
+	attrLen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < attrLen {
+		return nil, 0, ErrTruncated
+	}
+	v6Ann, v6Wdr, err := unmarshalAttrs(body[:attrLen], &u.Attrs)
+	if err != nil {
+		return nil, 0, err
+	}
+	body = body[attrLen:]
+
+	u.Announced, err = decodePrefixes(body, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	u.Announced = append(u.Announced, v6Ann...)
+	u.Withdrawn = append(u.Withdrawn, v6Wdr...)
+	return u, total, nil
+}
+
+func splitFamily(prefixes []netip.Prefix) (v4, v6 []netip.Prefix, err error) {
+	for _, p := range prefixes {
+		if !p.IsValid() {
+			return nil, nil, fmt.Errorf("%w: invalid prefix %v", ErrBadNLRI, p)
+		}
+		if p.Addr().Is4() {
+			v4 = append(v4, p)
+		} else {
+			v6 = append(v6, p)
+		}
+	}
+	return v4, v6, nil
+}
+
+func marshalAttrs(a *Attributes, v4Ann, v6Ann, v6Wdr []netip.Prefix) ([]byte, error) {
+	out := make([]byte, 0, 128)
+
+	appendAttr := func(flags, code byte, val []byte) error {
+		if len(val) > 255 {
+			flags |= flagExtendedLength
+		}
+		out = append(out, flags, code)
+		if flags&flagExtendedLength != 0 {
+			if len(val) > 0xffff {
+				return ErrTooLarge
+			}
+			out = binary.BigEndian.AppendUint16(out, uint16(len(val)))
+		} else {
+			out = append(out, byte(len(val)))
+		}
+		out = append(out, val...)
+		return nil
+	}
+
+	// ORIGIN — mandatory when anything is announced.
+	if len(v4Ann) > 0 || len(v6Ann) > 0 {
+		if err := appendAttr(flagTransitive, attrOrigin, []byte{byte(a.Origin)}); err != nil {
+			return nil, err
+		}
+		// AS_PATH as one AS_SEQUENCE segment of 4-octet ASNs.
+		if len(a.ASPath) > maxASPathSegmentLen {
+			return nil, fmt.Errorf("%w: AS path longer than %d", ErrBadAttr, maxASPathSegmentLen)
+		}
+		seg := make([]byte, 2+4*len(a.ASPath))
+		seg[0] = segTypeASSequence
+		seg[1] = byte(len(a.ASPath))
+		for i, asn := range a.ASPath {
+			binary.BigEndian.PutUint32(seg[2+4*i:], uint32(asn))
+		}
+		if err := appendAttr(flagTransitive, attrASPath, seg); err != nil {
+			return nil, err
+		}
+	}
+	// NEXT_HOP — required for classic IPv4 NLRI.
+	if len(v4Ann) > 0 {
+		nh := a.NextHop
+		if !nh.IsValid() || !nh.Is4() {
+			return nil, fmt.Errorf("%w: IPv4 NLRI requires an IPv4 next hop", ErrBadAttr)
+		}
+		b := nh.As4()
+		if err := appendAttr(flagTransitive, attrNextHop, b[:]); err != nil {
+			return nil, err
+		}
+	}
+	if a.HasMED {
+		if err := appendAttr(flagOptional, attrMED, binary.BigEndian.AppendUint32(nil, a.MED)); err != nil {
+			return nil, err
+		}
+	}
+	if a.HasLocal {
+		if err := appendAttr(flagTransitive, attrLocalPref, binary.BigEndian.AppendUint32(nil, a.LocalPref)); err != nil {
+			return nil, err
+		}
+	}
+	if len(a.Communities) > 0 {
+		val := make([]byte, 0, 4*len(a.Communities))
+		for _, c := range a.Communities {
+			val = binary.BigEndian.AppendUint32(val, c.Uint32())
+		}
+		if err := appendAttr(flagOptional|flagTransitive, attrCommunities, val); err != nil {
+			return nil, err
+		}
+	}
+	if len(v6Ann) > 0 {
+		nh := a.NextHop
+		if !nh.IsValid() || !nh.Is6() || nh.Is4In6() {
+			return nil, fmt.Errorf("%w: IPv6 NLRI requires an IPv6 next hop", ErrBadAttr)
+		}
+		val := make([]byte, 0, 32)
+		val = binary.BigEndian.AppendUint16(val, afiIPv6)
+		val = append(val, safiUnicast)
+		nhb := nh.As16()
+		val = append(val, 16)
+		val = append(val, nhb[:]...)
+		val = append(val, 0) // reserved SNPA count
+		val = encodePrefixes(val, v6Ann)
+		if err := appendAttr(flagOptional, attrMPReachNLRI, val); err != nil {
+			return nil, err
+		}
+	}
+	if len(v6Wdr) > 0 {
+		val := make([]byte, 0, 16)
+		val = binary.BigEndian.AppendUint16(val, afiIPv6)
+		val = append(val, safiUnicast)
+		val = encodePrefixes(val, v6Wdr)
+		if err := appendAttr(flagOptional, attrMPUnreachNLRI, val); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func unmarshalAttrs(b []byte, a *Attributes) (v6Ann, v6Wdr []netip.Prefix, err error) {
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return nil, nil, ErrBadAttr
+		}
+		flags, code := b[0], b[1]
+		var alen int
+		if flags&flagExtendedLength != 0 {
+			if len(b) < 4 {
+				return nil, nil, ErrBadAttr
+			}
+			alen = int(binary.BigEndian.Uint16(b[2:]))
+			b = b[4:]
+		} else {
+			alen = int(b[2])
+			b = b[3:]
+		}
+		if len(b) < alen {
+			return nil, nil, ErrBadAttr
+		}
+		val := b[:alen]
+		b = b[alen:]
+
+		switch code {
+		case attrOrigin:
+			if alen != 1 {
+				return nil, nil, fmt.Errorf("%w: ORIGIN length %d", ErrBadAttr, alen)
+			}
+			a.Origin = Origin(val[0])
+		case attrASPath:
+			p, err := decodeASPath(val)
+			if err != nil {
+				return nil, nil, err
+			}
+			a.ASPath = p
+		case attrNextHop:
+			if alen != 4 {
+				return nil, nil, fmt.Errorf("%w: NEXT_HOP length %d", ErrBadAttr, alen)
+			}
+			a.NextHop = netip.AddrFrom4([4]byte(val))
+		case attrMED:
+			if alen != 4 {
+				return nil, nil, fmt.Errorf("%w: MED length %d", ErrBadAttr, alen)
+			}
+			a.MED = binary.BigEndian.Uint32(val)
+			a.HasMED = true
+		case attrLocalPref:
+			if alen != 4 {
+				return nil, nil, fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadAttr, alen)
+			}
+			a.LocalPref = binary.BigEndian.Uint32(val)
+			a.HasLocal = true
+		case attrCommunities:
+			if alen%4 != 0 {
+				return nil, nil, fmt.Errorf("%w: COMMUNITIES length %d", ErrBadAttr, alen)
+			}
+			for i := 0; i < alen; i += 4 {
+				a.Communities = append(a.Communities, CommunityFromUint32(binary.BigEndian.Uint32(val[i:])))
+			}
+		case attrMPReachNLRI:
+			ann, nh, err := decodeMPReach(val)
+			if err != nil {
+				return nil, nil, err
+			}
+			v6Ann = append(v6Ann, ann...)
+			if !a.NextHop.IsValid() {
+				a.NextHop = nh
+			}
+		case attrMPUnreachNLRI:
+			wdr, err := decodeMPUnreach(val)
+			if err != nil {
+				return nil, nil, err
+			}
+			v6Wdr = append(v6Wdr, wdr...)
+		default:
+			// Unknown optional attributes (incl. large communities) are
+			// skipped; unknown well-known attributes are a decode error.
+			if flags&flagOptional == 0 {
+				return nil, nil, fmt.Errorf("%w: unknown well-known attribute %d", ErrBadAttr, code)
+			}
+		}
+	}
+	return v6Ann, v6Wdr, nil
+}
+
+func decodeASPath(val []byte) (Path, error) {
+	var p Path
+	for len(val) > 0 {
+		if len(val) < 2 {
+			return nil, fmt.Errorf("%w: truncated AS_PATH segment header", ErrBadAttr)
+		}
+		segType, n := val[0], int(val[1])
+		val = val[2:]
+		if len(val) < 4*n {
+			return nil, fmt.Errorf("%w: truncated AS_PATH segment", ErrBadAttr)
+		}
+		switch segType {
+		case segTypeASSequence, segTypeASSet:
+			for i := 0; i < n; i++ {
+				p = append(p, ASN(binary.BigEndian.Uint32(val[4*i:])))
+			}
+		default:
+			return nil, fmt.Errorf("%w: AS_PATH segment type %d", ErrBadAttr, segType)
+		}
+		val = val[4*n:]
+	}
+	return p, nil
+}
+
+func decodeMPReach(val []byte) ([]netip.Prefix, netip.Addr, error) {
+	if len(val) < 5 {
+		return nil, netip.Addr{}, fmt.Errorf("%w: short MP_REACH_NLRI", ErrBadAttr)
+	}
+	afi := binary.BigEndian.Uint16(val)
+	safi := val[2]
+	nhLen := int(val[3])
+	val = val[4:]
+	if afi != afiIPv6 || safi != safiUnicast {
+		return nil, netip.Addr{}, fmt.Errorf("%w: unsupported AFI/SAFI %d/%d", ErrBadAttr, afi, safi)
+	}
+	if len(val) < nhLen+1 {
+		return nil, netip.Addr{}, fmt.Errorf("%w: truncated MP next hop", ErrBadAttr)
+	}
+	var nh netip.Addr
+	if nhLen >= 16 {
+		nh = netip.AddrFrom16([16]byte(val[:16]))
+	}
+	val = val[nhLen:]
+	snpa := int(val[0])
+	val = val[1:]
+	// Skip SNPA blocks (deprecated, always zero in practice).
+	for i := 0; i < snpa; i++ {
+		if len(val) < 1 {
+			return nil, netip.Addr{}, fmt.Errorf("%w: truncated SNPA", ErrBadAttr)
+		}
+		l := int(val[0])
+		if len(val) < 1+l {
+			return nil, netip.Addr{}, fmt.Errorf("%w: truncated SNPA body", ErrBadAttr)
+		}
+		val = val[1+l:]
+	}
+	ann, err := decodePrefixes(val, true)
+	return ann, nh, err
+}
+
+func decodeMPUnreach(val []byte) ([]netip.Prefix, error) {
+	if len(val) < 3 {
+		return nil, fmt.Errorf("%w: short MP_UNREACH_NLRI", ErrBadAttr)
+	}
+	afi := binary.BigEndian.Uint16(val)
+	safi := val[2]
+	if afi != afiIPv6 || safi != safiUnicast {
+		return nil, fmt.Errorf("%w: unsupported AFI/SAFI %d/%d", ErrBadAttr, afi, safi)
+	}
+	return decodePrefixes(val[3:], true)
+}
+
+// encodePrefixes appends RFC 4271 NLRI encodings (length byte + minimal
+// octets) of the prefixes to dst.
+func encodePrefixes(dst []byte, prefixes []netip.Prefix) []byte {
+	for _, p := range prefixes {
+		bits := p.Bits()
+		dst = append(dst, byte(bits))
+		nbytes := (bits + 7) / 8
+		if p.Addr().Is4() {
+			b := p.Addr().As4()
+			dst = append(dst, b[:nbytes]...)
+		} else {
+			b := p.Addr().As16()
+			dst = append(dst, b[:nbytes]...)
+		}
+	}
+	return dst
+}
+
+// decodePrefixes parses a packed NLRI field. v6 selects the address family
+// (classic fields are IPv4; MP attributes carry IPv6 here).
+func decodePrefixes(b []byte, v6 bool) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	maxBits := 32
+	if v6 {
+		maxBits = 128
+	}
+	for len(b) > 0 {
+		bits := int(b[0])
+		b = b[1:]
+		if bits > maxBits {
+			return nil, fmt.Errorf("%w: prefix length %d exceeds %d", ErrBadNLRI, bits, maxBits)
+		}
+		nbytes := (bits + 7) / 8
+		if len(b) < nbytes {
+			return nil, fmt.Errorf("%w: truncated prefix body", ErrBadNLRI)
+		}
+		var addr netip.Addr
+		if v6 {
+			var buf [16]byte
+			copy(buf[:], b[:nbytes])
+			addr = netip.AddrFrom16(buf)
+		} else {
+			var buf [4]byte
+			copy(buf[:], b[:nbytes])
+			addr = netip.AddrFrom4(buf)
+		}
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadNLRI, err)
+		}
+		out = append(out, p)
+		b = b[nbytes:]
+	}
+	return out, nil
+}

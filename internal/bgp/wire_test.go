@@ -1,0 +1,260 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestUpdateRoundTripIPv4(t *testing.T) {
+	u := &Update{
+		Withdrawn: []netip.Prefix{mustPrefix("198.0.0.0/16")},
+		Announced: []netip.Prefix{mustPrefix("184.84.242.0/24"), mustPrefix("2.21.67.0/24")},
+		Attrs: Attributes{
+			Origin:      OriginIGP,
+			ASPath:      Path{13030, 20940},
+			NextHop:     netip.MustParseAddr("192.0.2.1"),
+			MED:         50,
+			HasMED:      true,
+			LocalPref:   200,
+			HasLocal:    true,
+			Communities: Communities{{13030, 51904}, {13030, 4006}},
+		},
+	}
+	b, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, n, err := UnmarshalUpdate(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if n != len(b) {
+		t.Errorf("consumed %d of %d bytes", n, len(b))
+	}
+	if !reflect.DeepEqual(got.Announced, u.Announced) {
+		t.Errorf("Announced = %v, want %v", got.Announced, u.Announced)
+	}
+	if !reflect.DeepEqual(got.Withdrawn, u.Withdrawn) {
+		t.Errorf("Withdrawn = %v, want %v", got.Withdrawn, u.Withdrawn)
+	}
+	if !got.Attrs.ASPath.Equal(u.Attrs.ASPath) {
+		t.Errorf("ASPath = %v", got.Attrs.ASPath)
+	}
+	if !got.Attrs.Communities.Equal(u.Attrs.Communities) {
+		t.Errorf("Communities = %v", got.Attrs.Communities)
+	}
+	if got.Attrs.MED != 50 || !got.Attrs.HasMED || got.Attrs.LocalPref != 200 || !got.Attrs.HasLocal {
+		t.Errorf("MED/LocalPref lost: %+v", got.Attrs)
+	}
+	if got.Attrs.NextHop != u.Attrs.NextHop {
+		t.Errorf("NextHop = %v", got.Attrs.NextHop)
+	}
+}
+
+func TestUpdateRoundTripIPv6(t *testing.T) {
+	u := &Update{
+		Withdrawn: []netip.Prefix{mustPrefix("2001:7f8:1::/48")},
+		Announced: []netip.Prefix{mustPrefix("2a02:2e0::/32")},
+		Attrs: Attributes{
+			Origin:      OriginIGP,
+			ASPath:      Path{6695, 3320},
+			NextHop:     netip.MustParseAddr("2001:7f8::1"),
+			Communities: Communities{{6695, 1000}},
+		},
+	}
+	b, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, _, err := UnmarshalUpdate(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(got.Announced) != 1 || got.Announced[0] != u.Announced[0] {
+		t.Errorf("Announced = %v", got.Announced)
+	}
+	if len(got.Withdrawn) != 1 || got.Withdrawn[0] != u.Withdrawn[0] {
+		t.Errorf("Withdrawn = %v", got.Withdrawn)
+	}
+	if got.Attrs.NextHop != u.Attrs.NextHop {
+		t.Errorf("v6 NextHop = %v", got.Attrs.NextHop)
+	}
+}
+
+func TestUpdatePureWithdrawal(t *testing.T) {
+	u := &Update{Withdrawn: []netip.Prefix{mustPrefix("184.84.0.0/16")}}
+	b, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, _, err := UnmarshalUpdate(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(got.Announced) != 0 || len(got.Withdrawn) != 1 {
+		t.Errorf("got %+v", got)
+	}
+	if got.Empty() {
+		t.Error("withdrawal-only update should not be Empty")
+	}
+	if !(&Update{}).Empty() {
+		t.Error("zero update should be Empty")
+	}
+}
+
+func TestMarshalRejectsBadNextHop(t *testing.T) {
+	u := &Update{
+		Announced: []netip.Prefix{mustPrefix("184.84.242.0/24")},
+		Attrs:     Attributes{ASPath: Path{1}},
+	}
+	if _, err := MarshalUpdate(u); err == nil {
+		t.Error("expected error for missing IPv4 next hop")
+	}
+	u6 := &Update{
+		Announced: []netip.Prefix{mustPrefix("2a02:2e0::/32")},
+		Attrs:     Attributes{ASPath: Path{1}, NextHop: netip.MustParseAddr("192.0.2.1")},
+	}
+	if _, err := MarshalUpdate(u6); err == nil {
+		t.Error("expected error for v4 next hop on v6 NLRI")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	u := &Update{
+		Announced: []netip.Prefix{mustPrefix("184.84.242.0/24")},
+		Attrs: Attributes{
+			ASPath:  Path{13030},
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+		},
+	}
+	good, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation at every byte boundary must error, never panic.
+	for i := 0; i < len(good); i++ {
+		if _, _, err := UnmarshalUpdate(good[:i]); err == nil {
+			t.Errorf("UnmarshalUpdate(truncated at %d) succeeded", i)
+		}
+	}
+
+	// Corrupt marker.
+	bad := append([]byte(nil), good...)
+	bad[0] = 0
+	if _, _, err := UnmarshalUpdate(bad); err != ErrBadMarker {
+		t.Errorf("marker corruption: err = %v", err)
+	}
+
+	// Wrong message type.
+	bad = append([]byte(nil), good...)
+	bad[markerLen+2] = 1 // OPEN
+	if _, _, err := UnmarshalUpdate(bad); err != ErrNotUpdate {
+		t.Errorf("type corruption: err = %v", err)
+	}
+
+	// Absurd declared length.
+	bad = append([]byte(nil), good...)
+	bad[markerLen] = 0xff
+	bad[markerLen+1] = 0xff
+	if _, _, err := UnmarshalUpdate(bad); err == nil {
+		t.Error("length corruption accepted")
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	// The decoder must reject, not panic on, arbitrary garbage.
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, 512)
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(len(buf))
+		rng.Read(buf[:n])
+		UnmarshalUpdate(buf[:n]) // must not panic
+	}
+	// Also garbage with a valid header prefix.
+	for i := 0; i < 2000; i++ {
+		n := headerLen + rng.Intn(200)
+		for j := 0; j < markerLen; j++ {
+			buf[j] = 0xff
+		}
+		buf[markerLen] = byte(n >> 8)
+		buf[markerLen+1] = byte(n)
+		buf[markerLen+2] = msgTypeUpdate
+		rng.Read(buf[headerLen:n])
+		UnmarshalUpdate(buf[:n]) // must not panic
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: any structurally valid IPv4 update round-trips exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := &Update{
+			Attrs: Attributes{
+				Origin:  Origin(rng.Intn(3)),
+				NextHop: netip.AddrFrom4([4]byte{192, 0, 2, byte(rng.Intn(255) + 1)}),
+			},
+		}
+		nAnn := rng.Intn(5) + 1
+		for i := 0; i < nAnn; i++ {
+			bits := rng.Intn(25) + 8
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(223) + 1), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+			p, err := addr.Prefix(bits)
+			if err != nil {
+				return false
+			}
+			u.Announced = append(u.Announced, p)
+		}
+		pathLen := rng.Intn(6) + 1
+		for i := 0; i < pathLen; i++ {
+			u.Attrs.ASPath = append(u.Attrs.ASPath, ASN(rng.Intn(400000)+1))
+		}
+		nComm := rng.Intn(6)
+		for i := 0; i < nComm; i++ {
+			u.Attrs.Communities = append(u.Attrs.Communities, MakeCommunity(uint16(rng.Intn(65536)), uint16(rng.Intn(65536))))
+		}
+		b, err := MarshalUpdate(u)
+		if err != nil {
+			return false
+		}
+		got, n, err := UnmarshalUpdate(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		return reflect.DeepEqual(got.Announced, u.Announced) &&
+			got.Attrs.ASPath.Equal(u.Attrs.ASPath) &&
+			got.Attrs.Communities.Equal(u.Attrs.Communities) &&
+			got.Attrs.Origin == u.Attrs.Origin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackToBackMessages(t *testing.T) {
+	u1 := &Update{Withdrawn: []netip.Prefix{mustPrefix("184.84.0.0/16")}}
+	u2 := &Update{Withdrawn: []netip.Prefix{mustPrefix("2.21.0.0/16")}}
+	b1, _ := MarshalUpdate(u1)
+	b2, _ := MarshalUpdate(u2)
+	stream := append(append([]byte(nil), b1...), b2...)
+
+	got1, n1, err := UnmarshalUpdate(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, n2, err := UnmarshalUpdate(stream[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != len(stream) {
+		t.Errorf("consumed %d bytes of %d", n1+n2, len(stream))
+	}
+	if got1.Withdrawn[0] != u1.Withdrawn[0] || got2.Withdrawn[0] != u2.Withdrawn[0] {
+		t.Error("messages crossed")
+	}
+}

@@ -1,0 +1,257 @@
+package bgpstream
+
+import (
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"kepler/internal/bgp"
+	"kepler/internal/mrt"
+)
+
+var t0 = time.Date(2016, 7, 20, 0, 0, 0, 0, time.UTC)
+
+func updRec(at time.Duration, collector string, peer bgp.ASN, prefix string) *mrt.Record {
+	r := &mrt.Record{
+		Time:      t0.Add(at),
+		Kind:      mrt.KindUpdate,
+		Collector: collector,
+		PeerAS:    peer,
+		Update: &bgp.Update{
+			Announced: []netip.Prefix{netip.MustParsePrefix(prefix)},
+			Attrs: bgp.Attributes{
+				ASPath:  bgp.Path{peer, 20940},
+				NextHop: netip.MustParseAddr("192.0.2.1"),
+			},
+		},
+	}
+	return r
+}
+
+func stateRec(at time.Duration, collector string, peer bgp.ASN, from, to mrt.SessionState) *mrt.Record {
+	return &mrt.Record{
+		Time:      t0.Add(at),
+		Kind:      mrt.KindState,
+		Collector: collector,
+		PeerAS:    peer,
+		OldState:  from,
+		NewState:  to,
+	}
+}
+
+func TestMergerOrdersAcrossSources(t *testing.T) {
+	s1 := NewSliceSource([]*mrt.Record{
+		updRec(0, "rrc00", 1, "184.84.0.0/16"),
+		updRec(3*time.Second, "rrc00", 1, "184.84.0.0/16"),
+		updRec(9*time.Second, "rrc00", 1, "184.84.0.0/16"),
+	})
+	s2 := NewSliceSource([]*mrt.Record{
+		updRec(1*time.Second, "rrc03", 2, "2.21.0.0/16"),
+		updRec(4*time.Second, "rrc03", 2, "2.21.0.0/16"),
+	})
+	s3 := NewSliceSource(nil)
+
+	m := NewMerger(s1, s2, s3)
+	var got []*mrt.Record
+	for {
+		r, err := m.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+	}
+	if len(got) != 5 {
+		t.Fatalf("merged %d records, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatalf("out of order at %d: %v before %v", i, got[i].Time, got[i-1].Time)
+		}
+	}
+}
+
+func TestMergerDeterministicTieBreak(t *testing.T) {
+	mk := func() *Merger {
+		a := NewSliceSource([]*mrt.Record{updRec(0, "A", 1, "184.84.0.0/16")})
+		b := NewSliceSource([]*mrt.Record{updRec(0, "B", 2, "2.21.0.0/16")})
+		return NewMerger(a, b)
+	}
+	m1, m2 := mk(), mk()
+	r1a, _ := m1.Next()
+	r2a, _ := m2.Next()
+	if r1a.Collector != r2a.Collector {
+		t.Error("tie-break is not deterministic")
+	}
+	if r1a.Collector != "A" {
+		t.Errorf("first source should win ties, got %s", r1a.Collector)
+	}
+}
+
+func TestMergerLargeRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sources []Source
+	total := 0
+	for s := 0; s < 8; s++ {
+		var recs []*mrt.Record
+		at := time.Duration(0)
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			at += time.Duration(rng.Intn(5000)) * time.Millisecond
+			recs = append(recs, updRec(at, "c", bgp.ASN(s+1), "184.84.0.0/16"))
+		}
+		total += n
+		sources = append(sources, NewSliceSource(recs))
+	}
+	m := NewMerger(sources...)
+	var prev time.Time
+	count := 0
+	for {
+		r, err := m.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count > 0 && r.Time.Before(prev) {
+			t.Fatalf("order violation at record %d", count)
+		}
+		prev = r.Time
+		count++
+	}
+	if count != total {
+		t.Fatalf("merged %d records, want %d", count, total)
+	}
+}
+
+func TestFilterMatch(t *testing.T) {
+	r4 := updRec(time.Minute, "rrc00", 13030, "184.84.242.0/24")
+	r6 := updRec(time.Minute, "rrc00", 13030, "2a02:2e0::/32")
+	st := stateRec(time.Minute, "rrc00", 13030, mrt.StateEstablished, mrt.StateIdle)
+
+	cases := []struct {
+		name string
+		f    Filter
+		r    *mrt.Record
+		want bool
+	}{
+		{"empty matches", Filter{}, r4, true},
+		{"kind match", Filter{Kinds: []mrt.RecordKind{mrt.KindUpdate}}, r4, true},
+		{"kind reject", Filter{Kinds: []mrt.RecordKind{mrt.KindState}}, r4, false},
+		{"collector match", Filter{Collectors: []string{"rrc00", "rrc03"}}, r4, true},
+		{"collector reject", Filter{Collectors: []string{"route-views2"}}, r4, false},
+		{"peer match", Filter{PeerASNs: []bgp.ASN{13030}}, r4, true},
+		{"peer reject", Filter{PeerASNs: []bgp.ASN{3356}}, r4, false},
+		{"start bound", Filter{Start: t0.Add(2 * time.Minute)}, r4, false},
+		{"end bound", Filter{End: t0.Add(30 * time.Second)}, r4, false},
+		{"window ok", Filter{Start: t0, End: t0.Add(time.Hour)}, r4, true},
+		{"v4 only accepts v4", Filter{IPv4Only: true}, r4, true},
+		{"v4 only rejects v6", Filter{IPv4Only: true}, r6, false},
+		{"v6 only accepts v6", Filter{IPv6Only: true}, r6, true},
+		{"v6 only rejects v4", Filter{IPv6Only: true}, r4, false},
+		{"family filter passes state records", Filter{IPv4Only: true}, st, true},
+	}
+	for _, c := range cases {
+		if got := c.f.Match(c.r); got != c.want {
+			t.Errorf("%s: Match = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFilterSource(t *testing.T) {
+	src := NewSliceSource([]*mrt.Record{
+		updRec(0, "rrc00", 1, "184.84.0.0/16"),
+		updRec(time.Second, "rrc03", 2, "2.21.0.0/16"),
+		updRec(2*time.Second, "rrc00", 3, "9.9.0.0/16"),
+	})
+	fs := NewFilterSource(src, &Filter{Collectors: []string{"rrc00"}})
+	var count int
+	for {
+		r, err := fs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Collector != "rrc00" {
+			t.Errorf("leaked record from %s", r.Collector)
+		}
+		count++
+	}
+	if count != 2 {
+		t.Errorf("got %d records, want 2", count)
+	}
+}
+
+func TestSessionTrackerGaps(t *testing.T) {
+	tr := NewSessionTracker()
+	key := SessionKey{Collector: "rrc00", PeerAS: 13030}
+
+	tr.Observe(stateRec(0, "rrc00", 13030, mrt.StateEstablished, mrt.StateIdle))
+	if !tr.IsDown(key, t0.Add(time.Minute)) {
+		t.Error("session should be down after Idle transition")
+	}
+	if tr.IsDown(SessionKey{Collector: "rrc03", PeerAS: 13030}, t0.Add(time.Minute)) {
+		t.Error("unrelated session reported down")
+	}
+
+	// Bouncing through Connect/Active states keeps the same gap.
+	tr.Observe(stateRec(2*time.Minute, "rrc00", 13030, mrt.StateIdle, mrt.StateConnect))
+	tr.Observe(stateRec(3*time.Minute, "rrc00", 13030, mrt.StateConnect, mrt.StateActive))
+	if !tr.IsDown(key, t0.Add(3*time.Minute+30*time.Second)) {
+		t.Error("session should still be down mid-bounce")
+	}
+
+	tr.Observe(stateRec(5*time.Minute, "rrc00", 13030, mrt.StateOpenConfirm, mrt.StateEstablished))
+	gaps := tr.Gaps()
+	if len(gaps) != 1 {
+		t.Fatalf("got %d gaps, want 1: %+v", len(gaps), gaps)
+	}
+	g := gaps[0]
+	if !g.Start.Equal(t0) || !g.End.Equal(t0.Add(5*time.Minute)) {
+		t.Errorf("gap = %+v", g)
+	}
+	if tr.IsDown(key, t0.Add(6*time.Minute)) {
+		t.Error("session should be up after re-establishment")
+	}
+	if !tr.IsDown(key, t0.Add(time.Minute)) {
+		t.Error("historical query inside closed gap should report down")
+	}
+}
+
+func TestSessionTrackerOpenGap(t *testing.T) {
+	tr := NewSessionTracker()
+	tr.Observe(stateRec(0, "rrc00", 1, mrt.StateEstablished, mrt.StateIdle))
+	gaps := tr.Gaps()
+	if len(gaps) != 1 || !gaps[0].End.IsZero() {
+		t.Fatalf("open gap not reported: %+v", gaps)
+	}
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	s1 := NewSliceSource([]*mrt.Record{
+		updRec(0, "rrc00", 1, "184.84.0.0/16"),
+		stateRec(time.Second, "rrc00", 1, mrt.StateEstablished, mrt.StateIdle),
+		updRec(2*time.Second, "rrc00", 1, "184.84.0.0/16"),
+	})
+	s2 := NewSliceSource([]*mrt.Record{
+		updRec(500*time.Millisecond, "rrc03", 2, "2.21.0.0/16"),
+	})
+	st := NewStream(nil, s1, s2)
+	recs, err := st.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("drained %d records, want 4", len(recs))
+	}
+	if !st.Tracker().IsDown(SessionKey{Collector: "rrc00", PeerAS: 1}, t0.Add(3*time.Second)) {
+		t.Error("stream did not feed tracker")
+	}
+}

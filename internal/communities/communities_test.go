@@ -1,0 +1,365 @@
+package communities
+
+import (
+	"net/netip"
+	"testing"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/geo"
+)
+
+// testWorld builds a colocation map with the entities the paper's running
+// examples use: Coresite LAX-1 (Los Angeles), Telehouse East (London),
+// LINX (London, RS AS8714), AMS-IX (Amsterdam, RS AS6777).
+func testWorld(t *testing.T) (*geo.World, *colo.Map) {
+	t.Helper()
+	world := geo.DefaultWorld()
+	b := colo.NewBuilder(world)
+	lax1 := colo.Address{Street: "900 N Alameda St", Postcode: "90012", Country: "US"}
+	the := colo.Address{Street: "Coriander Ave", Postcode: "E14 2AA", Country: "GB"}
+	b.AddFacility(colo.FacilityRecord{
+		Source: "peeringdb", Name: "Coresite LAX-1", Operator: "Coresite",
+		Addr: lax1, CityHint: "Los Angeles", Members: []bgp.ASN{13030, 20940, 7018},
+	})
+	b.AddFacility(colo.FacilityRecord{
+		Source: "peeringdb", Name: "Telehouse East", Operator: "Telehouse",
+		Addr: the, CityHint: "London", Members: []bgp.ASN{13030, 20940, 2914, 8714},
+	})
+	b.AddIXP(colo.IXPRecord{
+		Source: "peeringdb", Name: "LINX", URL: "https://linx.net", CityHint: "London",
+		ASNs:          []bgp.ASN{8714},
+		LANs:          []netip.Prefix{netip.MustParsePrefix("195.66.224.0/22")},
+		Members:       []bgp.ASN{13030, 20940, 2914},
+		FacilityAddrs: []colo.Address{the},
+	})
+	b.AddIXP(colo.IXPRecord{
+		Source: "peeringdb", Name: "AMS-IX", URL: "https://ams-ix.net", CityHint: "Amsterdam",
+		ASNs:    []bgp.ASN{6777},
+		Members: []bgp.ASN{13030, 2914, 1136},
+	})
+	return world, b.Build()
+}
+
+func TestMinePaperExample(t *testing.T) {
+	world, cmap := testWorld(t)
+	m := NewMiner(world, cmap)
+
+	// The documentation style of Figure 4 / Init7's published scheme.
+	docs := []Document{{
+		ASN:    13030,
+		Source: "irr",
+		Text: `BGP communities for customers of AS13030.
+
+13030:51904 - routes received at Coresite LAX-1
+13030:51702 - routes received at Telehouse East
+13030:4006 - routes received from public peer at LINX
+13030:50100 - routes learned in Los Angeles
+13030:9999 - announce to all peers only
+13030:666 - blackhole these prefixes
+2914:410 - example of another operator, ignore`,
+	}}
+	d := m.Mine(docs)
+
+	if d.Len() != 4 {
+		t.Fatalf("dictionary has %d entries, want 4: %+v", d.Len(), d.Entries())
+	}
+
+	lax1, _ := cmap.FacilityByAddress(colo.Address{Postcode: "90012", Country: "US"})
+	e, ok := d.Lookup(bgp.MakeCommunity(13030, 51904))
+	if !ok || e.PoP != colo.FacilityPoP(lax1) {
+		t.Errorf("51904 = %+v, ok=%v (want facility %d)", e, ok, lax1)
+	}
+	if e.Label != "Coresite LAX-1" {
+		t.Errorf("label = %q", e.Label)
+	}
+
+	the, _ := cmap.FacilityByAddress(colo.Address{Postcode: "E14 2AA", Country: "GB"})
+	if e, ok := d.Lookup(bgp.MakeCommunity(13030, 51702)); !ok || e.PoP != colo.FacilityPoP(the) {
+		t.Errorf("51702 = %+v, ok=%v", e, ok)
+	}
+
+	var linx colo.IXPID
+	for _, ix := range cmap.IXPs() {
+		if ix.Name == "LINX" {
+			linx = ix.ID
+		}
+	}
+	if e, ok := d.Lookup(bgp.MakeCommunity(13030, 4006)); !ok || e.PoP != colo.IXPPoP(linx) {
+		t.Errorf("4006 = %+v, ok=%v", e, ok)
+	}
+
+	la, _ := world.Resolve("Los Angeles")
+	if e, ok := d.Lookup(bgp.MakeCommunity(13030, 50100)); !ok || e.PoP != colo.CityPoP(la.ID) {
+		t.Errorf("50100 = %+v, ok=%v", e, ok)
+	}
+
+	// Outbound communities must be filtered.
+	if _, ok := d.Lookup(bgp.MakeCommunity(13030, 9999)); ok {
+		t.Error("active-voice outbound community was not filtered")
+	}
+	if _, ok := d.Lookup(bgp.MakeCommunity(13030, 666)); ok {
+		t.Error("blackhole community was not filtered")
+	}
+	// Foreign-ASN community quoted in the doc must be rejected.
+	if _, ok := d.Lookup(bgp.MakeCommunity(2914, 410)); ok {
+		t.Error("foreign community accepted")
+	}
+
+	if !d.Covers(13030) || d.Covers(2914) {
+		t.Error("coverage wrong")
+	}
+}
+
+func TestMineRouteServers(t *testing.T) {
+	world, cmap := testWorld(t)
+	d := NewMiner(world, cmap).Mine(nil)
+	if d.NumRouteServers() != 2 {
+		t.Fatalf("route servers = %d, want 2", d.NumRouteServers())
+	}
+	ix, ok := d.LookupRouteServer(bgp.MakeCommunity(8714, 100))
+	if !ok {
+		t.Fatal("LINX route server community not recognized")
+	}
+	var linx colo.IXPID
+	for _, x := range cmap.IXPs() {
+		if x.Name == "LINX" {
+			linx = x.ID
+		}
+	}
+	if ix != linx {
+		t.Errorf("RS community mapped to IXP %d, want %d", ix, linx)
+	}
+	if _, ok := d.LookupRouteServer(bgp.MakeCommunity(13030, 100)); ok {
+		t.Error("non-RS ASN resolved as route server")
+	}
+}
+
+func TestMineCityInitialisms(t *testing.T) {
+	world, cmap := testWorld(t)
+	m := NewMiner(world, cmap)
+	d := m.Mine([]Document{{
+		ASN: 3356, Source: "web",
+		Text: "3356:2001 - routes received at NYC\n3356:2002 - routes received at FRA",
+	}})
+	nyc, _ := world.Resolve("NYC")
+	fra, _ := world.Resolve("FRA")
+	if e, ok := d.Lookup(bgp.MakeCommunity(3356, 2001)); !ok || e.PoP != colo.CityPoP(nyc.ID) {
+		t.Errorf("NYC initialism not geocoded: %+v ok=%v", e, ok)
+	}
+	if e, ok := d.Lookup(bgp.MakeCommunity(3356, 2002)); !ok || e.PoP != colo.CityPoP(fra.ID) {
+		t.Errorf("IATA code not geocoded: %+v ok=%v", e, ok)
+	}
+}
+
+func TestMineRangeNotation(t *testing.T) {
+	world, cmap := testWorld(t)
+	d := NewMiner(world, cmap).Mine([]Document{{
+		ASN: 13030, Source: "irr",
+		Text: "13030:51000-51003 - routes received at Telehouse East",
+	}})
+	for low := uint16(51000); low <= 51003; low++ {
+		if _, ok := d.Lookup(bgp.MakeCommunity(13030, low)); !ok {
+			t.Errorf("range member %d missing", low)
+		}
+	}
+	if d.Len() != 4 {
+		t.Errorf("dictionary has %d entries, want 4", d.Len())
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	world, cmap := testWorld(t)
+	m := NewMiner(world, cmap)
+	d := m.Mine([]Document{{
+		ASN: 13030, Source: "irr",
+		Text: "13030:51904 - routes received at Coresite LAX-1",
+	}})
+
+	path := bgp.Path{3356, 13030, 20940}
+	cs := bgp.Communities{bgp.MakeCommunity(13030, 51904)}
+	hops := d.Annotate(path, cs, cmap)
+	if len(hops) != 1 {
+		t.Fatalf("got %d tagged hops", len(hops))
+	}
+	h := hops[0]
+	if h.Near != 13030 || h.Far != 20940 {
+		t.Errorf("hop = near %v far %v, want 13030/20940", h.Near, h.Far)
+	}
+	if h.PoP.Kind != colo.PoPFacility {
+		t.Errorf("PoP = %v", h.PoP)
+	}
+
+	// Community whose operator is not on the path is dropped.
+	other := bgp.Path{3356, 2914, 20940}
+	if got := d.Annotate(other, cs, cmap); len(got) != 0 {
+		t.Errorf("annotation leaked across paths: %+v", got)
+	}
+
+	// Prepending must not break hop binding.
+	prepended := bgp.Path{3356, 13030, 13030, 13030, 20940}
+	hops = d.Annotate(prepended, cs, cmap)
+	if len(hops) != 1 || hops[0].Far != 20940 {
+		t.Errorf("prepended annotation = %+v", hops)
+	}
+
+	// Operator at the origin: no far end.
+	originPath := bgp.Path{3356, 13030}
+	hops = d.Annotate(originPath, cs, cmap)
+	if len(hops) != 1 || hops[0].Far != 0 {
+		t.Errorf("origin annotation = %+v", hops)
+	}
+}
+
+func TestAnnotateRouteServer(t *testing.T) {
+	world, cmap := testWorld(t)
+	d := NewMiner(world, cmap).Mine(nil)
+
+	// 13030 and 20940 are both LINX members; the RS community binds there.
+	path := bgp.Path{3356, 13030, 20940}
+	cs := bgp.Communities{bgp.MakeCommunity(8714, 4410)}
+	hops := d.Annotate(path, cs, cmap)
+	if len(hops) != 1 {
+		t.Fatalf("got %d hops", len(hops))
+	}
+	if hops[0].PoP.Kind != colo.PoPIXP {
+		t.Errorf("PoP = %v", hops[0].PoP)
+	}
+	if hops[0].Near != 13030 || hops[0].Far != 20940 {
+		t.Errorf("RS hop = %+v", hops[0])
+	}
+
+	// No member pair on path: PoP still reported, hop unbound.
+	path2 := bgp.Path{3356, 7018}
+	hops = d.Annotate(path2, cs, cmap)
+	if len(hops) != 1 || hops[0].Near != 0 {
+		t.Errorf("unbound RS hop = %+v", hops)
+	}
+}
+
+func TestHasLocationCommunity(t *testing.T) {
+	world, cmap := testWorld(t)
+	d := NewMiner(world, cmap).Mine([]Document{{
+		ASN: 13030, Source: "irr",
+		Text: "13030:51904 - routes received at Coresite LAX-1",
+	}})
+	if !d.HasLocationCommunity(bgp.Communities{bgp.MakeCommunity(13030, 51904)}) {
+		t.Error("location community not detected")
+	}
+	if !d.HasLocationCommunity(bgp.Communities{bgp.MakeCommunity(8714, 1)}) {
+		t.Error("route-server community not detected")
+	}
+	if d.HasLocationCommunity(bgp.Communities{bgp.MakeCommunity(13030, 1)}) {
+		t.Error("unknown community detected")
+	}
+	if d.HasLocationCommunity(nil) {
+		t.Error("empty set detected")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	world, cmap := testWorld(t)
+	m := NewMiner(world, cmap)
+	d := m.Mine([]Document{{
+		ASN: 13030, Source: "irr",
+		Text: `13030:51904 - routes received at Coresite LAX-1
+13030:51702 - routes received at Telehouse East
+13030:4006 - routes received from public peer at LINX
+13030:50100 - routes learned in Los Angeles`,
+	}})
+	s := d.ComputeStats(cmap, world)
+	if s.Communities != 4 || s.ASNs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Facilities != 2 || s.IXPs != 1 {
+		t.Errorf("granularity counts = %+v", s)
+	}
+	if s.ByGranularity[colo.PoPCity] != 1 || s.ByGranularity[colo.PoPFacility] != 2 || s.ByGranularity[colo.PoPIXP] != 1 {
+		t.Errorf("ByGranularity = %+v", s.ByGranularity)
+	}
+	// LAX-1 and Los Angeles are one city; Telehouse East and LINX are London.
+	if s.Cities != 2 {
+		t.Errorf("cities = %d, want 2", s.Cities)
+	}
+	if s.Countries != 2 { // US + GB
+		t.Errorf("countries = %d, want 2", s.Countries)
+	}
+	if s.ByContinent[geo.NorthAmerica] != 2 || s.ByContinent[geo.Europe] != 2 {
+		t.Errorf("ByContinent = %+v", s.ByContinent)
+	}
+	if s.RouteServers != 2 {
+		t.Errorf("route servers = %d", s.RouteServers)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	world, cmap := testWorld(t)
+	m := NewMiner(world, cmap)
+	old := m.Mine([]Document{{
+		ASN: 13030, Source: "irr",
+		Text: `13030:51904 - routes received at Coresite LAX-1
+13030:51702 - routes received at Telehouse East
+13030:1111 - routes received in Los Angeles`,
+	}})
+	newer := m.Mine([]Document{{
+		ASN: 13030, Source: "irr",
+		Text: `13030:51904 - routes received at Coresite LAX-1
+13030:51702 - routes received in London
+13030:2222 - routes received at LINX`,
+	}})
+	s := Diff(old, newer)
+	if s.OldTotal != 3 || s.NewTotal != 3 {
+		t.Errorf("totals = %+v", s)
+	}
+	if s.Common != 2 {
+		t.Errorf("common = %d, want 2", s.Common)
+	}
+	if s.ChangedMeaning != 1 { // 51702 moved facility -> city
+		t.Errorf("changed = %d, want 1", s.ChangedMeaning)
+	}
+	if s.Stale != 1 || s.Fresh != 1 {
+		t.Errorf("stale/fresh = %d/%d", s.Stale, s.Fresh)
+	}
+}
+
+func TestDictionaryAddValidation(t *testing.T) {
+	d := New()
+	d.Add(Entry{Community: bgp.MakeCommunity(1, 2)}) // invalid PoP
+	if d.Len() != 0 {
+		t.Error("invalid entry accepted")
+	}
+	d.AddRouteServer(0, 1)
+	d.AddRouteServer(1, 0)
+	if d.NumRouteServers() != 0 {
+		t.Error("invalid route server accepted")
+	}
+	// ASN defaulting from community high half.
+	d.Add(Entry{Community: bgp.MakeCommunity(42, 7), PoP: colo.CityPoP(1)})
+	if !d.Covers(42) {
+		t.Error("ASN not defaulted from community")
+	}
+}
+
+func TestCoveredASNsSorted(t *testing.T) {
+	d := New()
+	for _, asn := range []uint16{300, 100, 200} {
+		d.Add(Entry{Community: bgp.MakeCommunity(asn, 1), PoP: colo.CityPoP(1)})
+	}
+	got := d.CoveredASNs()
+	if len(got) != 3 || got[0] != 100 || got[1] != 200 || got[2] != 300 {
+		t.Errorf("CoveredASNs = %v", got)
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	d := New()
+	d.Add(Entry{Community: bgp.MakeCommunity(2, 1), PoP: colo.CityPoP(1)})
+	d.Add(Entry{Community: bgp.MakeCommunity(1, 9), PoP: colo.CityPoP(1)})
+	es := d.Entries()
+	if len(es) != 2 || es[0].Community.High != 1 {
+		t.Errorf("Entries = %+v", es)
+	}
+	if es[0].Granularity() != colo.PoPCity {
+		t.Errorf("granularity = %v", es[0].Granularity())
+	}
+}

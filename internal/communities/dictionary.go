@@ -1,0 +1,269 @@
+// Package communities implements Kepler's BGP community dictionary
+// (Section 3.2 of the paper): the mapping from location-encoding community
+// values to the physical points of presence they tag, the web-mining
+// pipeline that compiles the dictionary from operators' natural-language
+// documentation, the route-server redistribution communities that reveal
+// IXP crossings, the annotation step that binds each community on a route
+// to the AS-path hop it describes (Section 4.1), and the attrition analysis
+// that compares dictionary generations (the paper's comparison against the
+// 2008 Donnet–Bonaventure dictionary).
+package communities
+
+import (
+	"sort"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/geo"
+)
+
+// Entry is one dictionary record: a community value and the PoP it tags.
+type Entry struct {
+	Community bgp.Community
+	ASN       bgp.ASN  // operator that attaches the community (top 16 bits)
+	PoP       colo.PoP // tagged location: city, facility or IXP
+	Label     string   // human-readable location label (clustered)
+	Source    string   // where the interpretation came from ("irr", "web", ...)
+}
+
+// Granularity returns the PoP kind the entry encodes.
+func (e Entry) Granularity() colo.PoPKind { return e.PoP.Kind }
+
+// Dictionary is a compiled community dictionary. The zero value is empty
+// and usable.
+type Dictionary struct {
+	entries      map[bgp.Community]Entry
+	routeServers map[bgp.ASN]colo.IXPID // RS ASN -> IXP
+	asns         map[bgp.ASN]bool       // operators with >=1 location entry
+}
+
+// New returns an empty dictionary.
+func New() *Dictionary {
+	return &Dictionary{
+		entries:      make(map[bgp.Community]Entry),
+		routeServers: make(map[bgp.ASN]colo.IXPID),
+		asns:         make(map[bgp.ASN]bool),
+	}
+}
+
+// Add inserts or replaces an entry. Entries with invalid PoPs are ignored.
+func (d *Dictionary) Add(e Entry) {
+	if !e.PoP.IsValid() {
+		return
+	}
+	if e.ASN == 0 {
+		e.ASN = e.Community.ASN()
+	}
+	d.entries[e.Community] = e
+	d.asns[e.ASN] = true
+}
+
+// AddRouteServer registers an IXP route-server ASN: any community whose top
+// 16 bits equal this ASN marks the route as having traversed the IXP
+// (Section 3.2, "IXP Path Redistribution Communities").
+func (d *Dictionary) AddRouteServer(asn bgp.ASN, ixp colo.IXPID) {
+	if asn == 0 || ixp == 0 {
+		return
+	}
+	d.routeServers[asn] = ixp
+}
+
+// Lookup resolves a community to its dictionary entry.
+func (d *Dictionary) Lookup(c bgp.Community) (Entry, bool) {
+	e, ok := d.entries[c]
+	return e, ok
+}
+
+// LookupRouteServer resolves a community set by an IXP route server to the
+// IXP it implies the route traversed.
+func (d *Dictionary) LookupRouteServer(c bgp.Community) (colo.IXPID, bool) {
+	ix, ok := d.routeServers[c.ASN()]
+	return ix, ok
+}
+
+// Covers reports whether the operator has at least one location entry; these
+// are the ASes whose ingress points Kepler can localize.
+func (d *Dictionary) Covers(asn bgp.ASN) bool { return d.asns[asn] }
+
+// CoveredASNs returns the operators with location entries, sorted.
+func (d *Dictionary) CoveredASNs() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(d.asns))
+	for a := range d.asns {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of location entries.
+func (d *Dictionary) Len() int { return len(d.entries) }
+
+// NumRouteServers returns the number of registered route servers.
+func (d *Dictionary) NumRouteServers() int { return len(d.routeServers) }
+
+// Entries returns all entries sorted by community value.
+func (d *Dictionary) Entries() []Entry {
+	out := make([]Entry, 0, len(d.entries))
+	for _, e := range d.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Community.Uint32() < out[j].Community.Uint32() })
+	return out
+}
+
+// Stats summarizes a dictionary the way Section 3.2 reports it.
+type Stats struct {
+	Communities  int // location entries
+	ASNs         int // operators using them
+	RouteServers int
+	Cities       int
+	Countries    int
+	IXPs         int
+	Facilities   int
+	// ByContinent counts entries tagging each continent (Figure 5's
+	// geographic spread).
+	ByContinent map[geo.Continent]int
+	// ByGranularity counts entries per PoP kind.
+	ByGranularity map[colo.PoPKind]int
+}
+
+// ComputeStats summarizes the dictionary against the colocation map and
+// gazetteer (needed to resolve facility/IXP cities to continents).
+func (d *Dictionary) ComputeStats(cmap *colo.Map, world *geo.World) Stats {
+	s := Stats{
+		Communities:   len(d.entries),
+		ASNs:          len(d.asns),
+		RouteServers:  len(d.routeServers),
+		ByContinent:   make(map[geo.Continent]int),
+		ByGranularity: make(map[colo.PoPKind]int),
+	}
+	cities := make(map[geo.CityID]bool)
+	countries := make(map[string]bool)
+	ixps := make(map[colo.IXPID]bool)
+	facs := make(map[colo.FacilityID]bool)
+	for _, e := range d.entries {
+		s.ByGranularity[e.PoP.Kind]++
+		switch e.PoP.Kind {
+		case colo.PoPCity:
+			cities[geo.CityID(e.PoP.ID)] = true
+		case colo.PoPIXP:
+			ixps[colo.IXPID(e.PoP.ID)] = true
+		case colo.PoPFacility:
+			facs[colo.FacilityID(e.PoP.ID)] = true
+		}
+		cityID := cmap.CityOf(e.PoP)
+		if cityID == geo.NoCity && e.PoP.Kind == colo.PoPCity {
+			cityID = geo.CityID(e.PoP.ID)
+		}
+		if city, ok := world.City(cityID); ok {
+			cities[city.ID] = true
+			countries[city.Country] = true
+			s.ByContinent[city.Continent]++
+		}
+	}
+	s.Cities = len(cities)
+	s.Countries = len(countries)
+	s.IXPs = len(ixps)
+	s.Facilities = len(facs)
+	return s
+}
+
+// TaggedHop binds one location community on a route to the AS-path hop it
+// annotates: Near received the route from Far at PoP. For route-server
+// communities Near/Far are the IXP members around the (transparent) route
+// server when identifiable.
+type TaggedHop struct {
+	Near      bgp.ASN
+	Far       bgp.ASN
+	PoP       colo.PoP
+	Community bgp.Community
+}
+
+// Annotate maps each community on a route to the AS-path hop it refers to
+// (Section 4.1): a location community with top bits X binds to the hop where
+// X appears in the path, with the far end being X's neighbor toward the
+// origin; a route-server community binds to the first member-member hop pair
+// of that IXP (scanning from the origin), per Giotsas–Zhou. Communities
+// whose operator is absent from the path are dropped — they were propagated
+// beyond their origin and cannot be trusted to describe this path.
+func (d *Dictionary) Annotate(path bgp.Path, cs bgp.Communities, cmap *colo.Map) []TaggedHop {
+	if len(path) == 0 || len(cs) == 0 {
+		return nil
+	}
+	deduped := path.Dedup()
+	var out []TaggedHop
+	for _, c := range cs {
+		if e, ok := d.entries[c]; ok {
+			idx := deduped.Index(e.ASN)
+			if idx < 0 {
+				continue
+			}
+			th := TaggedHop{Near: e.ASN, PoP: e.PoP, Community: c}
+			if idx+1 < len(deduped) {
+				th.Far = deduped[idx+1]
+			}
+			out = append(out, th)
+			continue
+		}
+		if ixp, ok := d.routeServers[c.ASN()]; ok {
+			th := TaggedHop{PoP: colo.IXPPoP(ixp), Community: c}
+			if cmap != nil {
+				// Find the hop pair where both sides are IXP members,
+				// scanning from the origin end: the redistribution happened
+				// nearest the origin.
+				for i := len(deduped) - 1; i > 0; i-- {
+					if cmap.AtIXP(deduped[i], ixp) && cmap.AtIXP(deduped[i-1], ixp) {
+						th.Near, th.Far = deduped[i-1], deduped[i]
+						break
+					}
+				}
+			}
+			out = append(out, th)
+		}
+	}
+	return out
+}
+
+// HasLocationCommunity reports whether any community in the set is a
+// location or route-server community known to the dictionary — the
+// numerator of Figure 7c's coverage fraction.
+func (d *Dictionary) HasLocationCommunity(cs bgp.Communities) bool {
+	for _, c := range cs {
+		if _, ok := d.entries[c]; ok {
+			return true
+		}
+		if _, ok := d.routeServers[c.ASN()]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// DiffStats compares two dictionary generations, reproducing the paper's
+// attrition analysis against the 2008 dictionary.
+type DiffStats struct {
+	OldTotal       int
+	NewTotal       int
+	Common         int // community values present in both
+	ChangedMeaning int // common values mapping to a different PoP
+	Stale          int // old values absent from the new dictionary
+	Fresh          int // new values absent from the old dictionary
+}
+
+// Diff computes attrition statistics from old to new.
+func Diff(old, new_ *Dictionary) DiffStats {
+	s := DiffStats{OldTotal: old.Len(), NewTotal: new_.Len()}
+	for c, oe := range old.entries {
+		ne, ok := new_.entries[c]
+		if !ok {
+			s.Stale++
+			continue
+		}
+		s.Common++
+		if ne.PoP != oe.PoP {
+			s.ChangedMeaning++
+		}
+	}
+	s.Fresh = s.NewTotal - s.Common
+	return s
+}

@@ -1,0 +1,180 @@
+package communities
+
+import (
+	"strings"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/geo"
+	"kepler/internal/nlp"
+)
+
+// Document is one piece of community documentation to mine: the remarks of
+// an IRR aut-num object or a scraped operator support page (Section 3.2).
+type Document struct {
+	ASN    bgp.ASN // the operator the documentation belongs to
+	Source string  // "irr" or "web"
+	Text   string
+}
+
+// Miner compiles dictionaries from documentation. It owns a gazetteer
+// primed with facility, IXP and operator names from the colocation map plus
+// city names from the world gazetteer — the Banerjee et al. technique the
+// paper adopts to make NER work on network-entity names.
+type Miner struct {
+	world     *geo.World
+	cmap      *colo.Map
+	gaz       *nlp.Gazetteer
+	facByName map[string]colo.FacilityID
+	ixpByName map[string]colo.IXPID
+}
+
+// NewMiner builds a miner over the given gazetteer and colocation map.
+func NewMiner(world *geo.World, cmap *colo.Map) *Miner {
+	m := &Miner{
+		world:     world,
+		cmap:      cmap,
+		gaz:       nlp.NewGazetteer(),
+		facByName: make(map[string]colo.FacilityID),
+		ixpByName: make(map[string]colo.IXPID),
+	}
+	for _, f := range cmap.Facilities() {
+		for _, name := range append([]string{f.Name}, f.AKA...) {
+			if name != "" {
+				m.gaz.Add(name, nlp.EntityFacility)
+				m.facByName[strings.ToLower(name)] = f.ID
+			}
+		}
+		if f.Operator != "" {
+			m.gaz.Add(f.Operator, nlp.EntityOperator)
+		}
+	}
+	for _, ix := range cmap.IXPs() {
+		for _, name := range append([]string{ix.Name}, ix.AKA...) {
+			if name != "" {
+				m.gaz.Add(name, nlp.EntityIXP)
+				m.ixpByName[strings.ToLower(name)] = ix.ID
+			}
+		}
+	}
+	for _, c := range world.Cities() {
+		m.gaz.Add(c.Name, nlp.EntityLocation)
+	}
+	return m
+}
+
+// Mine parses all documents and compiles a dictionary. Route-server
+// communities are registered from the colocation map's IXP-operated ASNs.
+// The pipeline per sentence is the paper's: extract community literals,
+// drop sentences in active voice (outbound traffic-engineering actions),
+// recognize named entities, keep city/IXP/facility entities, prefer the
+// most specific granularity, and validate that the community's top 16 bits
+// match the documenting operator.
+func (m *Miner) Mine(docs []Document) *Dictionary {
+	d := New()
+	for _, ix := range m.cmap.IXPs() {
+		for _, asn := range ix.ASNs {
+			d.AddRouteServer(asn, ix.ID)
+		}
+	}
+	for _, doc := range docs {
+		m.mineDocument(d, doc)
+	}
+	return d
+}
+
+func (m *Miner) mineDocument(d *Dictionary, doc Document) {
+	for _, sentence := range nlp.Sentences(doc.Text) {
+		toks := nlp.Tokenize(sentence)
+		matches := nlp.ExtractCommunities(toks)
+		if len(matches) == 0 {
+			continue
+		}
+		// Syntactic filter: active-voice sentences define outbound
+		// actions ("announce", "block") and are excluded.
+		if nlp.DetectVoice(toks) == nlp.VoiceActive {
+			continue
+		}
+		pop, label := m.resolvePoP(toks)
+		if !pop.IsValid() {
+			continue
+		}
+		for _, cm := range matches {
+			if cm.High > 0xffff || cm.Low > 0xffff {
+				continue
+			}
+			comm := bgp.MakeCommunity(uint16(cm.High), uint16(cm.Low))
+			// Convention check: the top 16 bits must be the operator
+			// documenting the community; anything else is likely an
+			// example snippet quoting another network.
+			if comm.ASN() != doc.ASN {
+				continue
+			}
+			d.Add(Entry{
+				Community: comm,
+				ASN:       doc.ASN,
+				PoP:       pop,
+				Label:     label,
+				Source:    doc.Source,
+			})
+		}
+	}
+}
+
+// resolvePoP finds the most specific location entity in the sentence:
+// facility beats IXP beats city. City identifiers that the gazetteer does
+// not know as entities still resolve through the geocoder (initialisms,
+// IATA codes), mirroring the paper's Google-Maps step.
+func (m *Miner) resolvePoP(toks []nlp.Token) (colo.PoP, string) {
+	var (
+		fac                           colo.FacilityID
+		ixp                           colo.IXPID
+		city                          geo.CityID
+		facLabel, ixpLabel, cityLabel string
+	)
+	for _, e := range m.gaz.Find(toks) {
+		switch e.Type {
+		case nlp.EntityFacility:
+			if fac == 0 {
+				fac = m.facByName[strings.ToLower(e.Canon)]
+				facLabel = e.Canon
+			}
+		case nlp.EntityIXP:
+			if ixp == 0 {
+				ixp = m.ixpByName[strings.ToLower(e.Canon)]
+				ixpLabel = e.Canon
+			}
+		case nlp.EntityLocation:
+			if city == geo.NoCity {
+				if c, ok := m.world.Resolve(e.Canon); ok {
+					city = c.ID
+					cityLabel = c.Name
+				}
+			}
+		}
+	}
+	if city == geo.NoCity {
+		// Fall back to geocoding capitalized spans: "JFK", "NYC", "FRA".
+		for _, span := range nlp.CapitalizedSpans(toks) {
+			var words []string
+			for _, t := range span {
+				words = append(words, t.Text)
+			}
+			if c, ok := m.world.Resolve(strings.Join(words, " ")); ok {
+				city = c.ID
+				cityLabel = c.Name
+				break
+			}
+		}
+	}
+	switch {
+	case fac != 0:
+		return colo.FacilityPoP(fac), facLabel
+	case ixp != 0:
+		return colo.IXPPoP(ixp), ixpLabel
+	case city != geo.NoCity:
+		return colo.CityPoP(city), cityLabel
+	default:
+		return colo.PoP{}, ""
+	}
+}

@@ -1,0 +1,94 @@
+package communities
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/geo"
+)
+
+// TestQuickAnnotateInvariants: for arbitrary paths and community sets,
+// Annotate never binds a location community to an AS absent from the path,
+// and every returned hop carries a valid PoP.
+func TestQuickAnnotateInvariants(t *testing.T) {
+	world, cmap := testWorld(t)
+	dict := NewMiner(world, cmap).Mine([]Document{{
+		ASN: 13030, Source: "irr",
+		Text: `13030:51904 - routes received at Coresite LAX-1
+13030:51702 - routes received at Telehouse East
+13030:4006 - routes received from public peer at LINX`,
+	}})
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random path over a small ASN universe that sometimes contains
+		// the tagging AS.
+		universe := []bgp.ASN{3356, 13030, 20940, 2914, 7018, 1136}
+		path := make(bgp.Path, rng.Intn(5)+1)
+		for i := range path {
+			path[i] = universe[rng.Intn(len(universe))]
+		}
+		var comms bgp.Communities
+		for i := 0; i < rng.Intn(5); i++ {
+			comms = append(comms, bgp.MakeCommunity(
+				uint16(universe[rng.Intn(len(universe))]),
+				uint16([]int{51904, 51702, 4006, 1, 999}[rng.Intn(5)]),
+			))
+		}
+		for _, hop := range dict.Annotate(path, comms, cmap) {
+			if !hop.PoP.IsValid() {
+				return false
+			}
+			if hop.Near != 0 && !path.Contains(hop.Near) {
+				return false
+			}
+			if hop.Far != 0 && !path.Contains(hop.Far) {
+				return false
+			}
+			// A bound near/far pair must be adjacent on the deduplicated path.
+			if hop.Near != 0 && hop.Far != 0 {
+				d := path.Dedup()
+				i := d.Index(hop.Near)
+				if i < 0 || i+1 >= len(d) || d[i+1] != hop.Far {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDictionaryLookupConsistency: every entry reported by Entries()
+// is reachable through Lookup and covered by Covers.
+func TestQuickDictionaryLookupConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New()
+		n := rng.Intn(50) + 1
+		for i := 0; i < n; i++ {
+			d.Add(Entry{
+				Community: bgp.MakeCommunity(uint16(rng.Intn(1000)+1), uint16(rng.Intn(60000))),
+				PoP:       colo.CityPoP(geo.CityID(rng.Intn(100) + 1)),
+			})
+		}
+		for _, e := range d.Entries() {
+			got, ok := d.Lookup(e.Community)
+			if !ok || got.PoP != e.PoP {
+				return false
+			}
+			if !d.Covers(e.ASN) {
+				return false
+			}
+		}
+		return d.Len() <= n // duplicates may collapse, never grow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,990 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/geo"
+)
+
+// popGroup aggregates all signals raised for one PoP within a bin.
+type popGroup struct {
+	pop     colo.PoP
+	signals []signal
+	links   map[popEnd]bool
+	nears   map[bgp.ASN]bool
+	fars    map[bgp.ASN]bool
+	paths   int
+}
+
+func buildGroup(pop colo.PoP, signals []signal) *popGroup {
+	g := &popGroup{
+		pop: pop, signals: signals,
+		links: map[popEnd]bool{}, nears: map[bgp.ASN]bool{}, fars: map[bgp.ASN]bool{},
+	}
+	for _, s := range signals {
+		for _, r := range s.diverted {
+			g.paths++
+			if r.ends.near != 0 {
+				g.nears[r.ends.near] = true
+			}
+			if r.ends.far != 0 && r.ends.near != 0 {
+				g.fars[r.ends.far] = true
+				g.links[r.ends] = true
+			}
+		}
+	}
+	return g
+}
+
+func (g *popGroup) affectedASes() []bgp.ASN {
+	set := map[bgp.ASN]bool{}
+	for a := range g.nears {
+		set[a] = true
+	}
+	for a := range g.fars {
+		set[a] = true
+	}
+	out := make([]bgp.ASN, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// commonAS returns the single AS every affected link shares, or 0.
+func (g *popGroup) commonAS() bgp.ASN {
+	var links []popEnd
+	for l := range g.links {
+		links = append(links, l)
+	}
+	if len(links) == 0 {
+		return 0
+	}
+	cands := map[bgp.ASN]bool{links[0].near: true, links[0].far: true}
+	for _, l := range links[1:] {
+		next := map[bgp.ASN]bool{}
+		if cands[l.near] {
+			next[l.near] = true
+		}
+		if cands[l.far] {
+			next[l.far] = true
+		}
+		cands = next
+		if len(cands) == 0 {
+			return 0
+		}
+	}
+	// Deterministic pick if both endpoints of a single link survive.
+	var out bgp.ASN
+	for a := range cands {
+		if out == 0 || a < out {
+			out = a
+		}
+	}
+	return out
+}
+
+// majorityPathShare is the fraction of the group's diverted old paths an
+// AS must appear on to count as a common-cause candidate. Strict
+// intersection is too brittle: when a transit AS fails, its customers
+// rehome and second-order churn diverts paths that never crossed the
+// failed AS.
+const majorityPathShare = 0.8
+
+// commonPathASes returns the ASes present on at least majorityPathShare of
+// the group's diverted old paths, most frequent first — the Section 4.3
+// AS-level candidates. Callers must pair this with a global-health test:
+// collector peers trivially appear on all of their own paths.
+func (g *popGroup) commonPathASes() []bgp.ASN {
+	count := map[bgp.ASN]int{}
+	total := 0
+	for _, s := range g.signals {
+		for _, r := range s.diverted {
+			if len(r.oldPath) == 0 {
+				continue
+			}
+			total++
+			for _, a := range r.oldPath {
+				count[a]++
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	min := int(majorityPathShare * float64(total))
+	if float64(min) < majorityPathShare*float64(total) {
+		min++ // ceiling: a sub-majority count must not qualify
+	}
+	if min < 1 {
+		min = 1
+	}
+	var out []bgp.ASN
+	for a, n := range count {
+		if n >= min {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if count[out[i]] != count[out[j]] {
+			return count[out[i]] > count[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// pathKeys returns the set of diverted path keys of the group.
+func (g *popGroup) pathKeys() map[PathKey]bool {
+	out := make(map[PathKey]bool, g.paths)
+	for _, s := range g.signals {
+		for _, r := range s.diverted {
+			out[r.key] = true
+		}
+	}
+	return out
+}
+
+// vanishedCommonAS returns an AS present on (nearly) every diverted old
+// path that has also lost the bulk of its monitored presence — the
+// AS-level test of Section 4.3. A hub that lost one site keeps most of its
+// paths elsewhere and does not qualify; a de-peered or failed AS drops to
+// (near) zero.
+func (d *Detector) vanishedCommonAS(g *popGroup) bgp.ASN {
+	for _, z := range g.commonPathASes() {
+		divertedThrough := 0
+		for _, s := range g.signals {
+			for _, r := range s.diverted {
+				if r.oldPath.Contains(z) {
+					divertedThrough++
+				}
+			}
+		}
+		// Remaining monitored paths through z after the bin's changes: if
+		// fewer survive than left, z itself is the casualty.
+		if d.pathsContaining[z] < divertedThrough {
+			return z
+		}
+	}
+	return 0
+}
+
+// commonOrgEverywhere reports whether a single organization touches every
+// affected link (operator-level incidents, Section 4.3).
+func (d *Detector) commonOrgEverywhere(g *popGroup) bool {
+	if d.orgs == nil || len(g.links) == 0 {
+		return false
+	}
+	type org = uint32
+	cands := map[org]bool{}
+	first := true
+	for l := range g.links {
+		here := map[org]bool{}
+		if id := d.orgs.OrgOf(l.near); id != 0 {
+			here[org(id)] = true
+		}
+		if id := d.orgs.OrgOf(l.far); id != 0 {
+			here[org(id)] = true
+		}
+		if first {
+			cands = here
+			first = false
+			continue
+		}
+		next := map[org]bool{}
+		for o := range cands {
+			if here[o] {
+				next[o] = true
+			}
+		}
+		cands = next
+		if len(cands) == 0 {
+			return false
+		}
+	}
+	return len(cands) > 0
+}
+
+// distinctNonSiblings counts ASes that belong to pairwise-different
+// organizations (unknown orgs count individually).
+func (d *Detector) distinctNonSiblings(set map[bgp.ASN]bool) int {
+	asns := make([]bgp.ASN, 0, len(set))
+	for a := range set {
+		if a != 0 {
+			asns = append(asns, a)
+		}
+	}
+	if d.orgs == nil {
+		return len(asns)
+	}
+	return d.orgs.DistinctOrgs(asns)
+}
+
+// binVanishedAS looks for a single AS that explains the whole bin: present
+// on most diverted paths across *all* signals and globally vanished. The
+// death of a densely connected transit AS floods every monitored PoP with
+// collateral signals (the paper's Figure 9a event B at planetary scale);
+// no per-PoP test can see that, only the bin-wide view.
+func (d *Detector) binVanishedAS(signals []signal) bgp.ASN {
+	count := map[bgp.ASN]int{}
+	seen := map[PathKey]bool{}
+	total := 0
+	for _, s := range signals {
+		for _, r := range s.diverted {
+			if len(r.oldPath) == 0 || seen[r.key] {
+				continue
+			}
+			seen[r.key] = true
+			total++
+			for _, a := range r.oldPath {
+				count[a]++
+			}
+		}
+	}
+	if total < 10 {
+		return 0 // too small for a global judgement
+	}
+	// No exclusions here: a healthy collector peer appears on all of its
+	// own paths but keeps its global presence, so the vanished test below
+	// rejects it; a failing tier-1 that is itself a vantage must stay
+	// eligible.
+	min := int(0.6 * float64(total))
+	if float64(min) < 0.6*float64(total) {
+		min++
+	}
+	var cands []bgp.ASN
+	for a, n := range count {
+		if n >= min {
+			cands = append(cands, a)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if count[cands[i]] != count[cands[j]] {
+			return count[cands[i]] > count[cands[j]]
+		}
+		return cands[i] < cands[j]
+	})
+	for _, z := range cands {
+		if d.pathsContaining[z] < count[z] {
+			return z
+		}
+	}
+	return 0
+}
+
+// investigate classifies this bin's signals and feeds PoP-level epicenters
+// to the outage tracker (Sections 4.3's flowchart).
+func (d *Detector) investigate(at time.Time, signals []signal) {
+	groups := map[colo.PoP][]signal{}
+	var order []colo.PoP
+	for _, s := range signals {
+		if _, ok := groups[s.pop]; !ok {
+			order = append(order, s.pop)
+		}
+		groups[s.pop] = append(groups[s.pop], s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Kind != order[j].Kind {
+			return order[i].Kind < order[j].Kind
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	type resolved struct {
+		group     *popGroup
+		epicenter colo.PoP
+	}
+	var popLevel []resolved
+
+	binCommon := d.binVanishedAS(signals)
+
+	for _, pop := range order {
+		g := buildGroup(pop, groups[pop])
+		affected := g.affectedASes()
+		inc := Incident{
+			Time: at, SignalPoP: pop, PoP: pop,
+			AffectedASes: affected, Links: len(g.links), Paths: g.paths,
+		}
+		switch {
+		case binCommon != 0:
+			// One vanished AS explains the whole bin's churn.
+			inc.Kind = IncidentAS
+			inc.CommonAS = binCommon
+		case len(affected) <= d.cfg.MinInvestigationASes:
+			inc.Kind = IncidentLink
+		case g.commonAS() != 0:
+			inc.Kind = IncidentAS
+			inc.CommonAS = g.commonAS()
+		case d.vanishedCommonAS(g) != 0:
+			// Every diverted route used to traverse one common AS and
+			// that AS lost (nearly) all of its monitored paths globally:
+			// its disappearance, not the tagged PoP, explains the signal.
+			inc.Kind = IncidentAS
+			inc.CommonAS = d.vanishedCommonAS(g)
+		case d.commonOrgEverywhere(g):
+			inc.Kind = IncidentOperator
+		case d.distinctNonSiblings(g.nears) >= d.cfg.MinDisjointEnds &&
+			d.distinctNonSiblings(g.fars) >= d.cfg.MinDisjointEnds &&
+			d.aggregateFraction(g) >= d.cfg.Tfail/2:
+			// The aggregate gate keeps collateral dribble (a few rerouted
+			// paths that merely *crossed* the PoP) from masquerading as a
+			// PoP outage, while staying below Tfail itself so that partial
+			// outages of regional ASes — the reason Section 4.2 groups per
+			// AS in the first place — still qualify.
+			inc.Kind = IncidentPoP
+			epicenter := d.disambiguate(g, at)
+			inc.PoP = epicenter
+			popLevel = append(popLevel, resolved{group: g, epicenter: epicenter})
+		default:
+			// Too few disjoint ends for PoP-level, broader than one AS:
+			// conservative AS-level classification.
+			inc.Kind = IncidentAS
+		}
+		d.incidents = append(d.incidents, inc)
+	}
+
+	// Collateral folding: a diverted path is usually tagged at several
+	// PoPs, so one physical failure raises signals at every tagged PoP the
+	// rerouted paths abandoned. Resolved epicenters claim paths in order
+	// of localization specificity (facility, then IXP, then city), larger
+	// groups first; a group whose paths mostly belong to an
+	// already-claimed epicenter is collateral of that epicenter
+	// (Section 4.3's correlation of signals from multiple PoPs).
+	if len(popLevel) > 1 {
+		rank := func(p colo.PoP) int {
+			switch p.Kind {
+			case colo.PoPFacility:
+				return 0
+			case colo.PoPIXP:
+				return 1
+			case colo.PoPCity:
+				return 2
+			default:
+				return 3 // unresolved epicenters claim nothing
+			}
+		}
+		sort.SliceStable(popLevel, func(i, j int) bool {
+			ri, rj := rank(popLevel[i].epicenter), rank(popLevel[j].epicenter)
+			if ri != rj {
+				return ri < rj
+			}
+			return popLevel[i].group.paths > popLevel[j].group.paths
+		})
+		claimed := map[PathKey]colo.PoP{} // path -> dominating epicenter
+		for i := range popLevel {
+			r := &popLevel[i]
+			keys := r.group.pathKeys()
+			byEpi := map[colo.PoP]int{}
+			for k := range keys {
+				if epi, ok := claimed[k]; ok {
+					byEpi[epi]++
+				}
+			}
+			var domEpi colo.PoP
+			domN := 0
+			for epi, n := range byEpi {
+				if n > domN || (n == domN && epi.ID < domEpi.ID) {
+					domEpi, domN = epi, n
+				}
+			}
+			if domN*4 >= len(keys)*3 && domEpi.IsValid() {
+				// ≥75% of this group's paths already belong to a more
+				// specific or larger signal: collateral, not a separate
+				// outage.
+				r.epicenter = domEpi
+				continue
+			}
+			if !r.epicenter.IsValid() {
+				continue
+			}
+			for k := range keys {
+				if _, ok := claimed[k]; !ok {
+					claimed[k] = r.epicenter
+				}
+			}
+		}
+	}
+
+	if len(popLevel) == 0 {
+		return
+	}
+
+	// City abstraction: multiple distinct epicenters in one city within a
+	// bin collapse to a city-level incident. Unresolved groups are binned
+	// by their signal PoP's city so a resolved sibling signal can absorb
+	// them.
+	byCity := map[geo.CityID][]resolved{}
+	for _, r := range popLevel {
+		city := d.cmap.CityOf(r.epicenter)
+		if !r.epicenter.IsValid() {
+			city = d.cmap.CityOf(r.group.pop)
+		}
+		byCity[city] = append(byCity[city], r)
+	}
+	cityIDs := make([]geo.CityID, 0, len(byCity))
+	for c := range byCity {
+		cityIDs = append(cityIDs, c)
+	}
+	sort.Slice(cityIDs, func(i, j int) bool { return cityIDs[i] < cityIDs[j] })
+
+	for _, cityID := range cityIDs {
+		rs := byCity[cityID]
+		// Distinct facility/IXP epicenters in this city. City-kind
+		// epicenters are unrefined city-granularity signals: they are
+		// consistent with whatever infrastructure epicenter the other
+		// signals isolated and do not count as separate convergences.
+		infra := map[colo.PoP]bool{}
+		// strongFacility marks facility epicenters derived from direct
+		// facility/IXP signals (not just refined city signals).
+		strongFacility := map[colo.PoP]bool{}
+		for _, r := range rs {
+			if r.epicenter.Kind == colo.PoPFacility || r.epicenter.Kind == colo.PoPIXP {
+				infra[r.epicenter] = true
+				if r.epicenter.Kind == colo.PoPFacility && r.group.pop.Kind != colo.PoPCity {
+					strongFacility[r.epicenter] = true
+				}
+			}
+		}
+		// Fabric reconciliation (Figure 2(b)): an IXP epicenter whose
+		// fabric extends into a concurrently-failed facility epicenter is
+		// explained by that facility — the IXP signal is collateral. Only
+		// facility epicenters backed by direct facility/IXP signals may
+		// absorb an IXP epicenter.
+		for pop := range infra {
+			if pop.Kind != colo.PoPIXP {
+				continue
+			}
+			if ixp, ok := d.cmap.IXP(colo.IXPID(pop.ID)); ok {
+				for _, fid := range ixp.Facilities {
+					if strongFacility[colo.FacilityPoP(fid)] {
+						delete(infra, pop)
+						break
+					}
+				}
+			}
+		}
+		switch {
+		case len(infra) > 1 && cityID != geo.NoCity:
+			// Multiple infrastructures converged: abstract to city level.
+			city := colo.CityPoP(cityID)
+			for _, r := range rs {
+				d.openOutageFor(at, city, r.group)
+			}
+		case len(infra) == 1:
+			// One infrastructure epicenter explains the city's signals.
+			var epicenter colo.PoP
+			for p := range infra {
+				epicenter = p
+			}
+			for _, r := range rs {
+				d.openOutageFor(at, epicenter, r.group)
+			}
+		default:
+			for _, r := range rs {
+				d.openOutageFor(at, r.epicenter, r.group)
+			}
+		}
+	}
+}
+
+// openOutageFor validates against the data plane and hands the signal to
+// the duration tracker. Unresolved epicenters (disambiguation did not
+// converge to a specific infrastructure) are dropped — Kepler never
+// reports a location it could not corroborate; the signal remains visible
+// in the incident log.
+func (d *Detector) openOutageFor(at time.Time, epicenter colo.PoP, g *popGroup) {
+	confirmed, checked := false, false
+	if !epicenter.IsValid() {
+		if d.cfg.ReportUnresolved && d.dp == nil {
+			epicenter = g.pop
+		} else {
+			return
+		}
+	}
+	if d.dp != nil {
+		c, hasData := d.dp.Confirm(epicenter, at)
+		if hasData {
+			checked = true
+			confirmed = c
+			if !confirmed {
+				// Data plane contradicts the control plane: treat as a
+				// false positive and do not open an outage (Section 4.4).
+				return
+			}
+		}
+	}
+	d.tracker.observe(at, epicenter, g, confirmed, checked)
+}
+
+// disambiguate locates the epicenter of a PoP-level signal group
+// (Section 4.3, "Disambiguation of Outage Signals" and "Increasing Signal
+// Resolution").
+func (d *Detector) disambiguate(g *popGroup, at time.Time) colo.PoP {
+	switch g.pop.Kind {
+	case colo.PoPFacility:
+		return d.disambiguateFacility(g, at)
+	case colo.PoPIXP:
+		return d.refineIXP(g, at)
+	case colo.PoPCity:
+		return d.refineCity(g, at)
+	default:
+		return g.pop
+	}
+}
+
+// facilitiesOfAffected returns facilities where at least minShare of the
+// group's affected ASes have presence, most-shared first, capped — the
+// "facilities where the affected far-end ASes have a presence" candidate
+// set of Section 4.3.
+func (d *Detector) facilitiesOfAffected(g *popGroup, minShare float64, cap int) []colo.FacilityID {
+	affected := g.affectedASes()
+	if len(affected) == 0 {
+		return nil
+	}
+	count := map[colo.FacilityID]int{}
+	for _, a := range affected {
+		for _, fid := range d.cmap.FacilitiesOf(a) {
+			count[fid]++
+		}
+	}
+	min := int(minShare * float64(len(affected)))
+	if min < 2 {
+		min = 2
+	}
+	var out []colo.FacilityID
+	for fid, n := range count {
+		if n >= min {
+			out = append(out, fid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if count[out[i]] != count[out[j]] {
+			return count[out[i]] > count[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	if len(out) > cap {
+		out = out[:cap]
+	}
+	return out
+}
+
+// probeCandidates runs targeted data-plane measurements against candidate
+// epicenters when the control plane cannot converge (Section 4.3: "we
+// cannot make an inference and resort to targeted traceroute queries to
+// discover the outage source"). A failing facility also takes down the IXP
+// ports and city paths it hosts, so coarser candidates confirm alongside
+// it: the most specific granularity with exactly one confirmed candidate
+// wins; two confirmed candidates of the same granularity stay ambiguous.
+func (d *Detector) probeCandidates(at time.Time, cands []colo.PoP) colo.PoP {
+	if d.dp == nil {
+		return colo.PoP{}
+	}
+	confirmed := map[colo.PoPKind][]colo.PoP{}
+	for _, cand := range cands {
+		ok, hasData := d.dp.Confirm(cand, at)
+		if hasData && ok {
+			confirmed[cand.Kind] = append(confirmed[cand.Kind], cand)
+		}
+	}
+	for _, kind := range []colo.PoPKind{colo.PoPFacility, colo.PoPIXP, colo.PoPCity} {
+		switch len(confirmed[kind]) {
+		case 0:
+			continue
+		case 1:
+			return confirmed[kind][0]
+		default:
+			return colo.PoP{} // several peers of one granularity: ambiguous
+		}
+	}
+	return colo.PoP{}
+}
+
+// affectedFractionWithFarAt computes diverted/stable over the group's
+// signal PoP, restricted to paths whose far end is colocated at facility f.
+func (d *Detector) affectedFractionWithFarAt(g *popGroup, f colo.FacilityID) (float64, int) {
+	stableTotal, divertedTotal := 0, 0
+	for near, set := range d.stable[g.pop] {
+		for _, ends := range set {
+			if ends.far != 0 && d.cmap.AtFacility(ends.far, f) {
+				stableTotal++
+			}
+		}
+		_ = near
+	}
+	for _, s := range g.signals {
+		for _, r := range s.diverted {
+			if r.ends.far != 0 && d.cmap.AtFacility(r.ends.far, f) {
+				divertedTotal++
+			}
+		}
+	}
+	if stableTotal == 0 {
+		return 0, 0
+	}
+	return float64(divertedTotal) / float64(stableTotal), stableTotal
+}
+
+// disambiguateFacility implements the near-end-first walk of Section 4.3:
+// if the paths with far ends colocated in the signalled facility are
+// (almost) all affected, the near-end facility is the epicenter; otherwise
+// candidate far-end facilities are examined; otherwise common IXPs.
+func (d *Detector) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
+	f := colo.FacilityID(g.pop.ID)
+	if frac, n := d.affectedFractionWithFarAt(g, f); n > 0 && frac >= d.cfg.ColocationMargin {
+		return g.pop
+	}
+
+	// Candidate facilities of the affected far ends: accept the one that
+	// hosts every affected far end and whose colocated paths are all
+	// affected.
+	candSet := map[colo.FacilityID]int{}
+	for far := range g.fars {
+		for _, fid := range d.cmap.FacilitiesOf(far) {
+			candSet[fid]++
+		}
+	}
+	var cands []colo.FacilityID
+	for fid, n := range candSet {
+		if fid != f && n == len(g.fars) && len(g.fars) > 0 {
+			cands = append(cands, fid)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, fid := range cands {
+		if frac, n := d.affectedFractionWithFarAt(g, fid); n > 0 && frac >= d.cfg.ColocationMargin {
+			return colo.FacilityPoP(fid)
+		}
+	}
+
+	// Partial-outage consistency: a subset of the facility failed, so not
+	// all colocated paths diverted — but every diverted path's far end
+	// must still be colocated in the facility.
+	if d.aggregateFraction(g) >= 2*d.cfg.Tfail {
+		consistent, total := 0, 0
+		for _, s := range g.signals {
+			for _, r := range s.diverted {
+				if r.ends.far == 0 {
+					continue
+				}
+				total++
+				if d.cmap.AtFacility(r.ends.far, f) {
+					consistent++
+				}
+			}
+		}
+		if total > 0 && float64(consistent)/float64(total) >= d.cfg.ColocationMargin {
+			return g.pop
+		}
+	}
+
+	// IXP stage: a common IXP of every affected link.
+	var commonIXPs []colo.IXPID
+	first := true
+	for l := range g.links {
+		ixs := d.cmap.CommonIXPs(l.near, l.far)
+		if first {
+			commonIXPs = ixs
+			first = false
+			continue
+		}
+		commonIXPs = intersectIXPs(commonIXPs, ixs)
+		if len(commonIXPs) == 0 {
+			break
+		}
+	}
+	if len(commonIXPs) == 1 {
+		return colo.IXPPoP(commonIXPs[0])
+	}
+	// Unresolved by colocation evidence (common for facilities whose
+	// tagged links are tethered transit customers invisible to the map):
+	// probe the signalled facility and the affected ASes' shared
+	// facilities.
+	probes := []colo.PoP{g.pop}
+	for _, fid := range d.facilitiesOfAffected(g, 0.5, 8) {
+		if fid != f {
+			probes = append(probes, colo.FacilityPoP(fid))
+		}
+	}
+	return d.probeCandidates(at, probes)
+}
+
+// membershipFraction is the share of the affected ASes for which member
+// reports true. The colocation margin absorbs member-list gaps in the map.
+func membershipFraction(affected []bgp.ASN, member func(bgp.ASN) bool) float64 {
+	if len(affected) == 0 {
+		return 0
+	}
+	n := 0
+	for _, a := range affected {
+		if member(a) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(affected))
+}
+
+// totalStableAt counts every stable path currently tagged with the PoP.
+func (d *Detector) totalStableAt(pop colo.PoP) int {
+	n := 0
+	for _, set := range d.stable[pop] {
+		n += len(set)
+	}
+	return n
+}
+
+// aggregateFraction is the share of the PoP's stable paths the group
+// diverted — the bin-level fraction of Section 4.2 before per-AS grouping.
+func (d *Detector) aggregateFraction(g *popGroup) float64 {
+	total := d.totalStableAt(g.pop)
+	if total == 0 {
+		return 0
+	}
+	return float64(g.paths) / float64(total)
+}
+
+// unaffectedASesAt returns the ASes that appear on stable paths at the
+// signal PoP but were not part of the diverted set — the complement Kepler
+// compares candidate facilities against.
+func (d *Detector) unaffectedASesAt(g *popGroup) []bgp.ASN {
+	set := map[bgp.ASN]bool{}
+	for near, paths := range d.stable[g.pop] {
+		set[near] = true
+		for _, ends := range paths {
+			if ends.far != 0 {
+				set[ends.far] = true
+			}
+		}
+	}
+	for a := range g.nears {
+		delete(set, a)
+	}
+	for a := range g.fars {
+		delete(set, a)
+	}
+	out := make([]bgp.ASN, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Exclusive-membership scoring: overlapping tenancy (one AS in several
+// candidate facilities) makes raw membership fractions indecisive, so
+// candidates are compared on their *exclusive* members — ASes present in
+// exactly one candidate. The epicenter's exclusive members are nearly all
+// affected; other candidates' exclusive members are nearly all fine.
+const (
+	exclusiveHit  = 0.60 // min affected share of the winner's exclusive members
+	exclusiveMiss = 0.30 // max affected share of any other candidate's
+)
+
+// exclusiveBest returns the index of the single candidate whose exclusive
+// member set is predominantly affected, or -1.
+func exclusiveBest(affected []bgp.ASN, memberSets [][]bgp.ASN) int {
+	count := map[bgp.ASN]int{}
+	for _, set := range memberSets {
+		for _, a := range set {
+			count[a]++
+		}
+	}
+	affectedSet := map[bgp.ASN]bool{}
+	for _, a := range affected {
+		affectedSet[a] = true
+	}
+	winner := -1
+	for i, set := range memberSets {
+		excl, hit := 0, 0
+		for _, a := range set {
+			if count[a] != 1 {
+				continue
+			}
+			excl++
+			if affectedSet[a] {
+				hit++
+			}
+		}
+		if excl == 0 {
+			continue
+		}
+		share := float64(hit) / float64(excl)
+		switch {
+		case share >= exclusiveHit:
+			if winner >= 0 {
+				return -1 // two hot candidates: ambiguous
+			}
+			winner = i
+		case share > exclusiveMiss:
+			return -1 // lukewarm candidate muddies the picture
+		}
+	}
+	return winner
+}
+
+// refineIXP raises the resolution of an IXP-tagged signal: when the
+// exclusively-resident members of exactly one fabric facility are affected
+// while other facilities' members are fine, the outage is the facility's,
+// not the exchange's (Figure 2(b)). A full IXP outage affects members at
+// every fabric facility and therefore stays IXP-level.
+func (d *Detector) refineIXP(g *popGroup, at time.Time) colo.PoP {
+	ix := colo.IXPID(g.pop.ID)
+	ixp, ok := d.cmap.IXP(ix)
+	if !ok || len(ixp.Facilities) < 2 {
+		return g.pop
+	}
+	memberSets := make([][]bgp.ASN, len(ixp.Facilities))
+	for i, fid := range ixp.Facilities {
+		if f, ok := d.cmap.Facility(fid); ok {
+			memberSets[i] = f.Members
+		}
+	}
+	idx := exclusiveBest(g.affectedASes(), memberSets)
+	if idx >= 0 {
+		return colo.FacilityPoP(ixp.Facilities[idx])
+	}
+	// No single facility explains the signal. A genuine exchange-wide
+	// outage diverts most of the IXP's monitored paths *and* the far ends
+	// of the dead links are the exchange's own members; collateral signals
+	// (rerouted paths that merely crossed the exchange) fail one of the
+	// two and stay unresolved.
+	if d.aggregateFraction(g) >= 0.5 &&
+		d.farConsistency(g, func(a bgp.ASN) bool { return d.cmap.AtIXP(a, ix) }) >= d.cfg.ColocationMargin {
+		return g.pop
+	}
+	// Probe the exchange, its fabric facilities, and the facilities where
+	// the affected members concentrate — a collateral IXP signal often
+	// points at a building that merely sat on the rerouted corridor.
+	cands := []colo.PoP{g.pop}
+	seenFac := map[colo.FacilityID]bool{}
+	for _, fid := range ixp.Facilities {
+		cands = append(cands, colo.FacilityPoP(fid))
+		seenFac[fid] = true
+	}
+	for _, fid := range d.facilitiesOfAffected(g, 0.5, 8) {
+		if !seenFac[fid] {
+			cands = append(cands, colo.FacilityPoP(fid))
+		}
+	}
+	return d.probeCandidates(at, cands)
+}
+
+// farConsistency is the fraction of diverted far ends satisfying member.
+func (d *Detector) farConsistency(g *popGroup, member func(bgp.ASN) bool) float64 {
+	total, hit := 0, 0
+	for _, s := range g.signals {
+		for _, r := range s.diverted {
+			if r.ends.far == 0 {
+				continue
+			}
+			total++
+			if member(r.ends.far) {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// refineCity raises the resolution of a city-tagged signal to a facility or
+// IXP in that city when the affected/unaffected split isolates exactly one
+// (Section 4.3: city signals check facilities first, then IXPs).
+func (d *Detector) refineCity(g *popGroup, at time.Time) colo.PoP {
+	city := geo.CityID(g.pop.ID)
+	affected := g.affectedASes()
+	if len(affected) == 0 {
+		return g.pop
+	}
+	// Candidates are every facility and IXP in the city, compared on
+	// exclusive membership: IXP remote peers are exclusive to the IXP,
+	// PNI-only tenants are exclusive to their building, so a full IXP
+	// outage and a building outage light up different exclusive sets.
+	var cands []colo.PoP
+	var memberSets [][]bgp.ASN
+	for _, fid := range d.cmap.FacilitiesInCity(city) {
+		cands = append(cands, colo.FacilityPoP(fid))
+		if f, ok := d.cmap.Facility(fid); ok {
+			memberSets = append(memberSets, f.Members)
+		} else {
+			memberSets = append(memberSets, nil)
+		}
+	}
+	for _, ix := range d.cmap.IXPsInCity(city) {
+		cands = append(cands, colo.IXPPoP(ix))
+		if x, ok := d.cmap.IXP(ix); ok {
+			memberSets = append(memberSets, x.Members)
+		} else {
+			memberSets = append(memberSets, nil)
+		}
+	}
+	idx := exclusiveBest(affected, memberSets)
+	if idx >= 0 {
+		return cands[idx]
+	}
+	// No single infrastructure stands out: a genuine city-wide incident
+	// moves most of the city's monitored paths and kills links whose far
+	// ends reside in the city; a remote incident that merely rerouted
+	// paths away from the city fails the far-end test.
+	inCity := func(a bgp.ASN) bool {
+		for _, fid := range d.cmap.FacilitiesInCity(city) {
+			if d.cmap.AtFacility(a, fid) {
+				return true
+			}
+		}
+		for _, ix := range d.cmap.IXPsInCity(city) {
+			if d.cmap.AtIXP(a, ix) {
+				return true
+			}
+		}
+		return false
+	}
+	if d.aggregateFraction(g) >= 0.5 && d.farConsistency(g, inCity) >= d.cfg.ColocationMargin {
+		return g.pop
+	}
+	// Probe candidates hosting at least one affected AS: a genuine
+	// building or exchange outage confirms uniquely; collateral signals
+	// (paths that merely crossed the city) confirm nowhere.
+	affectedSet := map[bgp.ASN]bool{}
+	for _, a := range affected {
+		affectedSet[a] = true
+	}
+	var probes []colo.PoP
+	for i, cand := range cands {
+		hasAffected := false
+		for _, m := range memberSets[i] {
+			if affectedSet[m] {
+				hasAffected = true
+				break
+			}
+		}
+		if hasAffected {
+			probes = append(probes, cand)
+		}
+	}
+	const maxProbes = 16
+	if len(probes) > maxProbes {
+		probes = probes[:maxProbes]
+	}
+	return d.probeCandidates(at, probes)
+}
+
+func intersectIXPs(a, b []colo.IXPID) []colo.IXPID {
+	set := map[colo.IXPID]bool{}
+	for _, x := range b {
+		set[x] = true
+	}
+	var out []colo.IXPID
+	for _, x := range a {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/core"
+	"kepler/internal/metrics"
+	"kepler/internal/routing"
+	"kepler/internal/traceroute"
+	"kepler/internal/traffic"
+)
+
+// Figure10aResult reproduces Figure 10a: the fraction of BGP paths away
+// from the exchange over time — the control-plane convergence curve.
+type Figure10aResult struct {
+	Times   []time.Time
+	Away    []float64 // fraction of baseline IXP paths currently diverted
+	Outage  time.Time
+	Restore time.Time
+}
+
+// Figure10a replays the case records, tracking which baseline IXP-tagged
+// paths have left and when they return.
+func Figure10a(cs *CaseStudy) *Figure10aResult {
+	ev := cs.Events[0]
+	r := &Figure10aResult{Outage: ev.Start, Restore: ev.Start.Add(ev.Duration)}
+	windowStart := ev.Start.Add(-time.Hour)
+	windowEnd := ev.Start.Add(6 * time.Hour)
+	bucket := 10 * time.Minute
+
+	pop := colo.IXPPoP(cs.IXP)
+	away := map[core.PathKey]bool{}
+	tagged := map[core.PathKey]bool{}
+	n := metrics.NewSeries(windowStart, windowEnd, bucket)
+
+	record := func(at time.Time) {
+		if len(tagged) == 0 {
+			return
+		}
+		n.Set(at, float64(len(away))/float64(len(tagged)))
+	}
+	for _, rec := range cs.Res.Records {
+		if rec.Update == nil {
+			continue
+		}
+		hops := cs.Stack.Dict.Annotate(rec.Update.Attrs.ASPath, rec.Update.Attrs.Communities, cs.Stack.Map)
+		has := false
+		for _, h := range hops {
+			if h.PoP == pop {
+				has = true
+			}
+		}
+		for _, p := range rec.Update.Announced {
+			key := core.PathKey{Peer: rec.PeerAS, Prefix: p}
+			switch {
+			case has:
+				tagged[key] = true
+				delete(away, key)
+			case tagged[key]:
+				away[key] = true
+			}
+		}
+		for _, p := range rec.Update.Withdrawn {
+			key := core.PathKey{Peer: rec.PeerAS, Prefix: p}
+			if tagged[key] {
+				away[key] = true
+			}
+		}
+		record(rec.Time)
+	}
+	// Forward-fill the series so quiet buckets carry the last value.
+	last := 0.0
+	for i, v := range n.Values {
+		if v == 0 && i > 0 {
+			n.Values[i] = last
+		} else {
+			last = n.Values[i]
+		}
+		r.Times = append(r.Times, n.BucketTime(i))
+		r.Away = append(r.Away, n.Values[i])
+	}
+	return r
+}
+
+// NeverReturned returns the residual away-fraction at the window end (the
+// paper: ~5% of paths never return).
+func (r *Figure10aResult) NeverReturned() float64 {
+	if len(r.Away) == 0 {
+		return 0
+	}
+	return r.Away[len(r.Away)-1]
+}
+
+// Render prints the convergence curve.
+func (r *Figure10aResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10a: BGP paths away from the exchange (outage %s, restored %s)\n",
+		r.Outage.Format("15:04"), r.Restore.Format("15:04"))
+	for i := range r.Times {
+		fmt.Fprintf(&b, "%-7s %.3f\n", r.Times[i].Format("15:04"), r.Away[i])
+	}
+	fmt.Fprintf(&b, "residual never-returned fraction: %.3f (paper: ~5%%)\n", r.NeverReturned())
+	return b.String()
+}
+
+// Figure10bResult reproduces Figure 10b: traceroute-measured path changes
+// around the outage.
+type Figure10bResult struct {
+	Times []time.Time
+	Away  []float64 // fraction of baseline traceroute pairs off the IXP
+	Used  int       // measurement budget consumed
+}
+
+// Figure10b runs periodic targeted traceroute campaigns across the outage
+// window against a four-week baseline of archived traces (Section 4.4).
+func Figure10b(cs *CaseStudy) *Figure10bResult {
+	ev := cs.Events[0]
+	eng := cs.Res.Engine
+	tracer := traceroute.NewTracer(eng)
+	r := &Figure10bResult{}
+
+	// Build the archive baseline: 4 weekly dumps before the outage.
+	var pairs [][2]bgp.ASN
+	ix, _ := cs.Stack.Map.IXP(cs.IXP)
+	members := ix.Members
+	for i := 0; i < len(members) && len(pairs) < 60; i += 2 {
+		for j := 1; j < len(members) && len(pairs) < 60; j += 3 {
+			if members[i] != members[j] {
+				pairs = append(pairs, [2]bgp.ASN{members[i], members[j]})
+			}
+		}
+	}
+	archive := &traceroute.Archive{}
+	healthy := routing.NewMask()
+	collect := func(mask *routing.Mask) []*traceroute.Trace {
+		var out []*traceroute.Trace
+		tables := map[bgp.ASN]*routing.Table{}
+		for _, pr := range pairs {
+			t, ok := tables[pr[1]]
+			if !ok {
+				t = eng.ComputeOrigin(pr[1], mask)
+				tables[pr[1]] = t
+			}
+			if tr, ok := tracer.Trace(t, pr[0]); ok {
+				out = append(out, tr)
+			}
+		}
+		return out
+	}
+	for w := 0; w < 4; w++ {
+		archive.AddWeek(collect(healthy))
+	}
+	stable := archive.StablePairs(4)
+	var baseline [][2]bgp.ASN
+	for _, sp := range stable {
+		if sp.Last.CrossesIXP(cs.IXP) {
+			baseline = append(baseline, [2]bgp.ASN{sp.Src, sp.Dst})
+		}
+	}
+	if len(baseline) == 0 {
+		return r
+	}
+
+	platform := &traceroute.Platform{Budget: 100000}
+	for at := ev.Start.Add(-20 * time.Minute); at.Before(ev.Start.Add(3 * time.Hour)); at = at.Add(10 * time.Minute) {
+		mask := cs.Res.MaskAt(at)
+		awayN := 0
+		tables := map[bgp.ASN]*routing.Table{}
+		for _, pr := range baseline {
+			t, ok := tables[pr[1]]
+			if !ok {
+				t = eng.ComputeOrigin(pr[1], mask)
+				tables[pr[1]] = t
+			}
+			tr, err := platform.Trace(tracer, t, pr[0])
+			if err != nil || !tr.CrossesIXP(cs.IXP) {
+				awayN++
+			}
+		}
+		r.Times = append(r.Times, at)
+		r.Away = append(r.Away, float64(awayN)/float64(len(baseline)))
+	}
+	r.Used = platform.Used
+	return r
+}
+
+// Render prints the data-plane series.
+func (r *Figure10bResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10b: traceroute paths away from the exchange (targeted campaigns)\n")
+	for i := range r.Times {
+		fmt.Fprintf(&b, "%-7s %.3f\n", r.Times[i].Format("15:04"), r.Away[i])
+	}
+	fmt.Fprintf(&b, "traceroutes used: %d (paper: 85%% of data-plane paths return within an hour)\n", r.Used)
+	return b.String()
+}
+
+// Figure10cResult reproduces Figure 10c: RTT distributions before, during
+// and after the outage for paths via and not via the exchange.
+type Figure10cResult struct {
+	BeforeMs        []float64
+	DuringStayMs    []float64 // still crossing the IXP during the outage
+	DuringRerouteMs []float64 // rerouted away
+	AfterMs         []float64
+}
+
+// Figure10c measures the RTT impact over the baseline pair set.
+func Figure10c(cs *CaseStudy) *Figure10cResult {
+	ev := cs.Events[0]
+	eng := cs.Res.Engine
+	tracer := traceroute.NewTracer(eng)
+	r := &Figure10cResult{}
+
+	ix, _ := cs.Stack.Map.IXP(cs.IXP)
+	members := ix.Members
+	var pairs [][2]bgp.ASN
+	for i := 0; i < len(members) && len(pairs) < 80; i++ {
+		for j := i + 1; j < len(members) && len(pairs) < 80; j += 2 {
+			pairs = append(pairs, [2]bgp.ASN{members[i], members[j]})
+		}
+	}
+	during := cs.Res.MaskAt(ev.Start.Add(ev.Duration / 2))
+	after := cs.Res.MaskAt(ev.Start.Add(ev.Duration).Add(20 * time.Minute))
+	healthy := routing.NewMask()
+
+	healthyTables := map[bgp.ASN]*routing.Table{}
+	duringTables := map[bgp.ASN]*routing.Table{}
+	afterTables := map[bgp.ASN]*routing.Table{}
+	tbl := func(cache map[bgp.ASN]*routing.Table, mask *routing.Mask, origin bgp.ASN) *routing.Table {
+		t, ok := cache[origin]
+		if !ok {
+			t = eng.ComputeOrigin(origin, mask)
+			cache[origin] = t
+		}
+		return t
+	}
+
+	for _, pr := range pairs {
+		before, ok := tracer.Trace(tbl(healthyTables, healthy, pr[1]), pr[0])
+		if !ok || !before.CrossesIXP(cs.IXP) {
+			continue
+		}
+		r.BeforeMs = append(r.BeforeMs, before.RTT())
+		if dt, ok := tracer.Trace(tbl(duringTables, during, pr[1]), pr[0]); ok {
+			if dt.CrossesIXP(cs.IXP) {
+				r.DuringStayMs = append(r.DuringStayMs, dt.RTT())
+			} else {
+				r.DuringRerouteMs = append(r.DuringRerouteMs, dt.RTT())
+			}
+		}
+		if at, ok := tracer.Trace(tbl(afterTables, after, pr[1]), pr[0]); ok {
+			r.AfterMs = append(r.AfterMs, at.RTT())
+		}
+	}
+	return r
+}
+
+// Render prints the RTT quantiles.
+func (r *Figure10cResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10c: RTT impact (ms)\n")
+	rows := []struct {
+		name string
+		data []float64
+	}{
+		{"before (via IXP)", r.BeforeMs},
+		{"during, rerouted", r.DuringRerouteMs},
+		{"during, unchanged", r.DuringStayMs},
+		{"after restore", r.AfterMs},
+	}
+	fmt.Fprintf(&b, "%-20s %6s %8s %8s %8s\n", "set", "n", "p50", "p90", "p99")
+	for _, row := range rows {
+		c := metrics.NewCDF(row.data)
+		fmt.Fprintf(&b, "%-20s %6d %8.1f %8.1f %8.1f\n", row.name, c.N(), c.Quantile(0.5), c.Quantile(0.9), c.Quantile(0.99))
+	}
+	fmt.Fprintf(&b, "(paper: median RTT of rerouted paths rises by >100 ms during the outage and recovers after)\n")
+	return b.String()
+}
+
+// Figure10dResult reproduces Figure 10d: IPv4 traffic at a *remote* IXP
+// during the outage — the paper's EU-IXP IPFIX view with its drop at t0 and
+// recovery after t2.
+type Figure10dResult struct {
+	Times        []time.Time
+	Gbps         []float64
+	T0           time.Time // outage start
+	T1           time.Time // outage end (service restored)
+	T2           time.Time // traffic back to normal
+	RemoteIXP    colo.IXPID
+	BaselineGbps float64
+	DropGbps     float64
+	TopLosers    []bgp.ASN
+	Asymmetric   int
+}
+
+// Figure10d computes the traffic series at the second-busiest IXP while
+// the busiest one fails.
+func Figure10d(cs *CaseStudy) *Figure10dResult {
+	ev := cs.Events[0]
+	eng := cs.Res.Engine
+	r := &Figure10dResult{
+		T0: ev.Start,
+		T1: ev.Start.Add(ev.Duration),
+		T2: ev.Start.Add(ev.Duration).Add(15 * time.Minute),
+	}
+
+	matrix := traffic.BuildMatrix(cs.Stack.World, 25, 31)
+	healthyFwd := traffic.NewForwarder(eng, nil)
+	// The remote observation point: busiest IXP other than the failed one.
+	var remote colo.IXPID
+	var best float64
+	for _, ix := range cs.Stack.Map.IXPs() {
+		if ix.ID == cs.IXP {
+			continue
+		}
+		if v := healthyFwd.VolumeAt(matrix, ix.ID); v > best {
+			best, remote = v, ix.ID
+		}
+	}
+	r.RemoteIXP = remote
+	if remote == 0 {
+		return r
+	}
+	r.BaselineGbps = best
+
+	outageFwd := traffic.NewForwarder(eng, cs.Res.MaskAt(ev.Start.Add(ev.Duration/2)))
+	duringVol := outageFwd.CappedCoupledVolumeAt(matrix, remote, healthyFwd)
+	r.DropGbps = best - duringVol
+
+	beforeMembers := healthyFwd.PerMember(matrix, remote)
+	duringMembers := outageFwd.PerMemberCoupled(matrix, remote, healthyFwd)
+	r.TopLosers = traffic.TopLosers(beforeMembers, duringMembers, 5)
+
+	// Count asymmetric member pairs across the two exchanges (the paper's
+	// main explanation for remote losses).
+	ixA, _ := cs.Stack.Map.IXP(cs.IXP)
+	for i, a := range ixA.Members {
+		if i%3 != 0 {
+			continue
+		}
+		for j, bm := range ixA.Members {
+			if j%5 != 0 || a == bm {
+				continue
+			}
+			if healthyFwd.Asymmetric(a, bm, cs.IXP, remote) {
+				r.Asymmetric++
+			}
+		}
+	}
+
+	// 5-minute series with catch-up overshoot for 15 minutes after restore
+	// (TCP backlog drain) and IPFIX sampling noise.
+	for at := ev.Start.Add(-30 * time.Minute); at.Before(r.T2.Add(30 * time.Minute)); at = at.Add(5 * time.Minute) {
+		var vol float64
+		switch {
+		case at.Before(r.T0) || !at.Before(r.T2):
+			vol = best
+		case at.Before(r.T1):
+			vol = duringVol
+		default:
+			vol = best * 1.06 // catch-up overshoot between t1 and t2
+		}
+		vol = traffic.Sampled(vol, at.Unix())
+		r.Times = append(r.Times, at)
+		r.Gbps = append(r.Gbps, vol)
+	}
+	return r
+}
+
+// Render prints the traffic series and remote-impact summary.
+func (r *Figure10dResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10d: IPv4 traffic at remote IXP %d during the outage\n", r.RemoteIXP)
+	fmt.Fprintf(&b, "t0=%s t1=%s t2=%s baseline=%.1f Gbps drop=%.1f Gbps (%.1f%%)\n",
+		r.T0.Format("15:04"), r.T1.Format("15:04"), r.T2.Format("15:04"),
+		r.BaselineGbps, r.DropGbps, 100*r.DropGbps/maxFloat(1e-9, r.BaselineGbps))
+	for i := range r.Times {
+		fmt.Fprintf(&b, "%-7s %8.1f\n", r.Times[i].Format("15:04"), r.Gbps[i])
+	}
+	fmt.Fprintf(&b, "top losing members: %v; asymmetric pairs sampled: %d\n", r.TopLosers, r.Asymmetric)
+	fmt.Fprintf(&b, "(paper: ~10%% IPv4 traffic drop at EU-IXP 360 km away, recovery overshoot after restoration)\n")
+	return b.String()
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"kepler/internal/bgp"
+)
+
+// Figure3Result reproduces Figure 3: the growth of BGP community usage —
+// unique community values (left axis) versus unique top-16-bit operator
+// halves (right axis), per year.
+type Figure3Result struct {
+	Years     []int
+	Unique    []int // unique community values visible
+	UniqueTop []int // unique top-16-bit halves (operators)
+	PerASAvg  []float64
+}
+
+// adoptionFraction models the paper's observed doubling of community-using
+// networks between 2010 and 2016 (2,500 → 5,500 networks, values tripling
+// to 50K): adoption grows linearly over the window.
+func adoptionFraction(year int) float64 {
+	frac := 0.42 + 0.58*float64(year-2011)/5.0
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// Figure3 replays the world's community schemes under the adoption growth
+// model: for each year only a deterministic, growing subset of operators
+// tags routes, and operators extend their schemes over time (more entries
+// per AS, matching the observed rise from 4 to 16 values per prefix).
+func Figure3(env *Env) *Figure3Result {
+	r := &Figure3Result{}
+	schemes := env.Stack.World.Truth.Schemes
+	for year := 2011; year <= 2016; year++ {
+		adopt := adoptionFraction(year)
+		values := map[uint32]bool{}
+		tops := map[bgp.ASN]bool{}
+		// Deterministic adoption order: schemes adopt in slice order.
+		n := int(adopt * float64(len(schemes)))
+		totalEntries := 0
+		for i := 0; i < n && i < len(schemes); i++ {
+			s := schemes[i]
+			tops[s.ASN] = true
+			// Schemes grow over time: a fraction of each operator's
+			// entries exists per year, reaching 100% in 2016. Operators
+			// also define non-location values (traffic engineering,
+			// blackholing): modelled as 2 extra values per location entry.
+			grow := 0.55 + 0.45*float64(year-2011)/5.0
+			k := int(grow * float64(len(s.Entries)))
+			if k < 1 && len(s.Entries) > 0 {
+				k = 1
+			}
+			for j := 0; j < k; j++ {
+				e := s.Entries[j]
+				values[uint32(s.ASN)<<16|uint32(e.Low)] = true
+				values[uint32(s.ASN)<<16|uint32(60000+e.Low%5000)] = true
+				values[uint32(s.ASN)<<16|uint32(40000+e.Low%5000)] = true
+				totalEntries++
+			}
+		}
+		r.Years = append(r.Years, year)
+		r.Unique = append(r.Unique, len(values))
+		r.UniqueTop = append(r.UniqueTop, len(tops))
+		avg := 0.0
+		if len(tops) > 0 {
+			avg = float64(totalEntries) / float64(len(tops))
+		}
+		r.PerASAvg = append(r.PerASAvg, avg)
+	}
+	return r
+}
+
+// Render prints the yearly series.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: unique BGP community values vs unique top-16-bit halves per year\n")
+	fmt.Fprintf(&b, "%-6s %14s %12s %10s\n", "year", "unique-values", "unique-top16", "avg/AS")
+	for i := range r.Years {
+		fmt.Fprintf(&b, "%-6d %14d %12d %10.1f\n", r.Years[i], r.Unique[i], r.UniqueTop[i], r.PerASAvg[i])
+	}
+	growth := float64(r.Unique[len(r.Unique)-1]) / float64(maxInt(1, r.Unique[0]))
+	fmt.Fprintf(&b, "value growth 2011→2016: %.1fx (paper: ~3x to 50K; ASes ~2x to 5,500)\n", growth)
+	return b.String()
+}

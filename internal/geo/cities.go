@@ -1,0 +1,142 @@
+package geo
+
+import "sync"
+
+var (
+	defaultWorldOnce sync.Once
+	defaultWorld     *World
+)
+
+// DefaultWorld returns the built-in gazetteer of major interconnection
+// cities. The set is intentionally Europe- and North-America-heavy, matching
+// the geographic skew of the peering ecosystem the paper documents
+// (Section 3.2: 66% of location communities tag Europe, 24.5% North
+// America). The returned World is shared and immutable.
+func DefaultWorld() *World {
+	defaultWorldOnce.Do(func() {
+		defaultWorld = NewWorld(gazetteer)
+	})
+	return defaultWorld
+}
+
+// gazetteer is the embedded city table. Coordinates are city centroids,
+// precise enough for 10 km clustering and RTT modelling. Aliases cover the
+// identifier spellings the community-documentation miner encounters.
+var gazetteer = []City{
+	// ---- Europe ----
+	{Name: "Amsterdam", Country: "NL", Continent: Europe, Coord: Coord{52.3676, 4.9041}, IATA: "AMS", Aliases: []string{"adam", "amst"}},
+	{Name: "London", Country: "GB", Continent: Europe, Coord: Coord{51.5074, -0.1278}, IATA: "LHR", Aliases: []string{"LON", "LDN"}},
+	{Name: "Frankfurt", Country: "DE", Continent: Europe, Coord: Coord{50.1109, 8.6821}, IATA: "FRA", Aliases: []string{"FFM", "Frankfurt am Main"}},
+	{Name: "Paris", Country: "FR", Continent: Europe, Coord: Coord{48.8566, 2.3522}, IATA: "CDG", Aliases: []string{"PAR"}},
+	{Name: "Berlin", Country: "DE", Continent: Europe, Coord: Coord{52.52, 13.405}, IATA: "TXL", Aliases: []string{"BER"}},
+	{Name: "Madrid", Country: "ES", Continent: Europe, Coord: Coord{40.4168, -3.7038}, IATA: "MAD"},
+	{Name: "Barcelona", Country: "ES", Continent: Europe, Coord: Coord{41.3874, 2.1686}, IATA: "BCN"},
+	{Name: "Milan", Country: "IT", Continent: Europe, Coord: Coord{45.4642, 9.19}, IATA: "MXP", Aliases: []string{"Milano", "MIL"}},
+	{Name: "Rome", Country: "IT", Continent: Europe, Coord: Coord{41.9028, 12.4964}, IATA: "FCO", Aliases: []string{"Roma"}},
+	{Name: "Vienna", Country: "AT", Continent: Europe, Coord: Coord{48.2082, 16.3738}, IATA: "VIE", Aliases: []string{"Wien"}},
+	{Name: "Zurich", Country: "CH", Continent: Europe, Coord: Coord{47.3769, 8.5417}, IATA: "ZRH", Aliases: []string{"Zuerich"}},
+	{Name: "Geneva", Country: "CH", Continent: Europe, Coord: Coord{46.2044, 6.1432}, IATA: "GVA"},
+	{Name: "Brussels", Country: "BE", Continent: Europe, Coord: Coord{50.8503, 4.3517}, IATA: "BRU", Aliases: []string{"Bruxelles"}},
+	{Name: "Luxembourg", Country: "LU", Continent: Europe, Coord: Coord{49.6116, 6.1319}, IATA: "LUX"},
+	{Name: "Dublin", Country: "IE", Continent: Europe, Coord: Coord{53.3498, -6.2603}, IATA: "DUB"},
+	{Name: "Manchester", Country: "GB", Continent: Europe, Coord: Coord{53.4808, -2.2426}, IATA: "MAN"},
+	{Name: "Edinburgh", Country: "GB", Continent: Europe, Coord: Coord{55.9533, -3.1883}, IATA: "EDI"},
+	{Name: "Stockholm", Country: "SE", Continent: Europe, Coord: Coord{59.3293, 18.0686}, IATA: "ARN", Aliases: []string{"STO"}},
+	{Name: "Copenhagen", Country: "DK", Continent: Europe, Coord: Coord{55.6761, 12.5683}, IATA: "CPH", Aliases: []string{"Kobenhavn"}},
+	{Name: "Oslo", Country: "NO", Continent: Europe, Coord: Coord{59.9139, 10.7522}, IATA: "OSL"},
+	{Name: "Helsinki", Country: "FI", Continent: Europe, Coord: Coord{60.1699, 24.9384}, IATA: "HEL"},
+	{Name: "Warsaw", Country: "PL", Continent: Europe, Coord: Coord{52.2297, 21.0122}, IATA: "WAW", Aliases: []string{"Warszawa"}},
+	{Name: "Prague", Country: "CZ", Continent: Europe, Coord: Coord{50.0755, 14.4378}, IATA: "PRG", Aliases: []string{"Praha"}},
+	{Name: "Budapest", Country: "HU", Continent: Europe, Coord: Coord{47.4979, 19.0402}, IATA: "BUD"},
+	{Name: "Bucharest", Country: "RO", Continent: Europe, Coord: Coord{44.4268, 26.1025}, IATA: "OTP", Aliases: []string{"Bucuresti"}},
+	{Name: "Sofia", Country: "BG", Continent: Europe, Coord: Coord{42.6977, 23.3219}, IATA: "SOF"},
+	{Name: "Athens", Country: "GR", Continent: Europe, Coord: Coord{37.9838, 23.7275}, IATA: "ATH"},
+	{Name: "Lisbon", Country: "PT", Continent: Europe, Coord: Coord{38.7223, -9.1393}, IATA: "LIS", Aliases: []string{"Lisboa"}},
+	{Name: "Marseille", Country: "FR", Continent: Europe, Coord: Coord{43.2965, 5.3698}, IATA: "MRS"},
+	{Name: "Lyon", Country: "FR", Continent: Europe, Coord: Coord{45.764, 4.8357}, IATA: "LYS"},
+	{Name: "Munich", Country: "DE", Continent: Europe, Coord: Coord{48.1351, 11.582}, IATA: "MUC", Aliases: []string{"Muenchen"}},
+	{Name: "Hamburg", Country: "DE", Continent: Europe, Coord: Coord{53.5511, 9.9937}, IATA: "HAM"},
+	{Name: "Dusseldorf", Country: "DE", Continent: Europe, Coord: Coord{51.2277, 6.7735}, IATA: "DUS", Aliases: []string{"Duesseldorf"}},
+	{Name: "Rotterdam", Country: "NL", Continent: Europe, Coord: Coord{51.9244, 4.4777}, IATA: "RTM"},
+	{Name: "Kyiv", Country: "UA", Continent: Europe, Coord: Coord{50.4501, 30.5234}, IATA: "KBP", Aliases: []string{"Kiev"}},
+	{Name: "Moscow", Country: "RU", Continent: Europe, Coord: Coord{55.7558, 37.6173}, IATA: "SVO", Aliases: []string{"MOW"}},
+	{Name: "Saint Petersburg", Country: "RU", Continent: Europe, Coord: Coord{59.9311, 30.3609}, IATA: "LED"},
+	{Name: "Istanbul", Country: "TR", Continent: Europe, Coord: Coord{41.0082, 28.9784}, IATA: "IST"},
+	{Name: "Zagreb", Country: "HR", Continent: Europe, Coord: Coord{45.815, 15.9819}, IATA: "ZAG"},
+	{Name: "Belgrade", Country: "RS", Continent: Europe, Coord: Coord{44.7866, 20.4489}, IATA: "BEG", Aliases: []string{"Beograd"}},
+	{Name: "Bratislava", Country: "SK", Continent: Europe, Coord: Coord{48.1486, 17.1077}, IATA: "BTS"},
+	{Name: "Tallinn", Country: "EE", Continent: Europe, Coord: Coord{59.437, 24.7536}, IATA: "TLL"},
+	{Name: "Riga", Country: "LV", Continent: Europe, Coord: Coord{56.9496, 24.1052}, IATA: "RIX"},
+	{Name: "Vilnius", Country: "LT", Continent: Europe, Coord: Coord{54.6872, 25.2797}, IATA: "VNO"},
+
+	// ---- North America ----
+	{Name: "New York City", Country: "US", Continent: NorthAmerica, Coord: Coord{40.7128, -74.006}, IATA: "JFK", Aliases: []string{"New York", "NY"}},
+	{Name: "Ashburn", Country: "US", Continent: NorthAmerica, Coord: Coord{39.0438, -77.4874}, IATA: "IAD", Aliases: []string{"Washington DC metro"}},
+	{Name: "Washington", Country: "US", Continent: NorthAmerica, Coord: Coord{38.9072, -77.0369}, IATA: "DCA", Aliases: []string{"Washington DC"}},
+	{Name: "Los Angeles", Country: "US", Continent: NorthAmerica, Coord: Coord{34.0522, -118.2437}, IATA: "LAX", Aliases: []string{"LA"}},
+	{Name: "San Jose", Country: "US", Continent: NorthAmerica, Coord: Coord{37.3382, -121.8863}, IATA: "SJC", Aliases: []string{"Silicon Valley"}},
+	{Name: "Palo Alto", Country: "US", Continent: NorthAmerica, Coord: Coord{37.4419, -122.143}, IATA: "PAO"},
+	{Name: "San Francisco", Country: "US", Continent: NorthAmerica, Coord: Coord{37.7749, -122.4194}, IATA: "SFO"},
+	{Name: "Seattle", Country: "US", Continent: NorthAmerica, Coord: Coord{47.6062, -122.3321}, IATA: "SEA"},
+	{Name: "Chicago", Country: "US", Continent: NorthAmerica, Coord: Coord{41.8781, -87.6298}, IATA: "ORD", Aliases: []string{"CHI"}},
+	{Name: "Dallas", Country: "US", Continent: NorthAmerica, Coord: Coord{32.7767, -96.797}, IATA: "DFW"},
+	{Name: "Houston", Country: "US", Continent: NorthAmerica, Coord: Coord{29.7604, -95.3698}, IATA: "IAH"},
+	{Name: "Atlanta", Country: "US", Continent: NorthAmerica, Coord: Coord{33.749, -84.388}, IATA: "ATL"},
+	{Name: "Miami", Country: "US", Continent: NorthAmerica, Coord: Coord{25.7617, -80.1918}, IATA: "MIA"},
+	{Name: "Denver", Country: "US", Continent: NorthAmerica, Coord: Coord{39.7392, -104.9903}, IATA: "DEN"},
+	{Name: "Phoenix", Country: "US", Continent: NorthAmerica, Coord: Coord{33.4484, -112.074}, IATA: "PHX"},
+	{Name: "Boston", Country: "US", Continent: NorthAmerica, Coord: Coord{42.3601, -71.0589}, IATA: "BOS"},
+	{Name: "Philadelphia", Country: "US", Continent: NorthAmerica, Coord: Coord{39.9526, -75.1652}, IATA: "PHL"},
+	{Name: "Newark", Country: "US", Continent: NorthAmerica, Coord: Coord{40.7357, -74.1724}, IATA: "EWR"},
+	{Name: "Toronto", Country: "CA", Continent: NorthAmerica, Coord: Coord{43.6532, -79.3832}, IATA: "YYZ"},
+	{Name: "Montreal", Country: "CA", Continent: NorthAmerica, Coord: Coord{45.5017, -73.5673}, IATA: "YUL"},
+	{Name: "Vancouver", Country: "CA", Continent: NorthAmerica, Coord: Coord{49.2827, -123.1207}, IATA: "YVR"},
+	{Name: "Mexico City", Country: "MX", Continent: NorthAmerica, Coord: Coord{19.4326, -99.1332}, IATA: "MEX"},
+	{Name: "Kansas City", Country: "US", Continent: NorthAmerica, Coord: Coord{39.0997, -94.5786}, IATA: "MCI"},
+	{Name: "Minneapolis", Country: "US", Continent: NorthAmerica, Coord: Coord{44.9778, -93.265}, IATA: "MSP"},
+	{Name: "Salt Lake City", Country: "US", Continent: NorthAmerica, Coord: Coord{40.7608, -111.891}, IATA: "SLC"},
+	{Name: "Las Vegas", Country: "US", Continent: NorthAmerica, Coord: Coord{36.1699, -115.1398}, IATA: "LAS"},
+	{Name: "Portland", Country: "US", Continent: NorthAmerica, Coord: Coord{45.5152, -122.6784}, IATA: "PDX"},
+
+	// ---- Asia/Pacific ----
+	{Name: "Tokyo", Country: "JP", Continent: AsiaPacific, Coord: Coord{35.6762, 139.6503}, IATA: "NRT", Aliases: []string{"TYO"}},
+	{Name: "Osaka", Country: "JP", Continent: AsiaPacific, Coord: Coord{34.6937, 135.5023}, IATA: "KIX"},
+	{Name: "Singapore", Country: "SG", Continent: AsiaPacific, Coord: Coord{1.3521, 103.8198}, IATA: "SIN"},
+	{Name: "Hong Kong", Country: "HK", Continent: AsiaPacific, Coord: Coord{22.3193, 114.1694}, IATA: "HKG"},
+	{Name: "Seoul", Country: "KR", Continent: AsiaPacific, Coord: Coord{37.5665, 126.978}, IATA: "ICN"},
+	{Name: "Taipei", Country: "TW", Continent: AsiaPacific, Coord: Coord{25.033, 121.5654}, IATA: "TPE"},
+	{Name: "Sydney", Country: "AU", Continent: AsiaPacific, Coord: Coord{-33.8688, 151.2093}, IATA: "SYD"},
+	{Name: "Melbourne", Country: "AU", Continent: AsiaPacific, Coord: Coord{-37.8136, 144.9631}, IATA: "MEL"},
+	{Name: "Auckland", Country: "NZ", Continent: AsiaPacific, Coord: Coord{-36.8509, 174.7645}, IATA: "AKL"},
+	{Name: "Mumbai", Country: "IN", Continent: AsiaPacific, Coord: Coord{19.076, 72.8777}, IATA: "BOM"},
+	{Name: "Chennai", Country: "IN", Continent: AsiaPacific, Coord: Coord{13.0827, 80.2707}, IATA: "MAA"},
+	{Name: "New Delhi", Country: "IN", Continent: AsiaPacific, Coord: Coord{28.6139, 77.209}, IATA: "DEL", Aliases: []string{"Delhi"}},
+	{Name: "Jakarta", Country: "ID", Continent: AsiaPacific, Coord: Coord{-6.2088, 106.8456}, IATA: "CGK"},
+	{Name: "Kuala Lumpur", Country: "MY", Continent: AsiaPacific, Coord: Coord{3.139, 101.6869}, IATA: "KUL"},
+	{Name: "Bangkok", Country: "TH", Continent: AsiaPacific, Coord: Coord{13.7563, 100.5018}, IATA: "BKK"},
+	{Name: "Manila", Country: "PH", Continent: AsiaPacific, Coord: Coord{14.5995, 120.9842}, IATA: "MNL"},
+	{Name: "Shanghai", Country: "CN", Continent: AsiaPacific, Coord: Coord{31.2304, 121.4737}, IATA: "PVG"},
+	{Name: "Beijing", Country: "CN", Continent: AsiaPacific, Coord: Coord{39.9042, 116.4074}, IATA: "PEK"},
+	{Name: "Dubai", Country: "AE", Continent: AsiaPacific, Coord: Coord{25.2048, 55.2708}, IATA: "DXB"},
+	{Name: "Tel Aviv", Country: "IL", Continent: AsiaPacific, Coord: Coord{32.0853, 34.7818}, IATA: "TLV"},
+
+	// ---- South America ----
+	{Name: "Sao Paulo", Country: "BR", Continent: SouthAmerica, Coord: Coord{-23.5505, -46.6333}, IATA: "GRU"},
+	{Name: "Rio de Janeiro", Country: "BR", Continent: SouthAmerica, Coord: Coord{-22.9068, -43.1729}, IATA: "GIG"},
+	{Name: "Buenos Aires", Country: "AR", Continent: SouthAmerica, Coord: Coord{-34.6037, -58.3816}, IATA: "EZE"},
+	{Name: "Santiago", Country: "CL", Continent: SouthAmerica, Coord: Coord{-33.4489, -70.6693}, IATA: "SCL"},
+	{Name: "Bogota", Country: "CO", Continent: SouthAmerica, Coord: Coord{4.711, -74.0721}, IATA: "BOG"},
+	{Name: "Lima", Country: "PE", Continent: SouthAmerica, Coord: Coord{-12.0464, -77.0428}, IATA: "LIM"},
+	{Name: "Fortaleza", Country: "BR", Continent: SouthAmerica, Coord: Coord{-3.7319, -38.5267}, IATA: "FOR"},
+	{Name: "Porto Alegre", Country: "BR", Continent: SouthAmerica, Coord: Coord{-30.0346, -51.2177}, IATA: "POA"},
+
+	// ---- Africa ----
+	{Name: "Johannesburg", Country: "ZA", Continent: Africa, Coord: Coord{-26.2041, 28.0473}, IATA: "JNB", Aliases: []string{"Joburg"}},
+	{Name: "Cape Town", Country: "ZA", Continent: Africa, Coord: Coord{-33.9249, 18.4241}, IATA: "CPT"},
+	{Name: "Nairobi", Country: "KE", Continent: Africa, Coord: Coord{-1.2921, 36.8219}, IATA: "NBO"},
+	{Name: "Lagos", Country: "NG", Continent: Africa, Coord: Coord{6.5244, 3.3792}, IATA: "LOS"},
+	{Name: "Cairo", Country: "EG", Continent: Africa, Coord: Coord{30.0444, 31.2357}, IATA: "CAI"},
+	{Name: "Accra", Country: "GH", Continent: Africa, Coord: Coord{5.6037, -0.187}, IATA: "ACC"},
+	{Name: "Casablanca", Country: "MA", Continent: Africa, Coord: Coord{33.5731, -7.5898}, IATA: "CMN"},
+	{Name: "Dar es Salaam", Country: "TZ", Continent: Africa, Coord: Coord{-6.7924, 39.2083}, IATA: "DAR"},
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4, 5})
+	if c.N() != 5 {
+		t.Errorf("N = %d", c.N())
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %f", got)
+	}
+	if got := c.At(3); got != 0.6 {
+		t.Errorf("At(3) = %f", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %f", got)
+	}
+	if got := c.Median(); got != 3 {
+		t.Errorf("Median = %f", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %f", got)
+	}
+	if got := c.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %f", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 {
+		t.Error("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty CDF quantile should be NaN")
+	}
+	if c.Points(5) != nil {
+		t.Error("empty CDF points should be nil")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		c := NewCDF(raw)
+		prev := -1.0
+		for x := -10.0; x <= 10; x += 0.5 {
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFQuantileInverseProperty(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for q := 0.1; q < 1; q += 0.1 {
+		v := c.Quantile(q)
+		if got := c.At(v); got < q-0.15 {
+			t.Errorf("At(Quantile(%f)=%f) = %f", q, v, got)
+		}
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Points(4)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0][0] != 1 || pts[3][0] != 4 {
+		t.Errorf("point range = %v", pts)
+	}
+	if pts[3][1] != 1 {
+		t.Errorf("final cumulative = %f", pts[3][1])
+	}
+	// More points than samples clamps.
+	if got := c.Points(100); len(got) != 4 {
+		t.Errorf("clamped points = %d", len(got))
+	}
+}
+
+func TestSeries(t *testing.T) {
+	start := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(10 * time.Hour)
+	s := NewSeries(start, end, time.Hour)
+	s.Add(start, 1)
+	s.Add(start.Add(30*time.Minute), 2)
+	s.Add(start.Add(5*time.Hour), 7)
+	s.Add(start.Add(-time.Hour), 100) // out of range: dropped
+	s.Add(end.Add(time.Hour), 100)    // out of range: dropped
+
+	if s.Values[0] != 3 {
+		t.Errorf("bucket 0 = %f", s.Values[0])
+	}
+	if s.Values[5] != 7 {
+		t.Errorf("bucket 5 = %f", s.Values[5])
+	}
+	s.Set(start.Add(5*time.Hour), 1)
+	if s.Values[5] != 1 {
+		t.Errorf("Set failed: %f", s.Values[5])
+	}
+	if !s.BucketTime(5).Equal(start.Add(5 * time.Hour)) {
+		t.Errorf("BucketTime = %v", s.BucketTime(5))
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable("Table 1: Facilities coverage", "Continent", "All", ">5", "Trackable")
+	tbl.AddRow("Europe", 878, 305, 243)
+	tbl.AddRow("North America", 529, 132, 105)
+	out := tbl.String()
+	for _, want := range []string{"Table 1", "Continent", "Europe", "878", "243", "North America"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+	// Columns align: header row and data rows have consistent prefix width.
+	// title + header + separator + 2 data rows.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := NewTable("", "x")
+	tbl.AddRow(3.14159)
+	if !strings.Contains(tbl.String(), "3.14") {
+		t.Error("float not formatted to 2 decimals")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(17 * time.Minute); got != "17m" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+}

@@ -1,0 +1,462 @@
+// Package nlp provides the light-weight natural-language machinery behind
+// Kepler's community-dictionary miner (Section 3.2 of the paper). The paper
+// uses NLTK for tokenization/POS tagging and Stanford NER for named-entity
+// recognition over operators' community documentation; this package
+// substitutes a rule-based equivalent: a tokenizer, a sentence splitter, a
+// grammatical-voice detector (passive-voice sentences document *inbound*
+// communities — "routes received at ..." — while active/imperative sentences
+// define *outbound* traffic-engineering actions — "announce to ..."), a
+// gazetteer-driven named-entity recognizer, and community-value pattern
+// extraction.
+package nlp
+
+import (
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a token.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokenWord TokenKind = iota
+	TokenNumber
+	TokenCommunity // looks like "13030:51904"
+	TokenPunct
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Text string
+	Kind TokenKind
+}
+
+// communityPattern matches classic community notation: two decimal halves
+// joined by a colon, optionally preceded by "AS" on the high half.
+var communityPattern = regexp.MustCompile(`^(?:AS)?(\d{1,5}):(\d{1,5})$`)
+
+// rangePattern matches community range notation like "65000:1000-1099".
+var rangePattern = regexp.MustCompile(`^(?:AS)?(\d{1,5}):(\d{1,5})-(\d{1,5})$`)
+
+// Tokenize splits s into word, number, community and punctuation tokens.
+// Hyphenated and colon-joined numeric forms are kept intact so community
+// values ("13030:51904") and ranges survive as single tokens.
+func Tokenize(s string) []Token {
+	var tokens []Token
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return unicode.IsSpace(r)
+	})
+	for _, f := range fields {
+		// Strip leading/trailing punctuation but keep it as tokens: a
+		// trailing period matters for sentence splitting.
+		lead, core, trail := trimPunct(f)
+		for _, p := range lead {
+			tokens = append(tokens, Token{Text: string(p), Kind: TokenPunct})
+		}
+		if core != "" {
+			tokens = append(tokens, classify(core))
+		}
+		for _, p := range trail {
+			tokens = append(tokens, Token{Text: string(p), Kind: TokenPunct})
+		}
+	}
+	return tokens
+}
+
+func trimPunct(s string) (lead string, core string, trail string) {
+	start := 0
+	for start < len(s) && isEdgePunct(rune(s[start])) {
+		start++
+	}
+	end := len(s)
+	for end > start && isEdgePunct(rune(s[end-1])) {
+		end--
+	}
+	return s[:start], s[start:end], s[end:]
+}
+
+// isEdgePunct reports punctuation that should be peeled off token edges.
+// Colons and hyphens are not edge punctuation: they glue communities and
+// ranges together.
+func isEdgePunct(r rune) bool {
+	switch r {
+	case '.', ',', ';', '!', '?', '(', ')', '[', ']', '"', '\'', '{', '}':
+		return true
+	}
+	return false
+}
+
+func classify(s string) Token {
+	if communityPattern.MatchString(s) || rangePattern.MatchString(s) {
+		return Token{Text: s, Kind: TokenCommunity}
+	}
+	numeric := true
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			numeric = false
+			break
+		}
+	}
+	if numeric {
+		return Token{Text: s, Kind: TokenNumber}
+	}
+	return Token{Text: s, Kind: TokenWord}
+}
+
+// Sentences splits documentation text into sentence-ish units: it breaks on
+// '.', ';', newlines that end bullet items, and blank lines. Operators'
+// community docs are mostly tables and fragments, so the splitter is
+// newline-biased rather than grammar-precise.
+func Sentences(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		if s != "" {
+			out = append(out, s)
+		}
+		cur.Reset()
+	}
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			flush()
+			continue
+		}
+		for _, r := range trimmed {
+			switch r {
+			case '.', ';':
+				flush()
+			default:
+				cur.WriteRune(r)
+			}
+		}
+		flush() // each physical line is its own unit in tabular docs
+	}
+	flush()
+	return out
+}
+
+// Voice is the grammatical voice of a sentence.
+type Voice uint8
+
+// Voice values.
+const (
+	VoiceUnknown Voice = iota
+	VoicePassive       // documents an inbound community ("received at ...")
+	VoiceActive        // defines an outbound action ("announce to ...")
+)
+
+// String names the voice.
+func (v Voice) String() string {
+	switch v {
+	case VoicePassive:
+		return "passive"
+	case VoiceActive:
+		return "active"
+	default:
+		return "unknown"
+	}
+}
+
+// passiveParticiples are verbs whose past participle, in community docs,
+// marks an inbound/ingress community (paper: "received", "learned",
+// "exchanged").
+var passiveParticiples = map[string]bool{
+	"received":   true,
+	"learned":    true,
+	"learnt":     true,
+	"exchanged":  true,
+	"accepted":   true,
+	"heard":      true,
+	"tagged":     true,
+	"marked":     true,
+	"ingress":    true, // "ingress at" noun usage, common in docs
+	"originated": true,
+}
+
+// activeVerbs are imperative/action verbs that mark outbound
+// traffic-engineering communities (paper: "announce", "block").
+var activeVerbs = map[string]bool{
+	"announce": true, "announces": true, "announced": true,
+	"advertise": true, "advertises": true, "advertised": true,
+	"export": true, "exports": true, "exported": true,
+	"block": true, "blocks": true, "blocked": true,
+	"suppress": true, "suppressed": true,
+	"prepend": true, "prepends": true, "prepended": true,
+	"set": true, "lower": true, "raise": true,
+	"blackhole": true, "blackholed": true,
+	"drop": true, "dropped": true,
+	"filter": true, "filtered": true,
+	"restrict": true, "restricted": true,
+}
+
+// auxiliaries are the be/have forms that precede a passive participle.
+var auxiliaries = map[string]bool{
+	"is": true, "are": true, "was": true, "were": true,
+	"be": true, "been": true, "being": true, "has": true,
+	"have": true, "had": true, "gets": true, "get": true,
+}
+
+// DetectVoice classifies a tokenized sentence. The heuristic mirrors the
+// paper's use of POS tagging: a known passive participle ("received",
+// "learned", "exchanged") ⇒ passive, including the bare-participle fragments
+// dominant in tabular docs ("received at Telehouse East"); a known action
+// verb ("announce", "block") ⇒ active, unless an auxiliary precedes it
+// ("routes are announced to ..." still describes provenance). The first
+// decisive verb wins.
+func DetectVoice(tokens []Token) Voice {
+	sawAux := false
+	for _, tok := range tokens {
+		if tok.Kind != TokenWord {
+			continue
+		}
+		w := strings.ToLower(tok.Text)
+		if auxiliaries[w] {
+			sawAux = true
+			continue
+		}
+		if passiveParticiples[w] {
+			return VoicePassive
+		}
+		if activeVerbs[w] {
+			if sawAux {
+				return VoicePassive
+			}
+			return VoiceActive
+		}
+	}
+	return VoiceUnknown
+}
+
+// EntityType classifies a recognized named entity.
+type EntityType uint8
+
+// Entity types used by the dictionary miner.
+const (
+	EntityUnknown  EntityType = iota
+	EntityLocation            // a city-level location
+	EntityIXP                 // an internet exchange point
+	EntityFacility            // a colocation facility
+	EntityOperator            // a network/facility operator organization
+)
+
+// String names the entity type.
+func (t EntityType) String() string {
+	switch t {
+	case EntityLocation:
+		return "location"
+	case EntityIXP:
+		return "ixp"
+	case EntityFacility:
+		return "facility"
+	case EntityOperator:
+		return "operator"
+	default:
+		return "unknown"
+	}
+}
+
+// Entity is one gazetteer match in a token stream.
+type Entity struct {
+	Text  string // matched surface text
+	Canon string // canonical gazetteer name
+	Type  EntityType
+	Pos   int // index of first matched token
+	Len   int // number of tokens matched
+}
+
+// Gazetteer is a longest-match dictionary of known entities, the stand-in
+// for Stanford NER primed with PeeringDB/Euro-IX/IRR organization names (the
+// Banerjee et al. technique the paper adopts).
+type Gazetteer struct {
+	// entries maps normalized first word -> candidate entries, longest
+	// first.
+	entries map[string][]gazEntry
+}
+
+type gazEntry struct {
+	words []string // normalized words
+	canon string
+	typ   EntityType
+}
+
+// NewGazetteer returns an empty gazetteer.
+func NewGazetteer() *Gazetteer {
+	return &Gazetteer{entries: make(map[string][]gazEntry)}
+}
+
+// Add registers a (possibly multi-word) entity name.
+func (g *Gazetteer) Add(name string, typ EntityType) {
+	words := normalizeWords(name)
+	if len(words) == 0 {
+		return
+	}
+	e := gazEntry{words: words, canon: name, typ: typ}
+	key := words[0]
+	list := g.entries[key]
+	// Keep longest-first so greedy matching prefers "Telehouse East London"
+	// over "Telehouse".
+	at := len(list)
+	for i, x := range list {
+		if len(e.words) > len(x.words) {
+			at = i
+			break
+		}
+	}
+	list = append(list, gazEntry{})
+	copy(list[at+1:], list[at:])
+	list[at] = e
+	g.entries[key] = list
+}
+
+// Len returns the number of registered entries.
+func (g *Gazetteer) Len() int {
+	n := 0
+	for _, l := range g.entries {
+		n += len(l)
+	}
+	return n
+}
+
+func normalizeWords(s string) []string {
+	fields := strings.Fields(strings.ToLower(s))
+	out := fields[:0]
+	for _, f := range fields {
+		f = strings.Trim(f, ".,;:()[]\"'")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Find scans the token stream and returns all non-overlapping gazetteer
+// matches, greedily preferring longer matches. Only word/number tokens
+// participate.
+func (g *Gazetteer) Find(tokens []Token) []Entity {
+	var out []Entity
+	for i := 0; i < len(tokens); {
+		if tokens[i].Kind == TokenPunct {
+			i++
+			continue
+		}
+		first := strings.ToLower(tokens[i].Text)
+		matched := false
+		for _, e := range g.entries[first] {
+			if matchAt(tokens, i, e.words) {
+				out = append(out, Entity{
+					Text:  surface(tokens[i : i+len(e.words)]),
+					Canon: e.canon,
+					Type:  e.typ,
+					Pos:   i,
+					Len:   len(e.words),
+				})
+				i += len(e.words)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			i++
+		}
+	}
+	return out
+}
+
+func matchAt(tokens []Token, pos int, words []string) bool {
+	if pos+len(words) > len(tokens) {
+		return false
+	}
+	for j, w := range words {
+		t := tokens[pos+j]
+		if t.Kind == TokenPunct {
+			return false
+		}
+		if strings.ToLower(t.Text) != w {
+			return false
+		}
+	}
+	return true
+}
+
+func surface(tokens []Token) string {
+	parts := make([]string, len(tokens))
+	for i, t := range tokens {
+		parts[i] = t.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+// CommunityMatch is one community value (or expanded range element) found
+// in a sentence.
+type CommunityMatch struct {
+	High uint32 // top 16 bits as parsed (validated by caller against ASN)
+	Low  uint32
+}
+
+// ExtractCommunities returns every community literal in the token stream.
+// Range notation ("65000:100-103") expands to each value; absurd ranges
+// (more than maxRange values) are truncated to keep hostile docs cheap.
+func ExtractCommunities(tokens []Token) []CommunityMatch {
+	const maxRange = 256
+	var out []CommunityMatch
+	for _, tok := range tokens {
+		if tok.Kind != TokenCommunity {
+			continue
+		}
+		if m := rangePattern.FindStringSubmatch(tok.Text); m != nil {
+			hi := parseUint(m[1])
+			lo1 := parseUint(m[2])
+			lo2 := parseUint(m[3])
+			if lo2 < lo1 {
+				lo1, lo2 = lo2, lo1
+			}
+			if lo2-lo1 >= maxRange {
+				lo2 = lo1 + maxRange - 1
+			}
+			for v := lo1; v <= lo2; v++ {
+				out = append(out, CommunityMatch{High: hi, Low: v})
+			}
+			continue
+		}
+		if m := communityPattern.FindStringSubmatch(tok.Text); m != nil {
+			out = append(out, CommunityMatch{High: parseUint(m[1]), Low: parseUint(m[2])})
+		}
+	}
+	return out
+}
+
+func parseUint(s string) uint32 {
+	var v uint32
+	for i := 0; i < len(s); i++ {
+		v = v*10 + uint32(s[i]-'0')
+	}
+	return v
+}
+
+// CapitalizedSpans returns maximal runs of capitalized words, the raw
+// candidates the paper feeds to NER after matching against PeeringDB and
+// IRR organization names. Runs shorter than 1 word or made of common
+// sentence-initial words only are skipped by the caller.
+func CapitalizedSpans(tokens []Token) [][]Token {
+	var out [][]Token
+	var run []Token
+	flush := func() {
+		if len(run) > 0 {
+			out = append(out, run)
+			run = nil
+		}
+	}
+	for _, t := range tokens {
+		if t.Kind == TokenWord && len(t.Text) > 0 && t.Text[0] >= 'A' && t.Text[0] <= 'Z' {
+			run = append(run, t)
+			continue
+		}
+		flush()
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,246 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(tokens []Token) []TokenKind {
+	out := make([]TokenKind, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("13030:51904 routes received at Coresite LAX-1 (Los Angeles).")
+	var comm, words, punct int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case TokenCommunity:
+			comm++
+		case TokenWord:
+			words++
+		case TokenPunct:
+			punct++
+		}
+	}
+	if comm != 1 {
+		t.Errorf("community tokens = %d, want 1", comm)
+	}
+	if words < 6 {
+		t.Errorf("word tokens = %d, want >= 6", words)
+	}
+	if punct < 3 { // ( ) .
+		t.Errorf("punct tokens = %d, want >= 3", punct)
+	}
+	// LAX-1 must survive as a single word token (hyphen is not edge punct).
+	found := false
+	for _, tok := range toks {
+		if tok.Text == "LAX-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("LAX-1 was split")
+	}
+}
+
+func TestTokenizeKindsTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want TokenKind
+	}{
+		{"13030:51904", TokenCommunity},
+		{"AS13030:51904", TokenCommunity},
+		{"65000:1000-1099", TokenCommunity},
+		{"51904", TokenNumber},
+		{"received", TokenWord},
+		{"LAX-1", TokenWord},
+	}
+	for _, c := range cases {
+		toks := Tokenize(c.in)
+		if len(toks) != 1 || toks[0].Kind != c.want {
+			t.Errorf("Tokenize(%q) = %v (kinds %v), want single %v", c.in, toks, kinds(toks), c.want)
+		}
+	}
+}
+
+func TestSentences(t *testing.T) {
+	text := `Community values for customers.
+
+13030:51904 - received at Coresite LAX-1
+13030:51702 - received at Telehouse East London; 13030:4006 - received at LINX
+Do not announce to peers.`
+	got := Sentences(text)
+	if len(got) != 5 {
+		t.Fatalf("got %d sentences: %q", len(got), got)
+	}
+	if !strings.Contains(got[1], "51904") {
+		t.Errorf("sentence order wrong: %q", got)
+	}
+	if !strings.Contains(got[2], "Telehouse East London") || !strings.Contains(got[3], "LINX") {
+		t.Errorf("semicolon split failed: %q", got)
+	}
+}
+
+func TestSentencesEmpty(t *testing.T) {
+	if got := Sentences(""); len(got) != 0 {
+		t.Errorf("Sentences(\"\") = %q", got)
+	}
+	if got := Sentences("\n\n  \n"); len(got) != 0 {
+		t.Errorf("Sentences(blank) = %q", got)
+	}
+}
+
+func TestDetectVoice(t *testing.T) {
+	cases := []struct {
+		sentence string
+		want     Voice
+	}{
+		{"13030:51904 routes received at Coresite LAX-1", VoicePassive},
+		{"Routes learned from peers at LINX Juniper LAN", VoicePassive},
+		{"Prefixes exchanged at DE-CIX Frankfurt", VoicePassive},
+		{"routes are announced to all peers", VoicePassive},
+		{"Announce to all peers", VoiceActive},
+		{"Do not announce to AS3356", VoiceActive},
+		{"Block announcements towards LINX", VoiceActive},
+		{"Prepend 3x towards all peers in Frankfurt", VoiceActive},
+		{"Set local preference to 80", VoiceActive},
+		{"Community for internal use", VoiceUnknown},
+		{"", VoiceUnknown},
+		{"received", VoicePassive},
+	}
+	for _, c := range cases {
+		if got := DetectVoice(Tokenize(c.sentence)); got != c.want {
+			t.Errorf("DetectVoice(%q) = %v, want %v", c.sentence, got, c.want)
+		}
+	}
+}
+
+func TestVoiceString(t *testing.T) {
+	if VoicePassive.String() != "passive" || VoiceActive.String() != "active" || VoiceUnknown.String() != "unknown" {
+		t.Error("voice names wrong")
+	}
+}
+
+func TestGazetteerLongestMatch(t *testing.T) {
+	g := NewGazetteer()
+	g.Add("Telehouse", EntityOperator)
+	g.Add("Telehouse East London", EntityFacility)
+	g.Add("LINX", EntityIXP)
+	g.Add("Los Angeles", EntityLocation)
+
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+
+	toks := Tokenize("received at Telehouse East London via LINX near Los Angeles")
+	ents := g.Find(toks)
+	if len(ents) != 3 {
+		t.Fatalf("got %d entities: %+v", len(ents), ents)
+	}
+	if ents[0].Canon != "Telehouse East London" || ents[0].Type != EntityFacility {
+		t.Errorf("longest match failed: %+v", ents[0])
+	}
+	if ents[1].Canon != "LINX" || ents[1].Type != EntityIXP {
+		t.Errorf("IXP match failed: %+v", ents[1])
+	}
+	if ents[2].Canon != "Los Angeles" || ents[2].Type != EntityLocation {
+		t.Errorf("location match failed: %+v", ents[2])
+	}
+}
+
+func TestGazetteerShortMatchWhenLongFails(t *testing.T) {
+	g := NewGazetteer()
+	g.Add("Telehouse", EntityOperator)
+	g.Add("Telehouse East London", EntityFacility)
+	ents := g.Find(Tokenize("peering at Telehouse North site"))
+	if len(ents) != 1 || ents[0].Canon != "Telehouse" || ents[0].Type != EntityOperator {
+		t.Errorf("fallback to shorter entry failed: %+v", ents)
+	}
+}
+
+func TestGazetteerCaseInsensitive(t *testing.T) {
+	g := NewGazetteer()
+	g.Add("AMS-IX", EntityIXP)
+	ents := g.Find(Tokenize("routes received at ams-ix Amsterdam"))
+	if len(ents) != 1 || ents[0].Canon != "AMS-IX" {
+		t.Errorf("case-insensitive match failed: %+v", ents)
+	}
+}
+
+func TestGazetteerNoOverlap(t *testing.T) {
+	g := NewGazetteer()
+	g.Add("East London", EntityLocation)
+	g.Add("Telehouse East London", EntityFacility)
+	ents := g.Find(Tokenize("at Telehouse East London today"))
+	if len(ents) != 1 || ents[0].Type != EntityFacility {
+		t.Errorf("overlapping match not suppressed: %+v", ents)
+	}
+}
+
+func TestGazetteerEmptyAdd(t *testing.T) {
+	g := NewGazetteer()
+	g.Add("   ", EntityIXP)
+	if g.Len() != 0 {
+		t.Error("blank entity registered")
+	}
+}
+
+func TestExtractCommunities(t *testing.T) {
+	toks := Tokenize("13030:51904 received; range 65000:10-13 set, not 300000:1")
+	got := ExtractCommunities(toks)
+	// 1 single + 4 from the range. "300000:1" has a 6-digit high half and
+	// must not tokenize as a community.
+	if len(got) != 5 {
+		t.Fatalf("got %d matches: %+v", len(got), got)
+	}
+	if got[0].High != 13030 || got[0].Low != 51904 {
+		t.Errorf("single match = %+v", got[0])
+	}
+	if got[1].Low != 10 || got[4].Low != 13 {
+		t.Errorf("range expansion = %+v", got[1:])
+	}
+}
+
+func TestExtractCommunitiesRangeCapped(t *testing.T) {
+	toks := Tokenize("65000:0-65000")
+	got := ExtractCommunities(toks)
+	if len(got) != 256 {
+		t.Errorf("hostile range expanded to %d values, want cap 256", len(got))
+	}
+}
+
+func TestExtractCommunitiesReversedRange(t *testing.T) {
+	got := ExtractCommunities(Tokenize("65000:20-18"))
+	if len(got) != 3 || got[0].Low != 18 || got[2].Low != 20 {
+		t.Errorf("reversed range = %+v", got)
+	}
+}
+
+func TestCapitalizedSpans(t *testing.T) {
+	toks := Tokenize("routes received at Telehouse East London via the LINX exchange")
+	spans := CapitalizedSpans(toks)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if surface(spans[0]) != "Telehouse East London" {
+		t.Errorf("span 0 = %q", surface(spans[0]))
+	}
+	if surface(spans[1]) != "LINX" {
+		t.Errorf("span 1 = %q", surface(spans[1]))
+	}
+}
+
+func TestEntityTypeString(t *testing.T) {
+	for _, et := range []EntityType{EntityLocation, EntityIXP, EntityFacility, EntityOperator} {
+		if et.String() == "unknown" {
+			t.Errorf("type %d stringifies to unknown", et)
+		}
+	}
+	if EntityUnknown.String() != "unknown" {
+		t.Error("EntityUnknown name wrong")
+	}
+}

@@ -1,0 +1,237 @@
+// Package registry renders ground-truth infrastructure into the imperfect
+// public data sources Kepler mines: PeeringDB- and DataCenterMap-style
+// colocation snapshots (Section 3.3), and the IRR remarks / operator web
+// pages holding natural-language community documentation (Section 3.2).
+//
+// The paper consumes the real services; this package substitutes
+// deterministic synthetic renderings with realistic imperfections — partial
+// coverage, per-source member-list gaps, divergent naming — so that the
+// downstream merging and mining code has real work to do. All sampling is
+// seeded; the same ground truth and seed always render identical sources.
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/communities"
+)
+
+// FacilityTruth is the ground truth for one colocation facility.
+type FacilityTruth struct {
+	Name     string
+	Operator string
+	Addr     colo.Address
+	City     string // city identifier, resolvable by the geo gazetteer
+	Members  []bgp.ASN
+}
+
+// IXPTruth is the ground truth for one IXP.
+type IXPTruth struct {
+	Name          string
+	URL           string
+	City          string
+	ASNs          []bgp.ASN // route-server / management ASNs
+	LANs          []netip.Prefix
+	Members       []bgp.ASN
+	FacilityAddrs []colo.Address // buildings hosting fabric
+}
+
+// SchemeEntry is one location community in an operator's scheme: the low
+// 16 bits and the entity it tags.
+type SchemeEntry struct {
+	Low  uint16
+	Kind colo.PoPKind
+	Name string // facility, IXP or city name as the operator writes it
+}
+
+// SchemeTruth is one operator's community scheme.
+type SchemeTruth struct {
+	ASN       bgp.ASN
+	Documents bool // false: scheme is private (the paper's XO/Verizon case)
+	Entries   []SchemeEntry
+}
+
+// GroundTruth bundles everything the renderer needs.
+type GroundTruth struct {
+	Facilities []FacilityTruth
+	IXPs       []IXPTruth
+	Schemes    []SchemeTruth
+}
+
+// SnapshotOptions tunes source imperfection. Zero value = perfect sources;
+// DefaultSnapshotOptions gives the realistic mix.
+type SnapshotOptions struct {
+	PeeringDBFacilityCoverage float64 // probability a facility appears at all
+	PeeringDBMemberCoverage   float64 // probability a present facility lists a given member
+	DCMapFacilityCoverage     float64
+	DCMapMemberCoverage       float64
+	PeeringDBIXPMemberCov     float64
+	EuroIXMemberCov           float64
+}
+
+// DefaultSnapshotOptions reflects the relative completeness the paper and
+// follow-up measurement studies report for these sources.
+func DefaultSnapshotOptions() SnapshotOptions {
+	return SnapshotOptions{
+		PeeringDBFacilityCoverage: 0.97,
+		PeeringDBMemberCoverage:   0.92,
+		DCMapFacilityCoverage:     0.70,
+		DCMapMemberCoverage:       0.55,
+		PeeringDBIXPMemberCov:     0.96,
+		EuroIXMemberCov:           0.85,
+	}
+}
+
+// Snapshot renders the colocation data sources. The returned records feed
+// colo.Builder directly.
+func Snapshot(gt *GroundTruth, opts SnapshotOptions, seed int64) ([]colo.FacilityRecord, []colo.IXPRecord) {
+	rng := rand.New(rand.NewSource(seed))
+	var facs []colo.FacilityRecord
+	var ixps []colo.IXPRecord
+
+	for _, f := range gt.Facilities {
+		if rng.Float64() < opts.PeeringDBFacilityCoverage {
+			facs = append(facs, colo.FacilityRecord{
+				Source:   "peeringdb",
+				Name:     f.Name,
+				Operator: f.Operator,
+				Addr:     f.Addr,
+				CityHint: f.City,
+				Members:  sampleASNs(rng, f.Members, opts.PeeringDBMemberCoverage),
+			})
+		}
+		if rng.Float64() < opts.DCMapFacilityCoverage {
+			facs = append(facs, colo.FacilityRecord{
+				Source:   "dcmap",
+				Name:     dcMapName(f.Name),
+				Addr:     colo.Address{Postcode: f.Addr.Postcode, Country: f.Addr.Country},
+				CityHint: f.City,
+				Members:  sampleASNs(rng, f.Members, opts.DCMapMemberCoverage),
+			})
+		}
+	}
+
+	for _, ix := range gt.IXPs {
+		ixps = append(ixps, colo.IXPRecord{
+			Source:        "peeringdb",
+			Name:          ix.Name,
+			URL:           ix.URL,
+			CityHint:      ix.City,
+			ASNs:          ix.ASNs,
+			LANs:          ix.LANs,
+			Members:       sampleASNs(rng, ix.Members, opts.PeeringDBIXPMemberCov),
+			FacilityAddrs: ix.FacilityAddrs,
+		})
+		// Euro-IX publishes European exchanges; it fills member gaps.
+		if isEuropean(ix) {
+			ixps = append(ixps, colo.IXPRecord{
+				Source:   "euroix",
+				Name:     ix.Name,
+				URL:      strings.ToUpper(ix.URL), // URL merging is case-insensitive
+				CityHint: ix.City,
+				Members:  sampleASNs(rng, ix.Members, opts.EuroIXMemberCov),
+			})
+		}
+	}
+	return facs, ixps
+}
+
+func isEuropean(ix IXPTruth) bool {
+	for _, a := range ix.FacilityAddrs {
+		switch a.Country {
+		case "GB", "DE", "NL", "FR", "IT", "ES", "AT", "CH", "BE", "SE", "DK",
+			"NO", "FI", "PL", "CZ", "PT", "IE", "LU", "HU", "RO", "BG", "GR":
+			return true
+		}
+	}
+	return false
+}
+
+func dcMapName(name string) string {
+	// DataCenterMap tends to add boilerplate to names; the merge must
+	// survive it (address keys, not names, unify facilities).
+	return name + " Data Center"
+}
+
+func sampleASNs(rng *rand.Rand, asns []bgp.ASN, p float64) []bgp.ASN {
+	var out []bgp.ASN
+	for _, a := range asns {
+		if rng.Float64() < p {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ingressTemplates render inbound location communities in the passive-voice
+// styles seen across real operator docs.
+var ingressTemplates = []string{
+	"%s - routes received at %s",
+	"%s - routes learned at %s",
+	"%s - prefixes exchanged at %s",
+	"%s - received from peer at %s",
+}
+
+// distractorTemplates render outbound/action communities the miner must
+// filter by grammatical voice. Some include location names to make the
+// filtering non-trivial.
+var distractorTemplates = []string{
+	"%s - announce to all peers",
+	"%s - do not announce to peers at %s",
+	"%s - prepend 2x towards peers in %s",
+	"%s - blackhole these prefixes",
+	"%s - set local preference to 80",
+}
+
+// DocOptions tunes the documentation renderer.
+type DocOptions struct {
+	DistractorsPerDoc int // outbound entries sprinkled in each document
+}
+
+// RenderDocs renders each documenting operator's scheme as a mined
+// Document. Operators with Documents=false are skipped entirely — their
+// communities stay out of the dictionary, bounding Kepler's coverage as in
+// Section 3.2.
+func RenderDocs(gt *GroundTruth, opts DocOptions, seed int64) []communities.Document {
+	rng := rand.New(rand.NewSource(seed))
+	var docs []communities.Document
+	for _, scheme := range gt.Schemes {
+		if !scheme.Documents || len(scheme.Entries) == 0 {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "BGP communities for customers of %s.\n\n", scheme.ASN)
+		for _, e := range scheme.Entries {
+			comm := fmt.Sprintf("%d:%d", scheme.ASN, e.Low)
+			tmpl := ingressTemplates[rng.Intn(len(ingressTemplates))]
+			fmt.Fprintf(&b, tmpl+"\n", comm, e.Name)
+		}
+		for i := 0; i < opts.DistractorsPerDoc; i++ {
+			low := 60000 + rng.Intn(5000)
+			comm := fmt.Sprintf("%d:%d", scheme.ASN, low)
+			tmpl := distractorTemplates[rng.Intn(len(distractorTemplates))]
+			var line string
+			if strings.Count(tmpl, "%s") == 2 {
+				loc := "London"
+				if len(scheme.Entries) > 0 {
+					loc = scheme.Entries[rng.Intn(len(scheme.Entries))].Name
+				}
+				line = fmt.Sprintf(tmpl, comm, loc)
+			} else {
+				line = fmt.Sprintf(tmpl, comm)
+			}
+			b.WriteString(line + "\n")
+		}
+		source := "irr"
+		if rng.Float64() < 0.4 {
+			source = "web"
+		}
+		docs = append(docs, communities.Document{ASN: scheme.ASN, Source: source, Text: b.String()})
+	}
+	return docs
+}

@@ -1,0 +1,190 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/communities"
+	"kepler/internal/geo"
+)
+
+func sampleTruth() *GroundTruth {
+	members := func(n int) []bgp.ASN {
+		out := make([]bgp.ASN, n)
+		for i := range out {
+			out[i] = bgp.ASN(100 + i)
+		}
+		return out
+	}
+	theAddr := colo.Address{Street: "Coriander Ave", Postcode: "E14 2AA", Country: "GB"}
+	amsAddr := colo.Address{Street: "Science Park 121", Postcode: "1098 XG", Country: "NL"}
+	return &GroundTruth{
+		Facilities: []FacilityTruth{
+			{Name: "Telehouse East", Operator: "Telehouse", Addr: theAddr, City: "London", Members: members(12)},
+			{Name: "Nikhef", Operator: "Nikhef", Addr: amsAddr, City: "Amsterdam", Members: members(8)},
+		},
+		IXPs: []IXPTruth{
+			{Name: "LINX", URL: "https://linx.net", City: "London", ASNs: []bgp.ASN{8714},
+				Members: members(10), FacilityAddrs: []colo.Address{theAddr}},
+			{Name: "AMS-IX", URL: "https://ams-ix.net", City: "Amsterdam", ASNs: []bgp.ASN{6777},
+				Members: members(9), FacilityAddrs: []colo.Address{amsAddr}},
+		},
+		Schemes: []SchemeTruth{
+			{ASN: 100, Documents: true, Entries: []SchemeEntry{
+				{Low: 51702, Kind: colo.PoPFacility, Name: "Telehouse East"},
+				{Low: 4006, Kind: colo.PoPIXP, Name: "LINX"},
+				{Low: 2001, Kind: colo.PoPCity, Name: "London"},
+			}},
+			{ASN: 101, Documents: false, Entries: []SchemeEntry{
+				{Low: 1, Kind: colo.PoPCity, Name: "Amsterdam"},
+			}},
+		},
+	}
+}
+
+func TestSnapshotDeterminism(t *testing.T) {
+	gt := sampleTruth()
+	f1, x1 := Snapshot(gt, DefaultSnapshotOptions(), 42)
+	f2, x2 := Snapshot(gt, DefaultSnapshotOptions(), 42)
+	if len(f1) != len(f2) || len(x1) != len(x2) {
+		t.Fatal("snapshot is not deterministic")
+	}
+	for i := range f1 {
+		if f1[i].Name != f2[i].Name || len(f1[i].Members) != len(f2[i].Members) {
+			t.Fatal("facility records differ across identical runs")
+		}
+	}
+}
+
+func TestSnapshotPerfectCoverage(t *testing.T) {
+	gt := sampleTruth()
+	opts := SnapshotOptions{
+		PeeringDBFacilityCoverage: 1, PeeringDBMemberCoverage: 1,
+		DCMapFacilityCoverage: 1, DCMapMemberCoverage: 1,
+		PeeringDBIXPMemberCov: 1, EuroIXMemberCov: 1,
+	}
+	facs, ixps := Snapshot(gt, opts, 1)
+	// 2 facilities × 2 sources; 2 IXPs × (peeringdb + euroix, both European).
+	if len(facs) != 4 {
+		t.Errorf("facility records = %d, want 4", len(facs))
+	}
+	if len(ixps) != 4 {
+		t.Errorf("ixp records = %d, want 4", len(ixps))
+	}
+	// Perfect coverage lists every member.
+	for _, f := range facs {
+		if f.Source == "peeringdb" && len(f.Members) != 12 && len(f.Members) != 8 {
+			t.Errorf("peeringdb members = %d", len(f.Members))
+		}
+	}
+}
+
+func TestSnapshotMergesCleanly(t *testing.T) {
+	gt := sampleTruth()
+	facs, ixps := Snapshot(gt, DefaultSnapshotOptions(), 7)
+	b := colo.NewBuilder(geo.DefaultWorld())
+	for _, f := range facs {
+		b.AddFacility(f)
+	}
+	for _, ix := range ixps {
+		b.AddIXP(ix)
+	}
+	m := b.Build()
+	// Address-keyed merge must never yield more facilities than truth.
+	if m.NumFacilities() > len(gt.Facilities) {
+		t.Errorf("facilities after merge = %d > truth %d", m.NumFacilities(), len(gt.Facilities))
+	}
+	if m.NumIXPs() != len(gt.IXPs) {
+		t.Errorf("ixps after merge = %d, want %d", m.NumIXPs(), len(gt.IXPs))
+	}
+	// Merged member lists must be supersets of each single source's list.
+	for _, ix := range m.IXPs() {
+		if len(ix.Members) == 0 {
+			t.Errorf("IXP %s has no members after merge", ix.Name)
+		}
+	}
+}
+
+func TestRenderDocs(t *testing.T) {
+	gt := sampleTruth()
+	docs := RenderDocs(gt, DocOptions{DistractorsPerDoc: 3}, 11)
+	if len(docs) != 1 {
+		t.Fatalf("docs = %d, want 1 (non-documenting scheme must be skipped)", len(docs))
+	}
+	d := docs[0]
+	if d.ASN != 100 {
+		t.Errorf("doc ASN = %v", d.ASN)
+	}
+	for _, want := range []string{"100:51702", "100:4006", "100:2001", "Telehouse East", "LINX", "London"} {
+		if !strings.Contains(d.Text, want) {
+			t.Errorf("doc missing %q:\n%s", want, d.Text)
+		}
+	}
+}
+
+func TestRenderDocsMineRoundTrip(t *testing.T) {
+	// End-to-end: truth -> snapshot -> colo map -> docs -> mined dictionary
+	// must recover exactly the documented ingress entries.
+	gt := sampleTruth()
+	opts := SnapshotOptions{
+		PeeringDBFacilityCoverage: 1, PeeringDBMemberCoverage: 1,
+		DCMapFacilityCoverage: 1, DCMapMemberCoverage: 1,
+		PeeringDBIXPMemberCov: 1, EuroIXMemberCov: 1,
+	}
+	facs, ixps := Snapshot(gt, opts, 3)
+	b := colo.NewBuilder(geo.DefaultWorld())
+	for _, f := range facs {
+		b.AddFacility(f)
+	}
+	for _, ix := range ixps {
+		b.AddIXP(ix)
+	}
+	cmap := b.Build()
+
+	docs := RenderDocs(gt, DocOptions{DistractorsPerDoc: 4}, 5)
+	dict := communities.NewMiner(geo.DefaultWorld(), cmap).Mine(docs)
+
+	// All three documented ingress communities must be present.
+	for _, low := range []uint16{51702, 4006, 2001} {
+		e, ok := dict.Lookup(bgp.MakeCommunity(100, low))
+		if !ok {
+			t.Errorf("community 100:%d not mined", low)
+			continue
+		}
+		switch low {
+		case 51702:
+			if e.PoP.Kind != colo.PoPFacility {
+				t.Errorf("100:%d kind = %v, want facility", low, e.PoP.Kind)
+			}
+		case 4006:
+			if e.PoP.Kind != colo.PoPIXP {
+				t.Errorf("100:%d kind = %v, want ixp", low, e.PoP.Kind)
+			}
+		case 2001:
+			if e.PoP.Kind != colo.PoPCity {
+				t.Errorf("100:%d kind = %v, want city", low, e.PoP.Kind)
+			}
+		}
+	}
+	// No distractor (low >= 60000) may leak into the dictionary, and the
+	// private scheme of AS101 must be absent.
+	for _, e := range dict.Entries() {
+		if e.Community.Low >= 60000 {
+			t.Errorf("outbound distractor leaked: %v", e.Community)
+		}
+		if e.ASN == 101 {
+			t.Errorf("private scheme leaked: %v", e.Community)
+		}
+	}
+	if dict.Len() != 3 {
+		t.Errorf("dictionary size = %d, want exactly 3 (no false positives)", dict.Len())
+	}
+}
+
+func TestDCMapNameVariant(t *testing.T) {
+	if got := dcMapName("Telehouse East"); got == "Telehouse East" {
+		t.Error("dcmap name should differ from canonical")
+	}
+}

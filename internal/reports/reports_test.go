@@ -1,0 +1,142 @@
+package reports
+
+import (
+	"testing"
+	"time"
+
+	"kepler/internal/colo"
+)
+
+var base = time.Date(2015, 5, 13, 10, 0, 0, 0, time.UTC)
+
+func mkEvents(n int, country string) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{
+			ID: i, Time: base.Add(time.Duration(i) * time.Hour),
+			Duration: 30 * time.Minute,
+			PoP:      colo.FacilityPoP(colo.FacilityID(i + 1)),
+			Name:     "Facility", City: "Somewhere", Country: country,
+			Full: true,
+		}
+	}
+	return out
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	ev := mkEvents(200, "US")
+	r1 := Sample(ev, 99)
+	r2 := Sample(ev, 99)
+	if len(r1) != len(r2) {
+		t.Fatal("non-deterministic sampling")
+	}
+	for i := range r1 {
+		if r1[i].EventID != r2[i].EventID || r1[i].Venue != r2[i].Venue {
+			t.Fatal("report contents differ across identical runs")
+		}
+	}
+}
+
+func TestGeographicBias(t *testing.T) {
+	us := Sample(mkEvents(500, "US"), 1)
+	de := Sample(mkEvents(500, "DE"), 1)
+	ke := Sample(mkEvents(500, "KE"), 1)
+	if len(us) <= len(de) || len(de) <= len(ke) {
+		t.Errorf("bias ordering violated: US=%d DE=%d KE=%d", len(us), len(de), len(ke))
+	}
+	// US/UK events should be reported roughly half the time, never all.
+	if len(us) < 150 || len(us) > 320 {
+		t.Errorf("US reporting rate implausible: %d/500", len(us))
+	}
+	if len(ke) > 80 {
+		t.Errorf("other-region reporting rate too high: %d/500", len(ke))
+	}
+}
+
+func TestSeverityBoost(t *testing.T) {
+	short := Event{Country: "DE", Full: true, Duration: 10 * time.Minute}
+	long := Event{Country: "DE", Full: true, Duration: 3 * time.Hour}
+	partial := Event{Country: "DE", Full: false, Duration: 3 * time.Hour}
+	if Probability(long) <= Probability(short) {
+		t.Error("long full outages should be likelier to be reported")
+	}
+	if Probability(partial) != Probability(short) {
+		t.Error("partial outages get no severity boost")
+	}
+	huge := Event{Country: "US", Full: true, Duration: 10 * time.Hour}
+	if Probability(huge) > 0.95 {
+		t.Error("probability not capped")
+	}
+}
+
+func TestReportLagsEvent(t *testing.T) {
+	ev := mkEvents(300, "US")
+	for _, r := range Sample(ev, 5) {
+		e := ev[r.EventID]
+		if !r.Time.After(e.Time) {
+			t.Fatalf("report at %v does not lag event at %v", r.Time, e.Time)
+		}
+		if r.Time.Sub(e.Time) > 3*time.Hour {
+			t.Fatalf("report lag too large: %v", r.Time.Sub(e.Time))
+		}
+		if r.Title == "" || r.Venue == "" {
+			t.Fatal("empty report fields")
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	pop := colo.FacilityPoP(3)
+	r := Report{EventID: 1, Venue: "nanog", Time: base, PoP: pop}
+
+	if !r.Matches(pop, base.Add(2*time.Hour), nil) {
+		t.Error("same PoP within window should match")
+	}
+	if r.Matches(pop, base.Add(48*time.Hour), nil) {
+		t.Error("outside window should not match")
+	}
+	if r.Matches(pop, base.Add(-48*time.Hour), nil) {
+		t.Error("outside window (before) should not match")
+	}
+	if r.Matches(colo.FacilityPoP(4), base, nil) {
+		t.Error("different facility should not match without a map")
+	}
+}
+
+func TestMatchesCityLevel(t *testing.T) {
+	// Build a tiny map: one facility in London.
+	world := testWorld()
+	b := colo.NewBuilder(world)
+	b.AddFacility(colo.FacilityRecord{
+		Source: "peeringdb", Name: "Telehouse East",
+		Addr: colo.Address{Postcode: "E14 2AA", Country: "GB"}, CityHint: "London",
+		Members: nil,
+	})
+	m := b.Build()
+	fid, _ := m.FacilityByAddress(colo.Address{Postcode: "E14 2AA", Country: "GB"})
+	lon, _ := world.Resolve("London")
+
+	facReport := Report{Time: base, PoP: colo.FacilityPoP(fid)}
+	if !facReport.Matches(colo.CityPoP(lon.ID), base.Add(time.Hour), m) {
+		t.Error("city detection should match facility report in that city")
+	}
+	cityReport := Report{Time: base, PoP: colo.CityPoP(lon.ID)}
+	if !cityReport.Matches(colo.FacilityPoP(fid), base.Add(time.Hour), m) {
+		t.Error("facility detection should match city report for that city")
+	}
+}
+
+func TestRenderTitleVariants(t *testing.T) {
+	e := Event{Name: "AMS-IX", City: "Amsterdam", Full: false}
+	seen := map[string]bool{}
+	for _, v := range venues {
+		title := renderTitle(v, e)
+		if title == "" {
+			t.Fatalf("venue %s rendered empty title", v)
+		}
+		seen[title] = true
+	}
+	if len(seen) < 3 {
+		t.Error("titles should vary by venue")
+	}
+}

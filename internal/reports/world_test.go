@@ -1,0 +1,6 @@
+package reports
+
+import "kepler/internal/geo"
+
+// testWorld returns the shared gazetteer for tests.
+func testWorld() *geo.World { return geo.DefaultWorld() }

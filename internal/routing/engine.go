@@ -1,0 +1,346 @@
+package routing
+
+import (
+	"sort"
+	"sync"
+
+	"kepler/internal/bgp"
+	"kepler/internal/topology"
+)
+
+// entry is one AS's chosen route toward an origin.
+type entry struct {
+	next  bgp.ASN                // next hop toward the origin (0 at the origin)
+	link  *topology.Interconnect // link to next (nil at the origin)
+	class uint8
+	plen  uint16 // AS-level hop count to the origin
+}
+
+// Table holds every AS's best route toward one origin under one mask.
+type Table struct {
+	Origin  bgp.ASN
+	entries map[bgp.ASN]entry
+}
+
+// Has reports whether asn has any route to the origin.
+func (t *Table) Has(asn bgp.ASN) bool {
+	_, ok := t.entries[asn]
+	return ok
+}
+
+// Size returns the number of ASes with a route.
+func (t *Table) Size() int { return len(t.entries) }
+
+// NextHop returns the next hop and link asn uses, ok=false if unreachable.
+func (t *Table) NextHop(asn bgp.ASN) (bgp.ASN, *topology.Interconnect, bool) {
+	e, ok := t.entries[asn]
+	if !ok {
+		return 0, nil, false
+	}
+	return e.next, e.link, true
+}
+
+// Class returns the route class asn's entry holds (ClassNone if
+// unreachable).
+func (t *Table) Class(asn bgp.ASN) uint8 {
+	e, ok := t.entries[asn]
+	if !ok {
+		return ClassNone
+	}
+	return e.class
+}
+
+// UsesLink reports whether any AS's chosen route crosses the link.
+func (t *Table) UsesLink(id int) bool {
+	for _, e := range t.entries {
+		if e.link != nil && e.link.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Route is a fully reconstructed path from a vantage AS to the origin.
+type Route struct {
+	Path        bgp.Path                 // vantage first, origin last
+	Links       []*topology.Interconnect // Links[i] connects Path[i] and Path[i+1]
+	Communities bgp.Communities          // accumulated location + RS communities
+}
+
+// Equal reports whether two routes are identical in path and communities.
+func (r *Route) Equal(other *Route) bool {
+	if r == nil || other == nil {
+		return r == other
+	}
+	if !r.Path.Equal(other.Path) {
+		return false
+	}
+	if len(r.Links) != len(other.Links) {
+		return false
+	}
+	for i := range r.Links {
+		if r.Links[i].ID != other.Links[i].ID {
+			return false
+		}
+	}
+	return r.Communities.Equal(other.Communities)
+}
+
+// Engine computes routes over a world.
+type Engine struct {
+	w *topology.World
+}
+
+// New returns an engine over w.
+func New(w *topology.World) *Engine { return &Engine{w: w} }
+
+// World returns the underlying topology.
+func (e *Engine) World() *topology.World { return e.w }
+
+// better reports whether candidate (class,plen,via,link) beats incumbent.
+// Preference: class, then path length, then link kind (PNI > bilateral >
+// multilateral > remote), then lower neighbor ASN, then lower link ID.
+func better(cClass uint8, cPlen uint16, cVia bgp.ASN, cLink *topology.Interconnect,
+	iClass uint8, iPlen uint16, iVia bgp.ASN, iLink *topology.Interconnect) bool {
+	if cClass != iClass {
+		return cClass < iClass
+	}
+	if cPlen != iPlen {
+		return cPlen < iPlen
+	}
+	if cLink != nil && iLink != nil && cLink.Kind != iLink.Kind {
+		return cLink.Kind < iLink.Kind
+	}
+	if cVia != iVia {
+		return cVia < iVia
+	}
+	if cLink != nil && iLink != nil {
+		return cLink.ID < iLink.ID
+	}
+	return false
+}
+
+// ComputeOrigin computes every AS's best valley-free route toward origin
+// under the mask, using the three-phase relaxation.
+func (e *Engine) ComputeOrigin(origin bgp.ASN, mask *Mask) *Table {
+	t := &Table{Origin: origin, entries: make(map[bgp.ASN]entry)}
+	if mask == nil {
+		mask = NewMask()
+	}
+	if mask.ASes[origin] {
+		return t
+	}
+	if _, ok := e.w.AS(origin); !ok {
+		return t
+	}
+	t.entries[origin] = entry{class: ClassSelf}
+
+	// Phase 1 — up: propagate along customer→provider edges until fixpoint.
+	// Only self/customer routes travel up.
+	for changed := true; changed; {
+		changed = false
+		for _, l := range e.w.Links {
+			if l.Rel != topology.RelC2P || !mask.LinkUp(l) {
+				continue
+			}
+			cust, prov := l.A, l.B
+			ce, ok := t.entries[cust]
+			if !ok || ce.class > ClassCustomer {
+				continue
+			}
+			cand := entry{next: cust, link: l, class: ClassCustomer, plen: ce.plen + 1}
+			if ie, ok := t.entries[prov]; !ok || better(cand.class, cand.plen, cand.next, cand.link, ie.class, ie.plen, ie.next, ie.link) {
+				t.entries[prov] = cand
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2 — across: each peer link crosses once. Only self/customer
+	// routes are exported over peer links. Candidates are computed against
+	// the up-phase snapshot so a peer route never chains across two peer
+	// links.
+	type upd struct {
+		asn bgp.ASN
+		e   entry
+	}
+	var updates []upd
+	for _, l := range e.w.Links {
+		if l.Rel != topology.RelP2P || !mask.LinkUp(l) {
+			continue
+		}
+		for _, dir := range [2][2]bgp.ASN{{l.A, l.B}, {l.B, l.A}} {
+			from, to := dir[0], dir[1]
+			fe, ok := t.entries[from]
+			if !ok || fe.class > ClassCustomer {
+				continue
+			}
+			updates = append(updates, upd{asn: to, e: entry{next: from, link: l, class: ClassPeer, plen: fe.plen + 1}})
+		}
+	}
+	for _, u := range updates {
+		if ie, ok := t.entries[u.asn]; !ok || better(u.e.class, u.e.plen, u.e.next, u.e.link, ie.class, ie.plen, ie.next, ie.link) {
+			t.entries[u.asn] = u.e
+		}
+	}
+
+	// Phase 3 — down: propagate along provider→customer edges until
+	// fixpoint. Providers export everything to customers.
+	for changed := true; changed; {
+		changed = false
+		for _, l := range e.w.Links {
+			if l.Rel != topology.RelC2P || !mask.LinkUp(l) {
+				continue
+			}
+			cust, prov := l.A, l.B
+			pe, ok := t.entries[prov]
+			if !ok {
+				continue
+			}
+			cand := entry{next: prov, link: l, class: ClassProvider, plen: pe.plen + 1}
+			if ie, ok := t.entries[cust]; !ok || better(cand.class, cand.plen, cand.next, cand.link, ie.class, ie.plen, ie.next, ie.link) {
+				t.entries[cust] = cand
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// Route reconstructs the full route from vantage toward the table's origin,
+// including the communities each on-path AS attaches at its ingress and the
+// route-server redistribution communities of multilateral hops. Communities
+// propagate from where they are attached toward the vantage; any
+// intermediate AS that scrubs foreign communities (StripsForeign) removes
+// everything attached closer to the origin, which is why location
+// communities reach collectors on only about half of all paths.
+func (e *Engine) Route(t *Table, vantage bgp.ASN) (*Route, bool) {
+	if _, ok := t.entries[vantage]; !ok {
+		return nil, false
+	}
+	r := &Route{Path: bgp.Path{vantage}}
+	cur := vantage
+	// True while no AS between the vantage and the current hop
+	// (exclusive) scrubs foreign communities.
+	visible := true
+	for cur != t.Origin {
+		ent := t.entries[cur]
+		r.Links = append(r.Links, ent.link)
+		// cur received this route from ent.next over ent.link: cur's
+		// ingress tagging applies. The tagging AS's own community is
+		// visible iff no downstream re-announcer scrubbed it.
+		if visible {
+			if comm, _, ok := e.w.IngressCommunity(cur, ent.link); ok {
+				r.Communities = append(r.Communities, comm)
+			}
+			if ent.link != nil && ent.link.Kind == topology.Multilateral {
+				if rs := e.w.RSASNOf(ent.link.IXP); rs != 0 {
+					r.Communities = append(r.Communities, bgp.MakeCommunity(uint16(rs), topology.RSCommunityLow))
+				}
+			}
+		}
+		if a, ok := e.w.AS(cur); ok && a.StripsForeign {
+			// cur scrubs everything attached upstream of itself; its own
+			// ingress tag (added above) already passed.
+			visible = false
+		}
+		cur = ent.next
+		r.Path = append(r.Path, cur)
+		if len(r.Path) > 64 {
+			return nil, false // defensive bound; tables never produce cycles
+		}
+	}
+	r.Communities = r.Communities.Normalize()
+	return r, true
+}
+
+// RIB is a set of per-origin tables under one mask.
+type RIB struct {
+	Tables map[bgp.ASN]*Table
+}
+
+// ComputeOrigins computes tables for the given origins concurrently
+// (results are independent, so parallelism preserves determinism).
+func (e *Engine) ComputeOrigins(origins []bgp.ASN, mask *Mask) *RIB {
+	rib := &RIB{Tables: make(map[bgp.ASN]*Table, len(origins))}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for _, o := range origins {
+		wg.Add(1)
+		go func(origin bgp.ASN) {
+			defer wg.Done()
+			sem <- struct{}{}
+			t := e.ComputeOrigin(origin, mask)
+			<-sem
+			mu.Lock()
+			rib.Tables[origin] = t
+			mu.Unlock()
+		}(o)
+	}
+	wg.Wait()
+	return rib
+}
+
+// ComputeAll computes tables for every AS in the world.
+func (e *Engine) ComputeAll(mask *Mask) *RIB {
+	origins := make([]bgp.ASN, 0, len(e.w.ASes))
+	for _, a := range e.w.ASes {
+		origins = append(origins, a.ASN)
+	}
+	return e.ComputeOrigins(origins, mask)
+}
+
+// AffectedOrigins returns the origins whose current tables route any AS
+// over any of the given links — the candidates for recomputation after a
+// failure or restoration touching those links.
+func (r *RIB) AffectedOrigins(linkIDs map[int]bool) []bgp.ASN {
+	var out []bgp.ASN
+	for origin, t := range r.Tables {
+		for _, e := range t.entries {
+			if e.link != nil && linkIDs[e.link.ID] {
+				out = append(out, origin)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Change is one route difference at a vantage AS for one origin.
+type Change struct {
+	Origin  bgp.ASN
+	Vantage bgp.ASN
+	Old     *Route // nil: newly reachable
+	New     *Route // nil: withdrawn
+}
+
+// DiffTables compares two tables for the same origin at the given vantage
+// points and returns the route-level changes.
+func (e *Engine) DiffTables(old, new_ *Table, vantages []bgp.ASN) []Change {
+	var out []Change
+	for _, v := range vantages {
+		var or, nr *Route
+		if old != nil {
+			or, _ = e.Route(old, v)
+		}
+		if new_ != nil {
+			nr, _ = e.Route(new_, v)
+		}
+		if or == nil && nr == nil {
+			continue
+		}
+		if or.Equal(nr) {
+			continue
+		}
+		origin := bgp.ASN(0)
+		if old != nil {
+			origin = old.Origin
+		} else if new_ != nil {
+			origin = new_.Origin
+		}
+		out = append(out, Change{Origin: origin, Vantage: v, Old: or, New: nr})
+	}
+	return out
+}

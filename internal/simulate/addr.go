@@ -1,0 +1,21 @@
+package simulate
+
+import (
+	"net/netip"
+
+	"kepler/internal/bgp"
+)
+
+// v4NextHop derives a stable IPv4 next-hop/peer address for a vantage AS.
+func v4NextHop(v bgp.ASN) netip.Addr {
+	return netip.AddrFrom4([4]byte{198, 32, byte(v >> 8), byte(v)})
+}
+
+// v6NextHop derives a stable IPv6 next-hop/peer address for a vantage AS.
+func v6NextHop(v bgp.ASN) netip.Addr {
+	var b [16]byte
+	b[0], b[1], b[2], b[3] = 0x20, 0x01, 0x07, 0xf8
+	b[4], b[5] = 0xff, 0xff
+	b[14], b[15] = byte(v>>8), byte(v)
+	return netip.AddrFrom16(b)
+}

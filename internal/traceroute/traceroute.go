@@ -1,0 +1,326 @@
+// Package traceroute is Kepler's data-plane substrate (Section 4.4): it
+// synthesizes IP-level forward paths from the routing engine's AS-level
+// routes, maps IP hops back to IXPs (via peering-LAN prefixes, the
+// traIXroute technique) and to facilities (via an interface map), models
+// round-trip times from great-circle propagation delays, maintains weekly
+// trace archives from which stable baseline subpaths are derived (the
+// PathCache approach), and enforces the measurement budgets public
+// platforms such as RIPE Atlas impose.
+package traceroute
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/geo"
+	"kepler/internal/routing"
+	"kepler/internal/topology"
+)
+
+// Hop is one IP-level hop of a trace.
+type Hop struct {
+	Addr     netip.Addr
+	ASN      bgp.ASN         // AS owning the interface (IXP LAN addresses belong to the member)
+	Facility colo.FacilityID // building housing the interface, 0 if unmapped
+	IXP      colo.IXPID      // nonzero for peering-LAN interfaces
+	RTTms    float64         // cumulative round-trip time at this hop
+}
+
+// Trace is one traceroute measurement.
+type Trace struct {
+	Src, Dst bgp.ASN
+	Hops     []Hop
+}
+
+// RTT returns the end-to-end round-trip time in milliseconds.
+func (t *Trace) RTT() float64 {
+	if len(t.Hops) == 0 {
+		return 0
+	}
+	return t.Hops[len(t.Hops)-1].RTTms
+}
+
+// CrossesIXP reports whether any hop is on the IXP's peering LAN.
+func (t *Trace) CrossesIXP(ix colo.IXPID) bool {
+	for _, h := range t.Hops {
+		if h.IXP == ix {
+			return true
+		}
+	}
+	return false
+}
+
+// CrossesFacility reports whether any hop interface is housed in the
+// facility.
+func (t *Trace) CrossesFacility(f colo.FacilityID) bool {
+	for _, h := range t.Hops {
+		if h.Facility == f {
+			return true
+		}
+	}
+	return false
+}
+
+// InfraKey summarizes the infrastructure sequence of a trace: the ordered
+// facility/IXP crossings. Two traces with the same key interconnect over
+// the same physical hops.
+func (t *Trace) InfraKey() string {
+	key := ""
+	for _, h := range t.Hops {
+		switch {
+		case h.IXP != 0:
+			key += fmt.Sprintf("x%d,", h.IXP)
+		case h.Facility != 0:
+			key += fmt.Sprintf("f%d,", h.Facility)
+		}
+	}
+	return key
+}
+
+// Tracer synthesizes traces from routing state.
+type Tracer struct {
+	w   *topology.World
+	eng *routing.Engine
+}
+
+// NewTracer builds a tracer over the engine's world.
+func NewTracer(eng *routing.Engine) *Tracer {
+	return &Tracer{w: eng.World(), eng: eng}
+}
+
+// routerAddr derives a deterministic infrastructure address for an AS
+// router located in a facility, drawn from the AS's first prefix.
+func (tr *Tracer) routerAddr(asn bgp.ASN, fac colo.FacilityID) netip.Addr {
+	a, ok := tr.w.AS(asn)
+	if !ok || len(a.Prefixes) == 0 {
+		return netip.AddrFrom4([4]byte{192, 0, 2, byte(asn)})
+	}
+	base := a.Prefixes[0].Addr().As4()
+	base[3] = byte(1 + uint32(fac)%250)
+	return netip.AddrFrom4(base)
+}
+
+// lanAddr derives the member's address on the IXP peering LAN.
+func (tr *Tracer) lanAddr(ix colo.IXPID, member bgp.ASN) netip.Addr {
+	ixp, ok := tr.w.Map.IXP(ix)
+	if !ok || len(ixp.LANs) == 0 {
+		return netip.AddrFrom4([4]byte{203, 0, 113, byte(member)})
+	}
+	var lan netip.Prefix
+	for _, p := range ixp.LANs {
+		if p.Addr().Is4() {
+			lan = p
+			break
+		}
+	}
+	if !lan.IsValid() {
+		lan = ixp.LANs[0]
+	}
+	idx := 1
+	for i, m := range ixp.Members {
+		if m == member {
+			idx = i + 2
+			break
+		}
+	}
+	base := lan.Addr().As4()
+	base[2] += byte(idx >> 8)
+	base[3] = byte(idx)
+	return netip.AddrFrom4(base)
+}
+
+// hopCoord locates a hop for delay modelling: facility city, else IXP city,
+// else the AS home city.
+func (tr *Tracer) hopCoord(asn bgp.ASN, fac colo.FacilityID, ix colo.IXPID) geo.Coord {
+	var city geo.CityID
+	if fac != 0 {
+		city = tr.w.Map.CityOf(colo.FacilityPoP(fac))
+	}
+	if city == geo.NoCity && ix != 0 {
+		city = tr.w.Map.CityOf(colo.IXPPoP(ix))
+	}
+	if city == geo.NoCity {
+		if a, ok := tr.w.AS(asn); ok {
+			city = a.HomeCity
+		}
+	}
+	if c, ok := tr.w.Geo.City(city); ok {
+		return c.Coord
+	}
+	return geo.Coord{}
+}
+
+// nearFacility picks the facility housing asn's side of link l.
+func nearFacility(l *topology.Interconnect, asn bgp.ASN) colo.FacilityID {
+	if l == nil {
+		return 0
+	}
+	if l.Facility != 0 {
+		return l.Facility
+	}
+	return l.PortFacility(asn)
+}
+
+// Trace synthesizes the forward path from src toward the table's origin
+// under the routing state embodied by the table. ok is false when src has
+// no route.
+func (tr *Tracer) Trace(table *routing.Table, src bgp.ASN) (*Trace, bool) {
+	route, ok := tr.eng.Route(table, src)
+	if !ok {
+		return nil, false
+	}
+	t := &Trace{Src: src, Dst: table.Origin}
+	var rtt float64
+	var prev geo.Coord
+	emit := func(addr netip.Addr, asn bgp.ASN, fac colo.FacilityID, ix colo.IXPID) {
+		coord := tr.hopCoord(asn, fac, ix)
+		if len(t.Hops) > 0 && coord.Valid() && prev.Valid() {
+			rtt += 2 * geo.PropagationDelay(prev, coord)
+		}
+		rtt += 0.3 // per-hop forwarding latency
+		if coord.Valid() {
+			prev = coord
+		}
+		t.Hops = append(t.Hops, Hop{Addr: addr, ASN: asn, Facility: fac, IXP: ix, RTTms: rtt})
+	}
+
+	// Source router.
+	var firstFac colo.FacilityID
+	if len(route.Links) > 0 {
+		firstFac = nearFacility(route.Links[0], src)
+	}
+	prev = tr.hopCoord(src, firstFac, 0)
+	emit(tr.routerAddr(src, firstFac), src, firstFac, 0)
+
+	for i, l := range route.Links {
+		near := route.Path[i]
+		far := route.Path[i+1]
+		if l != nil && l.IXP != 0 {
+			// Crossing a peering LAN: the far member's LAN interface
+			// responds (attributed to the member, located at the far port
+			// facility when known, else the IXP's city).
+			emit(tr.lanAddr(l.IXP, far), far, l.PortFacility(far), l.IXP)
+		} else if l != nil {
+			// PNI: far router in the shared building.
+			emit(tr.routerAddr(far, l.Facility), far, l.Facility, 0)
+		}
+		// Far AS egress/backbone router toward the next hop.
+		var nextFac colo.FacilityID
+		if i+1 < len(route.Links) {
+			nextFac = nearFacility(route.Links[i+1], far)
+		}
+		if nextFac != 0 || i+1 == len(route.Links) {
+			emit(tr.routerAddr(far, nextFac), far, nextFac, 0)
+		}
+		_ = near
+	}
+	return t, true
+}
+
+// IPToIXP resolves an address to the IXP whose peering LAN contains it —
+// the traIXroute technique of Section 4.4.
+func (tr *Tracer) IPToIXP(addr netip.Addr) (colo.IXPID, bool) {
+	for _, ix := range tr.w.Map.IXPs() {
+		for _, lan := range ix.LANs {
+			if lan.Contains(addr) {
+				return ix.ID, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Platform is a rate-limited measurement platform (RIPE Atlas, Looking
+// Glasses). Each trace consumes one credit.
+type Platform struct {
+	Budget int // remaining credits
+	Used   int
+}
+
+// ErrBudget is returned when the platform budget is exhausted.
+var ErrBudget = fmt.Errorf("traceroute: measurement budget exhausted")
+
+// Trace runs a measurement through the platform, consuming budget.
+func (p *Platform) Trace(tr *Tracer, table *routing.Table, src bgp.ASN) (*Trace, error) {
+	if p.Budget <= 0 {
+		return nil, ErrBudget
+	}
+	p.Budget--
+	p.Used++
+	t, ok := tr.Trace(table, src)
+	if !ok {
+		return nil, fmt.Errorf("traceroute: %v has no route to %v", src, table.Origin)
+	}
+	return t, nil
+}
+
+// pairKey identifies a measured (src, dst) pair.
+type pairKey struct {
+	src, dst bgp.ASN
+}
+
+// Archive stores weekly trace dumps, mirroring the public repositories
+// (RIPE Atlas, Ark, iPlane) Kepler consumes opportunistically.
+type Archive struct {
+	weeks []map[pairKey]*Trace
+}
+
+// AddWeek appends one weekly dump.
+func (a *Archive) AddWeek(traces []*Trace) {
+	dump := make(map[pairKey]*Trace, len(traces))
+	for _, t := range traces {
+		dump[pairKey{t.Src, t.Dst}] = t
+	}
+	a.weeks = append(a.weeks, dump)
+}
+
+// Weeks returns the number of stored dumps.
+func (a *Archive) Weeks() int { return len(a.weeks) }
+
+// StablePair is an AS pair whose traces crossed the same infrastructure
+// sequence in every one of the last N weekly dumps (Section 4.4's baseline
+// construction).
+type StablePair struct {
+	Src, Dst bgp.ASN
+	InfraKey string
+	Last     *Trace
+}
+
+// StablePairs returns the pairs stable across the most recent n dumps.
+func (a *Archive) StablePairs(n int) []StablePair {
+	if n <= 0 || len(a.weeks) < n {
+		return nil
+	}
+	recent := a.weeks[len(a.weeks)-n:]
+	var out []StablePair
+	keys := make([]pairKey, 0, len(recent[0]))
+	for k := range recent[0] {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	for _, k := range keys {
+		ref := recent[0][k].InfraKey()
+		stable := ref != ""
+		var last *Trace
+		for _, week := range recent {
+			t, ok := week[k]
+			if !ok || t.InfraKey() != ref {
+				stable = false
+				break
+			}
+			last = t
+		}
+		if stable {
+			out = append(out, StablePair{Src: k.src, Dst: k.dst, InfraKey: ref, Last: last})
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package traceroute
+
+import (
+	"testing"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/routing"
+	"kepler/internal/topology"
+)
+
+func world(t *testing.T) (*topology.World, *routing.Engine) {
+	t.Helper()
+	w, err := topology.Generate(topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, routing.New(w)
+}
+
+func TestTraceBasics(t *testing.T) {
+	w, eng := world(t)
+	tr := NewTracer(eng)
+
+	origin := w.ASes[len(w.ASes)-1].ASN
+	table := eng.ComputeOrigin(origin, nil)
+	src := w.Collectors[0].Peers[0]
+
+	trace, ok := tr.Trace(table, src)
+	if !ok {
+		t.Fatalf("%v has no route to %v", src, origin)
+	}
+	if trace.Src != src || trace.Dst != origin {
+		t.Errorf("endpoints = %v -> %v", trace.Src, trace.Dst)
+	}
+	if len(trace.Hops) < 2 {
+		t.Fatalf("trace too short: %d hops", len(trace.Hops))
+	}
+	// First hop belongs to the source, last to the destination.
+	if trace.Hops[0].ASN != src {
+		t.Errorf("first hop AS = %v", trace.Hops[0].ASN)
+	}
+	if trace.Hops[len(trace.Hops)-1].ASN != origin {
+		t.Errorf("last hop AS = %v", trace.Hops[len(trace.Hops)-1].ASN)
+	}
+	// RTT must be cumulative and nonnegative.
+	prev := 0.0
+	for i, h := range trace.Hops {
+		if h.RTTms < prev {
+			t.Fatalf("RTT decreased at hop %d: %f < %f", i, h.RTTms, prev)
+		}
+		prev = h.RTTms
+		if !h.Addr.IsValid() {
+			t.Fatalf("hop %d has invalid address", i)
+		}
+	}
+	if trace.RTT() <= 0 {
+		t.Error("zero end-to-end RTT")
+	}
+}
+
+func TestTraceIXPDetection(t *testing.T) {
+	w, eng := world(t)
+	tr := NewTracer(eng)
+
+	// Find a multilateral link and trace across it.
+	var link *topology.Interconnect
+	for _, l := range w.Links {
+		if l.Kind == topology.Multilateral {
+			link = l
+			break
+		}
+	}
+	if link == nil {
+		t.Skip("no multilateral link in world")
+	}
+	table := eng.ComputeOrigin(link.A, nil)
+	trace, ok := tr.Trace(table, link.B)
+	if !ok {
+		t.Fatal("no route across peering link")
+	}
+	// If the chosen route still uses this IXP, the trace must show a LAN
+	// hop that IPToIXP resolves.
+	if trace.CrossesIXP(link.IXP) {
+		found := false
+		for _, h := range trace.Hops {
+			if h.IXP == link.IXP {
+				ix, ok := tr.IPToIXP(h.Addr)
+				if !ok || ix != link.IXP {
+					t.Errorf("LAN hop %v does not resolve to IXP %d (got %d, %v)", h.Addr, link.IXP, ix, ok)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Error("no LAN hop on an IXP-crossing trace")
+		}
+	}
+}
+
+func TestTraceRerouteChangesInfraKey(t *testing.T) {
+	w, eng := world(t)
+	tr := NewTracer(eng)
+
+	// Find a PNI whose facility, when failed, changes some route.
+	for _, l := range w.Links {
+		if l.Kind != topology.PNI || l.Facility == 0 || l.Rel != topology.RelP2P {
+			continue
+		}
+		before := eng.ComputeOrigin(l.A, nil)
+		tb, ok := tr.Trace(before, l.B)
+		if !ok || !tb.CrossesFacility(l.Facility) {
+			continue
+		}
+		mask := routing.NewMask()
+		mask.FailFacility(l.Facility)
+		after := eng.ComputeOrigin(l.A, mask)
+		ta, ok := tr.Trace(after, l.B)
+		if !ok {
+			continue
+		}
+		if ta.CrossesFacility(l.Facility) {
+			t.Fatalf("trace still crosses failed facility %d", l.Facility)
+		}
+		if tb.InfraKey() == ta.InfraKey() {
+			t.Fatalf("infra key unchanged across reroute: %q", tb.InfraKey())
+		}
+		return
+	}
+	t.Skip("no suitable PNI found")
+}
+
+func TestPlatformBudget(t *testing.T) {
+	w, eng := world(t)
+	tr := NewTracer(eng)
+	table := eng.ComputeOrigin(w.ASes[0].ASN, nil)
+	src := w.Collectors[0].Peers[0]
+
+	p := &Platform{Budget: 2}
+	if _, err := p.Trace(tr, table, src); err != nil {
+		t.Fatalf("first trace failed: %v", err)
+	}
+	if _, err := p.Trace(tr, table, src); err != nil {
+		t.Fatalf("second trace failed: %v", err)
+	}
+	if _, err := p.Trace(tr, table, src); err != ErrBudget {
+		t.Errorf("expected ErrBudget, got %v", err)
+	}
+	if p.Used != 2 {
+		t.Errorf("Used = %d", p.Used)
+	}
+}
+
+func TestArchiveStablePairs(t *testing.T) {
+	w, eng := world(t)
+	tr := NewTracer(eng)
+
+	var srcs, dsts []bgp.ASN
+	for _, c := range w.Collectors {
+		srcs = append(srcs, c.Peers...)
+	}
+	for i := 0; i < 10; i++ {
+		dsts = append(dsts, w.ASes[i*7%len(w.ASes)].ASN)
+	}
+
+	collect := func(mask *routing.Mask) []*Trace {
+		var out []*Trace
+		for _, d := range dsts {
+			table := eng.ComputeOrigin(d, mask)
+			for _, s := range srcs {
+				if s == d {
+					continue
+				}
+				if trace, ok := tr.Trace(table, s); ok {
+					out = append(out, trace)
+				}
+			}
+		}
+		return out
+	}
+
+	a := &Archive{}
+	for week := 0; week < 4; week++ {
+		a.AddWeek(collect(nil))
+	}
+	if a.Weeks() != 4 {
+		t.Fatalf("weeks = %d", a.Weeks())
+	}
+	stable := a.StablePairs(4)
+	if len(stable) == 0 {
+		t.Fatal("no stable pairs across identical weeks")
+	}
+	for _, sp := range stable {
+		if sp.InfraKey == "" || sp.Last == nil {
+			t.Fatalf("bad stable pair %+v", sp)
+		}
+	}
+	// Requesting more weeks than stored yields nothing.
+	if got := a.StablePairs(9); got != nil {
+		t.Errorf("StablePairs(9) = %v", got)
+	}
+}
+
+func TestArchiveInstabilityExcluded(t *testing.T) {
+	w, eng := world(t)
+	tr := NewTracer(eng)
+
+	// Build 3 identical weeks, then one week under a big failure: pairs
+	// whose infrastructure changed must drop out of the stable set.
+	var fac colo.FacilityID
+	for _, f := range w.Map.Facilities() {
+		if len(f.Members) > 5 {
+			fac = f.ID
+			break
+		}
+	}
+	if fac == 0 {
+		t.Skip("no populated facility")
+	}
+	dst := w.ASes[3].ASN
+	srcs := w.Collectors[0].Peers
+
+	mk := func(mask *routing.Mask) []*Trace {
+		table := eng.ComputeOrigin(dst, mask)
+		var out []*Trace
+		for _, s := range srcs {
+			if trace, ok := tr.Trace(table, s); ok {
+				out = append(out, trace)
+			}
+		}
+		return out
+	}
+	a := &Archive{}
+	for i := 0; i < 3; i++ {
+		a.AddWeek(mk(nil))
+	}
+	stableBefore := len(a.StablePairs(3))
+
+	mask := routing.NewMask()
+	mask.FailFacility(fac)
+	a.AddWeek(mk(mask))
+	stableAfter := len(a.StablePairs(4))
+	if stableAfter > stableBefore {
+		t.Errorf("stability grew after disruption: %d -> %d", stableBefore, stableAfter)
+	}
+}
+
+func TestRTTIncreasesOnReroute(t *testing.T) {
+	w, eng := world(t)
+	tr := NewTracer(eng)
+
+	// Across many (src,dst) pairs, failing the facility of the primary
+	// path should on average not shorten RTTs (backup paths detour).
+	var sumBefore, sumAfter float64
+	n := 0
+	for _, l := range w.Links {
+		if l.Kind != topology.PNI || l.Rel != topology.RelP2P || l.Facility == 0 {
+			continue
+		}
+		before := eng.ComputeOrigin(l.A, nil)
+		tb, ok := tr.Trace(before, l.B)
+		if !ok || !tb.CrossesFacility(l.Facility) {
+			continue
+		}
+		mask := routing.NewMask()
+		mask.FailFacility(l.Facility)
+		after := eng.ComputeOrigin(l.A, mask)
+		ta, ok := tr.Trace(after, l.B)
+		if !ok {
+			continue
+		}
+		sumBefore += tb.RTT()
+		sumAfter += ta.RTT()
+		n++
+		if n >= 20 {
+			break
+		}
+	}
+	if n < 3 {
+		t.Skip("too few reroutable pairs")
+	}
+	if sumAfter < sumBefore*0.9 {
+		t.Errorf("mean RTT dropped after outages: %.1f -> %.1f over %d pairs", sumBefore/float64(n), sumAfter/float64(n), n)
+	}
+}

@@ -1,0 +1,78 @@
+// Package kepler is the public API of this repository's reproduction of
+// "Detecting Peering Infrastructure Outages in the Wild" (Giotsas et al.,
+// ACM SIGCOMM 2017). Kepler detects outages of colocation facilities and
+// IXPs purely from public BGP feeds by decoding location-encoding BGP
+// community values through an automatically mined dictionary, correlating
+// PoP-level path divergence against a colocation map, and validating the
+// inferred epicenters against data-plane measurements.
+//
+// The facade re-exports the detection core; richer control lives in the
+// internal packages, which the module's commands and examples exercise:
+//
+//   - internal/core        — the detection pipeline (this package's types)
+//   - internal/communities — community dictionary + documentation miner
+//   - internal/colo        — colocation map construction
+//   - internal/bgpstream   — unified multi-collector record feeds
+//   - internal/topology, internal/routing, internal/simulate — the
+//     synthetic Internet used for evaluation
+//
+// A minimal deployment:
+//
+//	det := kepler.NewDetector(kepler.DefaultConfig(), dict, cmap, orgs)
+//	for rec := range feed {
+//	    for _, outage := range det.Process(rec) {
+//	        log.Printf("outage at %v: %v..%v", outage.PoP, outage.Start, outage.End)
+//	    }
+//	}
+package kepler
+
+import (
+	"kepler/internal/as2org"
+	"kepler/internal/colo"
+	"kepler/internal/communities"
+	"kepler/internal/core"
+)
+
+// Core detection types, re-exported.
+type (
+	// Config carries Kepler's tuning parameters (thresholds, windows).
+	Config = core.Config
+	// Detector is the streaming detection pipeline.
+	Detector = core.Detector
+	// Outage is a completed PoP-level outage with duration and impact.
+	Outage = core.Outage
+	// Incident is one classified outage signal (link/AS/operator/PoP).
+	Incident = core.Incident
+	// IncidentKind is the signal classification granularity.
+	IncidentKind = core.IncidentKind
+	// DataPlane hooks targeted measurements into validation.
+	DataPlane = core.DataPlane
+
+	// Dictionary maps community values to physical PoPs.
+	Dictionary = communities.Dictionary
+	// ColocationMap answers AS/facility/IXP colocation queries.
+	ColocationMap = colo.Map
+	// PoP references a city, facility or IXP.
+	PoP = colo.PoP
+	// OrgTable maps ASes to the organizations operating them.
+	OrgTable = as2org.Table
+)
+
+// Incident kinds, re-exported.
+const (
+	IncidentLink     = core.IncidentLink
+	IncidentAS       = core.IncidentAS
+	IncidentOperator = core.IncidentOperator
+	IncidentPoP      = core.IncidentPoP
+)
+
+// DefaultConfig returns the paper's parameters: Tfail=10%, 60 s bins,
+// 2-day stable window, 95% colocation margin, 50% restore fraction, 12 h
+// oscillation gap.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewDetector builds a streaming detector over a mined dictionary, a
+// merged colocation map and an optional AS-to-organization table.
+func NewDetector(cfg Config, dict *Dictionary, cmap *ColocationMap, orgs *OrgTable) *Detector {
+	return core.New(cfg, dict, cmap, orgs)
+}
