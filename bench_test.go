@@ -9,6 +9,7 @@ package kepler_test
 // measure the hot paths of the pipeline itself.
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 
@@ -356,6 +357,38 @@ func BenchmarkDetectorThroughput(b *testing.B) {
 		det.Flush(records[len(records)-1].Time)
 	}
 	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// BenchmarkEngineIngest measures multi-core ingestion throughput of the
+// sharded engine over the historical archive, sweeping the shard count.
+// records/sec is the headline metric; shards=1 approximates the
+// sequential detector plus fan-out overhead, higher shard counts spread
+// the per-path work (community annotation, baseline maintenance) across
+// cores with the investigator synchronized at bin boundaries.
+func BenchmarkEngineIngest(b *testing.B) {
+	env := histEnv(b)
+	records := env.Res.Records
+	if len(records) > 100000 {
+		records = records[:100000]
+	}
+	last := records[len(records)-1].Time
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := env.Stack.NewEngine(kepler.DefaultConfig(), shards)
+				for _, rec := range records {
+					eng.Process(rec)
+				}
+				eng.Flush(last)
+				eng.Close()
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(len(records)*b.N)/secs, "records/sec")
+			}
+		})
+	}
 }
 
 // BenchmarkMRTArchive measures archive serialization throughput.

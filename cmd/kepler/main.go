@@ -5,9 +5,14 @@
 // generated with — the moral equivalent of Kepler refreshing its dictionary
 // and PeeringDB snapshot for the archive's time period.
 //
+// Replay runs on the sharded concurrent engine by default (one path-state
+// shard per core, investigation synchronized at bin boundaries); -shards 1
+// selects the sequential single-shard detector, which produces identical
+// output.
+//
 // Usage:
 //
-//	kepler -seed 1 -archive archive.mrt [-tfail 0.1] [-v]
+//	kepler -seed 1 -archive archive.mrt [-shards N] [-tfail 0.1] [-v]
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"kepler/internal/core"
@@ -30,6 +36,7 @@ func main() {
 		tfail   = flag.Float64("tfail", 0.10, "outage signal threshold")
 		verbose = flag.Bool("v", false, "also print link/AS-level incidents")
 		unres   = flag.Bool("report-unresolved", true, "report outages whose epicenter could not be pinned (no data plane in replay mode)")
+		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "path-state shard workers; 1 runs the sequential detector, <= 0 one worker per core")
 	)
 	flag.Parse()
 
@@ -52,7 +59,24 @@ func main() {
 	kcfg := core.DefaultConfig()
 	kcfg.Tfail = *tfail
 	kcfg.ReportUnresolved = *unres
-	det := stack.NewDetector(kcfg)
+
+	// Both paths share one processing interface; the engine additionally
+	// reports ingestion stats at exit.
+	type detection interface {
+		Process(*mrt.Record) []core.Outage
+		Flush(time.Time) []core.Outage
+		Incidents() []core.Incident
+	}
+	var det detection
+	var eng *core.Engine
+	if *shards == 1 {
+		det = stack.NewDetector(kcfg)
+	} else {
+		// Engine resolves <= 0 to one worker per core.
+		eng = stack.NewEngine(kcfg, *shards)
+		defer eng.Close()
+		det = eng
+	}
 
 	rd := mrt.NewReader(f)
 	var last time.Time
@@ -73,6 +97,9 @@ func main() {
 	}
 	for _, o := range det.Flush(last) {
 		printOutage(stack, o)
+	}
+	if eng != nil {
+		fmt.Fprintf(os.Stderr, "ingest: %v\n", eng.Stats())
 	}
 
 	counts := map[core.IncidentKind]int{}

@@ -1,0 +1,3 @@
+module kepler
+
+go 1.22

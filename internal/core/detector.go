@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-	"sort"
 	"time"
 
 	"kepler/internal/as2org"
@@ -13,405 +11,111 @@ import (
 	"kepler/internal/mrt"
 )
 
-// popEnd is one tagged (near, far) AS pair a path crosses at a PoP.
-type popEnd struct {
-	near, far bgp.ASN
+// binClock reproduces the pipeline's bin advancement: it yields every bin
+// end strictly before t's bin, in order, fast-forwarding across idle gaps.
+// Detector and Engine share it so their bin boundaries are identical for
+// any record stream.
+type binClock struct {
+	start    time.Time
+	interval time.Duration
 }
 
-// pathState is the tracked state of one monitored path.
-type pathState struct {
-	// tags maps each currently tagged PoP to its hop ends.
-	tags map[colo.PoP]popEnd
-	// since records when each PoP was first tagged continuously.
-	since map[colo.PoP]time.Time
-	// path is the current (deduplicated) AS path; kept so that signal
-	// investigation can intersect the old paths of diverted routes and
-	// recognize AS-level incidents (Section 4.3).
-	path bgp.Path
+// advance calls closeBin for each bin that ends at or before t's arrival,
+// then leaves start at the bin containing t.
+func (c *binClock) advance(t time.Time, closeBin func(end time.Time)) {
+	if c.start.IsZero() {
+		c.start = t.Truncate(c.interval)
+		return
+	}
+	for !t.Before(c.start.Add(c.interval)) {
+		end := c.start.Add(c.interval)
+		closeBin(end)
+		c.start = end
+		// Fast-forward across idle gaps.
+		if t.Sub(c.start) > 100*c.interval {
+			c.start = t.Truncate(c.interval)
+		}
+	}
 }
 
-// divertRec is one path leaving a PoP within the current bin.
-type divertRec struct {
-	key     PathKey
-	ends    popEnd
-	oldPath bgp.Path
-}
-
-// promo schedules a path's promotion into the stable baseline once its tag
-// has persisted for the stability window.
-type promo struct {
-	due   time.Time
-	key   PathKey
-	pop   colo.PoP
-	since time.Time // guards against re-tagging between scheduling and due
-}
-
-// promoQueue is a min-heap on due time.
-type promoQueue []promo
-
-func (q promoQueue) Len() int           { return len(q) }
-func (q promoQueue) Less(i, j int) bool { return q[i].due.Before(q[j].due) }
-func (q promoQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *promoQueue) Push(x any)        { *q = append(*q, x.(promo)) }
-func (q *promoQueue) Pop() any          { old := *q; n := len(old); p := old[n-1]; *q = old[:n-1]; return p }
-
-// Detector is the Kepler pipeline.
+// Detector is the sequential Kepler pipeline: one path-state shard driven
+// in-process, with the investigator invoked inline at each bin boundary.
+// It is the N=1 compatibility path of the sharded Engine and emits
+// identical output for any record stream. Records decompose through the
+// same single-shard fan-out the Engine uses, consumed synchronously, so
+// the two paths cannot drift.
 type Detector struct {
-	cfg  Config
-	dict *communities.Dictionary
-	cmap *colo.Map
-	orgs *as2org.Table
-	dp   DataPlane
+	cfg Config
+	sh  *pathShard
+	inv *investigator
 
-	paths map[PathKey]*pathState
-	// stable[pop][near] -> set of stable paths with that near-end AS.
-	stable map[colo.PoP]map[bgp.ASN]map[PathKey]popEnd
-
-	sessions *bgpstream.SessionTracker
-	// pathsOfPeer indexes paths by vantage for session-gap handling.
-	pathsOfPeer map[bgp.ASN]map[PathKey]bool
-	// pathsContaining counts monitored paths whose AS path traverses each
-	// ASN; signal investigation uses it to tell a globally vanishing AS
-	// (AS-level incident) from a hub that merely lost one site.
-	pathsContaining map[bgp.ASN]int
-
-	binStart time.Time
-	diverted map[colo.PoP]map[bgp.ASN][]divertRec // current bin
-	promos   promoQueue
-
-	incidents []Incident
-	tracker   *outageTracker
-	completed []Outage
+	fan   *bgpstream.Fanout
+	clock binClock
+	// shards is the one-element slice handed to closeBinOver.
+	shards []*pathShard
 }
+
+// shardView backs the investigator's state view with the single shard's
+// maps directly.
+type shardView struct{ sh *pathShard }
+
+func (v shardView) stableAt(pop colo.PoP) map[bgp.ASN]map[PathKey]popEnd { return v.sh.stable[pop] }
+func (v shardView) pathsContaining(a bgp.ASN) int                        { return v.sh.pathsContaining[a] }
 
 // New builds a detector. orgs may be nil (operator-level classification
 // then degrades to AS-level). The data plane is optional via SetDataPlane.
 func New(cfg Config, dict *communities.Dictionary, cmap *colo.Map, orgs *as2org.Table) *Detector {
+	sh := newPathShard(cfg, dict, cmap)
 	return &Detector{
-		cfg:             cfg,
-		dict:            dict,
-		cmap:            cmap,
-		orgs:            orgs,
-		paths:           make(map[PathKey]*pathState),
-		stable:          make(map[colo.PoP]map[bgp.ASN]map[PathKey]popEnd),
-		sessions:        bgpstream.NewSessionTracker(),
-		pathsOfPeer:     make(map[bgp.ASN]map[PathKey]bool),
-		pathsContaining: make(map[bgp.ASN]int),
-		diverted:        make(map[colo.PoP]map[bgp.ASN][]divertRec),
-		tracker:         newOutageTracker(cfg),
+		cfg:    cfg,
+		sh:     sh,
+		inv:    newInvestigator(cfg, cmap, orgs, shardView{sh}),
+		fan:    bgpstream.NewFanout(1),
+		clock:  binClock{interval: cfg.BinInterval},
+		shards: []*pathShard{sh},
 	}
 }
 
 // SetDataPlane wires the targeted-measurement backend.
-func (d *Detector) SetDataPlane(dp DataPlane) { d.dp = dp }
+func (d *Detector) SetDataPlane(dp DataPlane) { d.inv.dp = dp }
 
 // Process feeds one record (records must arrive in non-decreasing time
 // order, as bgpstream guarantees) and returns any outages that completed.
 func (d *Detector) Process(rec *mrt.Record) []Outage {
 	// Bin boundary first: close bins that ended before this record.
-	d.advanceTo(rec.Time)
+	// Promotions need no explicit run here: apply promotes up to each
+	// op's time, and op-less records leave no observable window before
+	// the next op or bin close does it.
+	d.clock.advance(rec.Time, d.closeBin)
 
-	switch rec.Kind {
-	case mrt.KindState:
-		d.sessions.Observe(rec)
-		if rec.NewState != mrt.StateEstablished {
-			// Feed disruption: drop this peer's paths from the baseline
-			// without treating the loss as routing divergence
-			// (Section 4.2's state-message handling).
-			d.suspendPeer(rec.PeerAS)
+	if d.fan.Add(rec) > 0 {
+		ops := d.fan.Take(0)
+		for i := range ops {
+			d.sh.apply(&ops[i])
 		}
-	case mrt.KindRIB, mrt.KindUpdate:
-		if rec.Update == nil {
-			break
-		}
-		for _, p := range rec.Update.Withdrawn {
-			d.withdraw(rec.Time, PathKey{Peer: rec.PeerAS, Prefix: p})
-		}
-		attrs := rec.Update.Attrs
-		for _, p := range rec.Update.Announced {
-			if err := bgp.Sanitize(p, attrs.ASPath); err != nil {
-				continue
-			}
-			d.announce(rec.Time, PathKey{Peer: rec.PeerAS, Prefix: p}, attrs.ASPath, attrs.Communities)
-		}
+		d.fan.Recycle(0, ops)
 	}
-	return d.drainCompleted()
+	return d.inv.drainCompleted()
+}
+
+// closeBin runs promotions due at the boundary, then the canonical
+// bin-close sequence over the single shard.
+func (d *Detector) closeBin(end time.Time) {
+	d.sh.runPromotions(end)
+	d.inv.closeBinOver(end, d.shards, d.sh.diverted, nil)
 }
 
 // Flush closes the current bin and any open outages as of the given time,
 // returning all remaining completed outages.
 func (d *Detector) Flush(asOf time.Time) []Outage {
-	d.advanceTo(asOf.Add(d.cfg.BinInterval))
-	d.tracker.closeAll(asOf)
-	d.tracker.drainCooling(d)
-	return d.drainCompleted()
+	d.clock.advance(asOf.Add(d.cfg.BinInterval), d.closeBin)
+	d.inv.tracker.closeAll(asOf)
+	d.inv.tracker.drainCooling(d.inv)
+	return d.inv.drainCompleted()
 }
 
 // Incidents returns every classified signal so far.
-func (d *Detector) Incidents() []Incident { return d.incidents }
+func (d *Detector) Incidents() []Incident { return d.inv.incidents }
 
 // OpenOutages returns the PoPs with ongoing outages.
-func (d *Detector) OpenOutages() []colo.PoP { return d.tracker.open() }
-
-func (d *Detector) drainCompleted() []Outage {
-	out := d.completed
-	d.completed = nil
-	return out
-}
-
-// advanceTo closes every bin strictly before t's bin.
-func (d *Detector) advanceTo(t time.Time) {
-	if d.binStart.IsZero() {
-		d.binStart = t.Truncate(d.cfg.BinInterval)
-		d.runPromotions(t)
-		return
-	}
-	for !t.Before(d.binStart.Add(d.cfg.BinInterval)) {
-		d.runPromotions(d.binStart.Add(d.cfg.BinInterval))
-		d.closeBin()
-		d.binStart = d.binStart.Add(d.cfg.BinInterval)
-		// Fast-forward across idle gaps.
-		if t.Sub(d.binStart) > 100*d.cfg.BinInterval {
-			d.binStart = t.Truncate(d.cfg.BinInterval)
-		}
-	}
-	d.runPromotions(t)
-}
-
-// runPromotions moves paths whose tags survived the stability window into
-// the stable baseline.
-func (d *Detector) runPromotions(now time.Time) {
-	for len(d.promos) > 0 && !d.promos[0].due.After(now) {
-		p := heap.Pop(&d.promos).(promo)
-		st := d.paths[p.key]
-		if st == nil {
-			continue
-		}
-		since, tagged := st.since[p.pop]
-		if !tagged || !since.Equal(p.since) {
-			continue // re-tagged since scheduling; a newer promo exists
-		}
-		d.addStable(p.pop, p.key, st.tags[p.pop])
-	}
-}
-
-// announce updates a path with a new tagged route.
-func (d *Detector) announce(at time.Time, key PathKey, path bgp.Path, comms bgp.Communities) {
-	hops := d.dict.Annotate(path, comms, d.cmap)
-	newTags := make(map[colo.PoP]popEnd, len(hops))
-	for _, h := range hops {
-		newTags[h.PoP] = popEnd{near: h.Near, far: h.Far}
-	}
-
-	st := d.paths[key]
-	if st == nil {
-		st = &pathState{tags: map[colo.PoP]popEnd{}, since: map[colo.PoP]time.Time{}}
-		d.paths[key] = st
-		if d.pathsOfPeer[key.Peer] == nil {
-			d.pathsOfPeer[key.Peer] = make(map[PathKey]bool)
-		}
-		d.pathsOfPeer[key.Peer][key] = true
-	}
-
-	// PoPs no longer tagged: divert events. A changed community counts as
-	// a route change even when the AS path is identical — and vice versa a
-	// kept community means no change for that PoP (Section 4.2).
-	for pop, ends := range st.tags {
-		if _, still := newTags[pop]; !still {
-			d.recordDivert(at, key, pop, ends, st.path)
-		}
-	}
-	// Newly tagged PoPs start their stability clock; kept PoPs keep it.
-	for pop, ends := range newTags {
-		if _, had := st.tags[pop]; !had {
-			st.since[pop] = at
-			heap.Push(&d.promos, promo{due: at.Add(d.cfg.StableWindow), key: key, pop: pop, since: at})
-		}
-		if at.Sub(st.since[pop]) >= d.cfg.StableWindow {
-			d.addStable(pop, key, ends)
-		}
-	}
-	for pop := range st.since {
-		if _, still := newTags[pop]; !still {
-			delete(st.since, pop)
-		}
-	}
-	st.tags = newTags
-	d.countPath(st.path, -1)
-	st.path = path.Dedup()
-	d.countPath(st.path, +1)
-
-	// A re-tag may return a diverted path to its baseline PoP.
-	d.tracker.noteReturn(at, key, newTags)
-}
-
-// withdraw removes a path entirely (explicit withdrawal).
-func (d *Detector) withdraw(at time.Time, key PathKey) {
-	st := d.paths[key]
-	if st == nil {
-		return
-	}
-	for pop, ends := range st.tags {
-		d.recordDivert(at, key, pop, ends, st.path)
-	}
-	d.countPath(st.path, -1)
-	delete(d.paths, key)
-	if m := d.pathsOfPeer[key.Peer]; m != nil {
-		delete(m, key)
-	}
-}
-
-// suspendPeer silently drops a peer's paths from monitoring state after a
-// collector feed disruption.
-func (d *Detector) suspendPeer(peer bgp.ASN) {
-	for key := range d.pathsOfPeer[peer] {
-		st := d.paths[key]
-		if st == nil {
-			continue
-		}
-		for pop := range st.tags {
-			d.removeStable(pop, key)
-		}
-		d.countPath(st.path, -1)
-		delete(d.paths, key)
-	}
-	delete(d.pathsOfPeer, peer)
-}
-
-// countPath adjusts pathsContaining for every AS on the path.
-func (d *Detector) countPath(path bgp.Path, delta int) {
-	for _, a := range path {
-		d.pathsContaining[a] += delta
-		if d.pathsContaining[a] <= 0 {
-			delete(d.pathsContaining, a)
-		}
-	}
-}
-
-func (d *Detector) addStable(pop colo.PoP, key PathKey, ends popEnd) {
-	byNear := d.stable[pop]
-	if byNear == nil {
-		byNear = make(map[bgp.ASN]map[PathKey]popEnd)
-		d.stable[pop] = byNear
-	}
-	set := byNear[ends.near]
-	if set == nil {
-		set = make(map[PathKey]popEnd)
-		byNear[ends.near] = set
-	}
-	set[key] = ends
-}
-
-func (d *Detector) removeStable(pop colo.PoP, key PathKey) {
-	for near, set := range d.stable[pop] {
-		if _, ok := set[key]; ok {
-			delete(set, key)
-			if len(set) == 0 {
-				delete(d.stable[pop], near)
-			}
-		}
-	}
-	if len(d.stable[pop]) == 0 {
-		delete(d.stable, pop)
-	}
-}
-
-// recordDivert notes that a stable path left a PoP within the current bin.
-// Non-stable paths are transient and ignored.
-func (d *Detector) recordDivert(at time.Time, key PathKey, pop colo.PoP, ends popEnd, oldPath bgp.Path) {
-	set := d.stable[pop][ends.near]
-	if _, stable := set[key]; !stable {
-		return
-	}
-	byNear := d.diverted[pop]
-	if byNear == nil {
-		byNear = make(map[bgp.ASN][]divertRec)
-		d.diverted[pop] = byNear
-	}
-	byNear[ends.near] = append(byNear[ends.near], divertRec{key: key, ends: ends, oldPath: oldPath})
-}
-
-// signal is one (pop, nearAS) outage signal raised at a bin boundary.
-type signal struct {
-	pop      colo.PoP
-	near     bgp.ASN
-	diverted []divertRec
-	stable   int
-}
-
-// closeBin evaluates thresholds, classifies signals and updates outage
-// tracking for the bin ending now.
-func (d *Detector) closeBin() {
-	if len(d.diverted) == 0 {
-		d.tracker.tick(d.binStart.Add(d.cfg.BinInterval), d)
-		return
-	}
-	binEnd := d.binStart.Add(d.cfg.BinInterval)
-
-	var signals []signal
-	pops := make([]colo.PoP, 0, len(d.diverted))
-	for pop := range d.diverted {
-		pops = append(pops, pop)
-	}
-	sort.Slice(pops, func(i, j int) bool {
-		if pops[i].Kind != pops[j].Kind {
-			return pops[i].Kind < pops[j].Kind
-		}
-		return pops[i].ID < pops[j].ID
-	})
-	for _, pop := range pops {
-		nears := make([]bgp.ASN, 0, len(d.diverted[pop]))
-		for near := range d.diverted[pop] {
-			nears = append(nears, near)
-		}
-		sort.Slice(nears, func(i, j int) bool { return nears[i] < nears[j] })
-
-		if d.cfg.DisablePerASGrouping {
-			// Ablation mode: one aggregate fraction per PoP. A partial
-			// outage hitting regional ASes drowns under a big AS's
-			// unaffected paths — the bias the paper's grouping removes.
-			divertedTotal := 0
-			for _, near := range nears {
-				divertedTotal += len(d.diverted[pop][near])
-			}
-			total := d.totalStableAt(pop)
-			if total == 0 || float64(divertedTotal)/float64(total) <= d.cfg.Tfail {
-				continue
-			}
-			for _, near := range nears {
-				recs := d.diverted[pop][near]
-				signals = append(signals, signal{pop: pop, near: near, diverted: recs, stable: len(d.stable[pop][near])})
-			}
-			continue
-		}
-
-		for _, near := range nears {
-			recs := d.diverted[pop][near]
-			stableCount := len(d.stable[pop][near]) // still includes diverted ones
-			if stableCount == 0 {
-				continue
-			}
-			frac := float64(len(recs)) / float64(stableCount)
-			if frac > d.cfg.Tfail {
-				signals = append(signals, signal{pop: pop, near: near, diverted: recs, stable: stableCount})
-			}
-		}
-	}
-
-	if len(signals) > 0 {
-		d.investigate(binEnd, signals)
-	}
-
-	// Diverted paths leave the stable baseline (Section 4.2: "after each
-	// binning interval, we remove the changed paths from the set of
-	// stable paths").
-	for pop, byNear := range d.diverted {
-		for _, recs := range byNear {
-			for _, r := range recs {
-				d.removeStable(pop, r.key)
-			}
-		}
-	}
-	d.diverted = make(map[colo.PoP]map[bgp.ASN][]divertRec)
-	d.tracker.tick(binEnd, d)
-}
+func (d *Detector) OpenOutages() []colo.PoP { return d.inv.tracker.open() }

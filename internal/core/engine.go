@@ -1,0 +1,315 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"kepler/internal/as2org"
+	"kepler/internal/bgp"
+	"kepler/internal/bgpstream"
+	"kepler/internal/colo"
+	"kepler/internal/communities"
+	"kepler/internal/metrics"
+	"kepler/internal/mrt"
+)
+
+// engineBatchSize is how many route ops accumulate per shard before a
+// batch is shipped to its worker; barriers flush partial batches.
+const engineBatchSize = 256
+
+// engineQueueLen is the per-shard channel depth, in batches.
+const engineQueueLen = 64
+
+// shardMsg is one unit on a shard worker's queue: an op batch, optionally
+// followed by a bin barrier.
+type shardMsg struct {
+	ops     []bgpstream.RouteOp
+	barrier *binBarrier
+}
+
+// binBarrier synchronizes all shards at a bin boundary: each worker runs
+// its due promotions, reports ready, and blocks until the investigator —
+// which owns shard state outright while they are paused — releases it.
+type binBarrier struct {
+	end    time.Time
+	ready  sync.WaitGroup
+	resume chan struct{}
+}
+
+// engineShard couples a path-state shard with its worker goroutine.
+type engineShard struct {
+	ps   *pathShard
+	in   chan shardMsg
+	done chan struct{}
+}
+
+func (s *engineShard) run() {
+	defer close(s.done)
+	for msg := range s.in {
+		for i := range msg.ops {
+			s.ps.apply(&msg.ops[i])
+		}
+		if b := msg.barrier; b != nil {
+			s.ps.runPromotions(b.end)
+			b.ready.Done()
+			<-b.resume
+		}
+	}
+}
+
+// mergedView backs the investigator's state view with an on-demand merge
+// across shards. It is only consulted between a barrier's ready and resume
+// points, while every shard worker is paused, so the raw maps are safe to
+// read. Merged maps are cached per bin close and dropped before resume.
+type mergedView struct {
+	shards []*engineShard
+	cache  map[colo.PoP]map[bgp.ASN]map[PathKey]popEnd
+}
+
+func (v *mergedView) stableAt(pop colo.PoP) map[bgp.ASN]map[PathKey]popEnd {
+	if m, ok := v.cache[pop]; ok {
+		return m
+	}
+	var single map[bgp.ASN]map[PathKey]popEnd
+	contributors := 0
+	for _, s := range v.shards {
+		if m := s.ps.stable[pop]; len(m) > 0 {
+			contributors++
+			single = m
+		}
+	}
+	var out map[bgp.ASN]map[PathKey]popEnd
+	switch contributors {
+	case 0:
+	case 1:
+		out = single
+	default:
+		out = make(map[bgp.ASN]map[PathKey]popEnd)
+		for _, s := range v.shards {
+			for near, set := range s.ps.stable[pop] {
+				dst := out[near]
+				if dst == nil {
+					dst = make(map[PathKey]popEnd, len(set))
+					out[near] = dst
+				}
+				for key, ends := range set {
+					dst[key] = ends
+				}
+			}
+		}
+	}
+	v.cache[pop] = out
+	return out
+}
+
+func (v *mergedView) pathsContaining(a bgp.ASN) int {
+	n := 0
+	for _, s := range v.shards {
+		n += s.ps.pathsContaining[a]
+	}
+	return n
+}
+
+func (v *mergedView) reset() {
+	v.cache = make(map[colo.PoP]map[bgp.ASN]map[PathKey]popEnd)
+}
+
+// Engine is the sharded concurrent Kepler pipeline: a fan-out stage routes
+// each record's path-level ops to N shard workers that own disjoint hash
+// partitions of the per-path monitoring state, and a bin-synchronized
+// investigator merges the shards' divert records and stable-baseline views
+// at every 60 s bin close to run the Section 4.3 signal investigation
+// unchanged. For any record stream the engine emits exactly the same
+// Outages and Incidents as the sequential Detector; Detector remains the
+// zero-goroutine N=1 compatibility path.
+type Engine struct {
+	cfg    Config
+	inv    *investigator
+	view   *mergedView
+	shards []*engineShard
+	// shardStates mirrors shards for the shared closeBinOver sequence.
+	shardStates []*pathShard
+	fan         *bgpstream.Fanout
+	clock       binClock
+
+	// opsSinceBarrier lets idle bins skip the full barrier handshake: with
+	// no ops dispatched and no outage state in flight, a bin close is a
+	// provable no-op.
+	opsSinceBarrier bool
+	stats           metrics.IngestStats
+	closed          bool
+}
+
+// NewEngine builds a sharded engine with the given number of shard
+// workers; shards <= 0 selects GOMAXPROCS. orgs may be nil. Call Close
+// when done to stop the workers.
+func NewEngine(cfg Config, dict *communities.Dictionary, cmap *colo.Map, orgs *as2org.Table, shards int) *Engine {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		cfg:   cfg,
+		fan:   bgpstream.NewFanout(shards),
+		clock: binClock{interval: cfg.BinInterval},
+	}
+	e.shards = make([]*engineShard, shards)
+	e.shardStates = make([]*pathShard, shards)
+	for i := range e.shards {
+		e.shards[i] = &engineShard{
+			ps:   newPathShard(cfg, dict, cmap),
+			in:   make(chan shardMsg, engineQueueLen),
+			done: make(chan struct{}),
+		}
+		e.shardStates[i] = e.shards[i].ps
+	}
+	e.view = &mergedView{shards: e.shards}
+	e.view.reset()
+	e.inv = newInvestigator(cfg, cmap, orgs, e.view)
+	for _, s := range e.shards {
+		go s.run()
+	}
+	return e
+}
+
+// Shards returns the number of shard workers.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// SetDataPlane wires the targeted-measurement backend. It must be called
+// before the first Process.
+func (e *Engine) SetDataPlane(dp DataPlane) { e.inv.dp = dp }
+
+// Process feeds one record (records must arrive in non-decreasing time
+// order) and returns any outages that completed at bin boundaries crossed
+// by this record.
+func (e *Engine) Process(rec *mrt.Record) []Outage {
+	e.stats.Begin()
+	e.stats.Records.Add(1)
+	e.clock.advance(rec.Time, e.closeBin)
+	if n := e.fan.Add(rec); n > 0 {
+		e.opsSinceBarrier = true
+		e.stats.Ops.Add(int64(n))
+	}
+	for i := range e.shards {
+		if e.fan.Pending(i) >= engineBatchSize {
+			e.shards[i].in <- shardMsg{ops: e.fan.Take(i)}
+		}
+	}
+	return e.inv.drainCompleted()
+}
+
+// closeBin executes the barrier protocol for one bin boundary: flush
+// pending ops, pause every shard after its due promotions, reconcile path
+// returns, run the investigation over the merged divert and stable views,
+// tick outage tracking, redistribute restoration watches, and release the
+// shards (which then drop their diverted paths from the stable baseline).
+func (e *Engine) closeBin(end time.Time) {
+	if !e.opsSinceBarrier && e.inv.tracker.idle() {
+		return // nothing processed, nothing tracked: the bin close is a no-op
+	}
+	t0 := time.Now()
+	b := &binBarrier{end: end, resume: make(chan struct{})}
+	b.ready.Add(len(e.shards))
+	for i, s := range e.shards {
+		s.in <- shardMsg{ops: e.fan.Take(i), barrier: b}
+	}
+	b.ready.Wait()
+
+	// Shards are paused: the investigator owns their state until resume.
+	e.inv.closeBinOver(end, e.shardStates, e.mergeDiverted(), func(k PathKey) int {
+		return e.fan.ShardOf(k.Peer, k.Prefix)
+	})
+	e.view.reset()
+	close(b.resume)
+
+	e.opsSinceBarrier = false
+	e.stats.Bins.Add(1)
+	e.stats.BarrierNanos.Add(time.Since(t0).Nanoseconds())
+}
+
+// mergeDiverted combines the shards' current-bin divert indexes. Slices
+// are ordered by global op sequence so the merged index is exactly the one
+// the sequential detector would have built.
+func (e *Engine) mergeDiverted() map[colo.PoP]map[bgp.ASN][]divertRec {
+	var single *pathShard
+	contributors := 0
+	for _, s := range e.shards {
+		if len(s.ps.diverted) > 0 {
+			contributors++
+			single = s.ps
+		}
+	}
+	switch contributors {
+	case 0:
+		return nil
+	case 1:
+		// A lone contributor's slices are already in op order; the map is
+		// only read until the shards resume (finishBin replaces it).
+		return single.diverted
+	}
+	merged := make(map[colo.PoP]map[bgp.ASN][]divertRec)
+	for _, s := range e.shards {
+		for pop, byNear := range s.ps.diverted {
+			dst := merged[pop]
+			if dst == nil {
+				dst = make(map[bgp.ASN][]divertRec)
+				merged[pop] = dst
+			}
+			for near, recs := range byNear {
+				dst[near] = append(dst[near], recs...)
+			}
+		}
+	}
+	for _, byNear := range merged {
+		for _, recs := range byNear {
+			sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+		}
+	}
+	return merged
+}
+
+// Flush closes the current bin and any open outages as of the given time,
+// returning all remaining completed outages. The engine stays usable for
+// further records afterwards.
+func (e *Engine) Flush(asOf time.Time) []Outage {
+	e.clock.advance(asOf.Add(e.cfg.BinInterval), e.closeBin)
+	e.inv.tracker.closeAll(asOf)
+	e.inv.tracker.drainCooling(e.inv)
+	return e.inv.drainCompleted()
+}
+
+// Incidents returns every classified signal so far. Only valid between
+// Process calls (the investigator appends at bin boundaries).
+func (e *Engine) Incidents() []Incident { return e.inv.incidents }
+
+// OpenOutages returns the PoPs with ongoing outages.
+func (e *Engine) OpenOutages() []colo.PoP { return e.inv.tracker.open() }
+
+// SessionTracker exposes the fan-out's session tracker.
+func (e *Engine) SessionTracker() *bgpstream.SessionTracker { return e.fan.Tracker() }
+
+// Stats snapshots the engine's ingestion counters, including per-shard
+// queue depths (in batches).
+func (e *Engine) Stats() metrics.IngestSnapshot {
+	depths := make([]int, len(e.shards))
+	for i, s := range e.shards {
+		depths[i] = len(s.in)
+	}
+	return e.stats.Snapshot(depths)
+}
+
+// Close stops the shard workers. The engine must not be used afterwards;
+// call Flush first to drain results.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	for _, s := range e.shards {
+		<-s.done
+	}
+}

@@ -154,7 +154,7 @@ func (g *popGroup) pathKeys() map[PathKey]bool {
 // AS-level test of Section 4.3. A hub that lost one site keeps most of its
 // paths elsewhere and does not qualify; a de-peered or failed AS drops to
 // (near) zero.
-func (d *Detector) vanishedCommonAS(g *popGroup) bgp.ASN {
+func (inv *investigator) vanishedCommonAS(g *popGroup) bgp.ASN {
 	for _, z := range g.commonPathASes() {
 		divertedThrough := 0
 		for _, s := range g.signals {
@@ -166,7 +166,7 @@ func (d *Detector) vanishedCommonAS(g *popGroup) bgp.ASN {
 		}
 		// Remaining monitored paths through z after the bin's changes: if
 		// fewer survive than left, z itself is the casualty.
-		if d.pathsContaining[z] < divertedThrough {
+		if inv.view.pathsContaining(z) < divertedThrough {
 			return z
 		}
 	}
@@ -175,8 +175,8 @@ func (d *Detector) vanishedCommonAS(g *popGroup) bgp.ASN {
 
 // commonOrgEverywhere reports whether a single organization touches every
 // affected link (operator-level incidents, Section 4.3).
-func (d *Detector) commonOrgEverywhere(g *popGroup) bool {
-	if d.orgs == nil || len(g.links) == 0 {
+func (inv *investigator) commonOrgEverywhere(g *popGroup) bool {
+	if inv.orgs == nil || len(g.links) == 0 {
 		return false
 	}
 	type org = uint32
@@ -184,10 +184,10 @@ func (d *Detector) commonOrgEverywhere(g *popGroup) bool {
 	first := true
 	for l := range g.links {
 		here := map[org]bool{}
-		if id := d.orgs.OrgOf(l.near); id != 0 {
+		if id := inv.orgs.OrgOf(l.near); id != 0 {
 			here[org(id)] = true
 		}
-		if id := d.orgs.OrgOf(l.far); id != 0 {
+		if id := inv.orgs.OrgOf(l.far); id != 0 {
 			here[org(id)] = true
 		}
 		if first {
@@ -211,17 +211,17 @@ func (d *Detector) commonOrgEverywhere(g *popGroup) bool {
 
 // distinctNonSiblings counts ASes that belong to pairwise-different
 // organizations (unknown orgs count individually).
-func (d *Detector) distinctNonSiblings(set map[bgp.ASN]bool) int {
+func (inv *investigator) distinctNonSiblings(set map[bgp.ASN]bool) int {
 	asns := make([]bgp.ASN, 0, len(set))
 	for a := range set {
 		if a != 0 {
 			asns = append(asns, a)
 		}
 	}
-	if d.orgs == nil {
+	if inv.orgs == nil {
 		return len(asns)
 	}
-	return d.orgs.DistinctOrgs(asns)
+	return inv.orgs.DistinctOrgs(asns)
 }
 
 // binVanishedAS looks for a single AS that explains the whole bin: present
@@ -229,7 +229,7 @@ func (d *Detector) distinctNonSiblings(set map[bgp.ASN]bool) int {
 // death of a densely connected transit AS floods every monitored PoP with
 // collateral signals (the paper's Figure 9a event B at planetary scale);
 // no per-PoP test can see that, only the bin-wide view.
-func (d *Detector) binVanishedAS(signals []signal) bgp.ASN {
+func (inv *investigator) binVanishedAS(signals []signal) bgp.ASN {
 	count := map[bgp.ASN]int{}
 	seen := map[PathKey]bool{}
 	total := 0
@@ -269,7 +269,7 @@ func (d *Detector) binVanishedAS(signals []signal) bgp.ASN {
 		return cands[i] < cands[j]
 	})
 	for _, z := range cands {
-		if d.pathsContaining[z] < count[z] {
+		if inv.view.pathsContaining(z) < count[z] {
 			return z
 		}
 	}
@@ -278,7 +278,7 @@ func (d *Detector) binVanishedAS(signals []signal) bgp.ASN {
 
 // investigate classifies this bin's signals and feeds PoP-level epicenters
 // to the outage tracker (Sections 4.3's flowchart).
-func (d *Detector) investigate(at time.Time, signals []signal) {
+func (inv *investigator) investigate(at time.Time, signals []signal) {
 	groups := map[colo.PoP][]signal{}
 	var order []colo.PoP
 	for _, s := range signals {
@@ -300,7 +300,7 @@ func (d *Detector) investigate(at time.Time, signals []signal) {
 	}
 	var popLevel []resolved
 
-	binCommon := d.binVanishedAS(signals)
+	binCommon := inv.binVanishedAS(signals)
 
 	for _, pop := range order {
 		g := buildGroup(pop, groups[pop])
@@ -314,29 +314,29 @@ func (d *Detector) investigate(at time.Time, signals []signal) {
 			// One vanished AS explains the whole bin's churn.
 			inc.Kind = IncidentAS
 			inc.CommonAS = binCommon
-		case len(affected) <= d.cfg.MinInvestigationASes:
+		case len(affected) <= inv.cfg.MinInvestigationASes:
 			inc.Kind = IncidentLink
 		case g.commonAS() != 0:
 			inc.Kind = IncidentAS
 			inc.CommonAS = g.commonAS()
-		case d.vanishedCommonAS(g) != 0:
+		case inv.vanishedCommonAS(g) != 0:
 			// Every diverted route used to traverse one common AS and
 			// that AS lost (nearly) all of its monitored paths globally:
 			// its disappearance, not the tagged PoP, explains the signal.
 			inc.Kind = IncidentAS
-			inc.CommonAS = d.vanishedCommonAS(g)
-		case d.commonOrgEverywhere(g):
+			inc.CommonAS = inv.vanishedCommonAS(g)
+		case inv.commonOrgEverywhere(g):
 			inc.Kind = IncidentOperator
-		case d.distinctNonSiblings(g.nears) >= d.cfg.MinDisjointEnds &&
-			d.distinctNonSiblings(g.fars) >= d.cfg.MinDisjointEnds &&
-			d.aggregateFraction(g) >= d.cfg.Tfail/2:
+		case inv.distinctNonSiblings(g.nears) >= inv.cfg.MinDisjointEnds &&
+			inv.distinctNonSiblings(g.fars) >= inv.cfg.MinDisjointEnds &&
+			inv.aggregateFraction(g) >= inv.cfg.Tfail/2:
 			// The aggregate gate keeps collateral dribble (a few rerouted
 			// paths that merely *crossed* the PoP) from masquerading as a
 			// PoP outage, while staying below Tfail itself so that partial
 			// outages of regional ASes — the reason Section 4.2 groups per
 			// AS in the first place — still qualify.
 			inc.Kind = IncidentPoP
-			epicenter := d.disambiguate(g, at)
+			epicenter := inv.disambiguate(g, at)
 			inc.PoP = epicenter
 			popLevel = append(popLevel, resolved{group: g, epicenter: epicenter})
 		default:
@@ -344,7 +344,7 @@ func (d *Detector) investigate(at time.Time, signals []signal) {
 			// conservative AS-level classification.
 			inc.Kind = IncidentAS
 		}
-		d.incidents = append(d.incidents, inc)
+		inv.incidents = append(inv.incidents, inc)
 	}
 
 	// Collateral folding: a diverted path is usually tagged at several
@@ -387,7 +387,8 @@ func (d *Detector) investigate(at time.Time, signals []signal) {
 			var domEpi colo.PoP
 			domN := 0
 			for epi, n := range byEpi {
-				if n > domN || (n == domN && epi.ID < domEpi.ID) {
+				if n > domN || (n == domN && (epi.Kind < domEpi.Kind ||
+					(epi.Kind == domEpi.Kind && epi.ID < domEpi.ID))) {
 					domEpi, domN = epi, n
 				}
 			}
@@ -419,9 +420,9 @@ func (d *Detector) investigate(at time.Time, signals []signal) {
 	// them.
 	byCity := map[geo.CityID][]resolved{}
 	for _, r := range popLevel {
-		city := d.cmap.CityOf(r.epicenter)
+		city := inv.cmap.CityOf(r.epicenter)
 		if !r.epicenter.IsValid() {
-			city = d.cmap.CityOf(r.group.pop)
+			city = inv.cmap.CityOf(r.group.pop)
 		}
 		byCity[city] = append(byCity[city], r)
 	}
@@ -458,7 +459,7 @@ func (d *Detector) investigate(at time.Time, signals []signal) {
 			if pop.Kind != colo.PoPIXP {
 				continue
 			}
-			if ixp, ok := d.cmap.IXP(colo.IXPID(pop.ID)); ok {
+			if ixp, ok := inv.cmap.IXP(colo.IXPID(pop.ID)); ok {
 				for _, fid := range ixp.Facilities {
 					if strongFacility[colo.FacilityPoP(fid)] {
 						delete(infra, pop)
@@ -472,7 +473,7 @@ func (d *Detector) investigate(at time.Time, signals []signal) {
 			// Multiple infrastructures converged: abstract to city level.
 			city := colo.CityPoP(cityID)
 			for _, r := range rs {
-				d.openOutageFor(at, city, r.group)
+				inv.openOutageFor(at, city, r.group)
 			}
 		case len(infra) == 1:
 			// One infrastructure epicenter explains the city's signals.
@@ -481,11 +482,11 @@ func (d *Detector) investigate(at time.Time, signals []signal) {
 				epicenter = p
 			}
 			for _, r := range rs {
-				d.openOutageFor(at, epicenter, r.group)
+				inv.openOutageFor(at, epicenter, r.group)
 			}
 		default:
 			for _, r := range rs {
-				d.openOutageFor(at, r.epicenter, r.group)
+				inv.openOutageFor(at, r.epicenter, r.group)
 			}
 		}
 	}
@@ -496,17 +497,17 @@ func (d *Detector) investigate(at time.Time, signals []signal) {
 // converge to a specific infrastructure) are dropped — Kepler never
 // reports a location it could not corroborate; the signal remains visible
 // in the incident log.
-func (d *Detector) openOutageFor(at time.Time, epicenter colo.PoP, g *popGroup) {
+func (inv *investigator) openOutageFor(at time.Time, epicenter colo.PoP, g *popGroup) {
 	confirmed, checked := false, false
 	if !epicenter.IsValid() {
-		if d.cfg.ReportUnresolved && d.dp == nil {
+		if inv.cfg.ReportUnresolved && inv.dp == nil {
 			epicenter = g.pop
 		} else {
 			return
 		}
 	}
-	if d.dp != nil {
-		c, hasData := d.dp.Confirm(epicenter, at)
+	if inv.dp != nil {
+		c, hasData := inv.dp.Confirm(epicenter, at)
 		if hasData {
 			checked = true
 			confirmed = c
@@ -517,20 +518,20 @@ func (d *Detector) openOutageFor(at time.Time, epicenter colo.PoP, g *popGroup) 
 			}
 		}
 	}
-	d.tracker.observe(at, epicenter, g, confirmed, checked)
+	inv.tracker.observe(at, epicenter, g, confirmed, checked)
 }
 
 // disambiguate locates the epicenter of a PoP-level signal group
 // (Section 4.3, "Disambiguation of Outage Signals" and "Increasing Signal
 // Resolution").
-func (d *Detector) disambiguate(g *popGroup, at time.Time) colo.PoP {
+func (inv *investigator) disambiguate(g *popGroup, at time.Time) colo.PoP {
 	switch g.pop.Kind {
 	case colo.PoPFacility:
-		return d.disambiguateFacility(g, at)
+		return inv.disambiguateFacility(g, at)
 	case colo.PoPIXP:
-		return d.refineIXP(g, at)
+		return inv.refineIXP(g, at)
 	case colo.PoPCity:
-		return d.refineCity(g, at)
+		return inv.refineCity(g, at)
 	default:
 		return g.pop
 	}
@@ -540,14 +541,14 @@ func (d *Detector) disambiguate(g *popGroup, at time.Time) colo.PoP {
 // group's affected ASes have presence, most-shared first, capped — the
 // "facilities where the affected far-end ASes have a presence" candidate
 // set of Section 4.3.
-func (d *Detector) facilitiesOfAffected(g *popGroup, minShare float64, cap int) []colo.FacilityID {
+func (inv *investigator) facilitiesOfAffected(g *popGroup, minShare float64, cap int) []colo.FacilityID {
 	affected := g.affectedASes()
 	if len(affected) == 0 {
 		return nil
 	}
 	count := map[colo.FacilityID]int{}
 	for _, a := range affected {
-		for _, fid := range d.cmap.FacilitiesOf(a) {
+		for _, fid := range inv.cmap.FacilitiesOf(a) {
 			count[fid]++
 		}
 	}
@@ -580,13 +581,13 @@ func (d *Detector) facilitiesOfAffected(g *popGroup, minShare float64, cap int) 
 // ports and city paths it hosts, so coarser candidates confirm alongside
 // it: the most specific granularity with exactly one confirmed candidate
 // wins; two confirmed candidates of the same granularity stay ambiguous.
-func (d *Detector) probeCandidates(at time.Time, cands []colo.PoP) colo.PoP {
-	if d.dp == nil {
+func (inv *investigator) probeCandidates(at time.Time, cands []colo.PoP) colo.PoP {
+	if inv.dp == nil {
 		return colo.PoP{}
 	}
 	confirmed := map[colo.PoPKind][]colo.PoP{}
 	for _, cand := range cands {
-		ok, hasData := d.dp.Confirm(cand, at)
+		ok, hasData := inv.dp.Confirm(cand, at)
 		if hasData && ok {
 			confirmed[cand.Kind] = append(confirmed[cand.Kind], cand)
 		}
@@ -606,11 +607,11 @@ func (d *Detector) probeCandidates(at time.Time, cands []colo.PoP) colo.PoP {
 
 // affectedFractionWithFarAt computes diverted/stable over the group's
 // signal PoP, restricted to paths whose far end is colocated at facility f.
-func (d *Detector) affectedFractionWithFarAt(g *popGroup, f colo.FacilityID) (float64, int) {
+func (inv *investigator) affectedFractionWithFarAt(g *popGroup, f colo.FacilityID) (float64, int) {
 	stableTotal, divertedTotal := 0, 0
-	for near, set := range d.stable[g.pop] {
+	for near, set := range inv.view.stableAt(g.pop) {
 		for _, ends := range set {
-			if ends.far != 0 && d.cmap.AtFacility(ends.far, f) {
+			if ends.far != 0 && inv.cmap.AtFacility(ends.far, f) {
 				stableTotal++
 			}
 		}
@@ -618,7 +619,7 @@ func (d *Detector) affectedFractionWithFarAt(g *popGroup, f colo.FacilityID) (fl
 	}
 	for _, s := range g.signals {
 		for _, r := range s.diverted {
-			if r.ends.far != 0 && d.cmap.AtFacility(r.ends.far, f) {
+			if r.ends.far != 0 && inv.cmap.AtFacility(r.ends.far, f) {
 				divertedTotal++
 			}
 		}
@@ -633,9 +634,9 @@ func (d *Detector) affectedFractionWithFarAt(g *popGroup, f colo.FacilityID) (fl
 // if the paths with far ends colocated in the signalled facility are
 // (almost) all affected, the near-end facility is the epicenter; otherwise
 // candidate far-end facilities are examined; otherwise common IXPs.
-func (d *Detector) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
+func (inv *investigator) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
 	f := colo.FacilityID(g.pop.ID)
-	if frac, n := d.affectedFractionWithFarAt(g, f); n > 0 && frac >= d.cfg.ColocationMargin {
+	if frac, n := inv.affectedFractionWithFarAt(g, f); n > 0 && frac >= inv.cfg.ColocationMargin {
 		return g.pop
 	}
 
@@ -644,7 +645,7 @@ func (d *Detector) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
 	// affected.
 	candSet := map[colo.FacilityID]int{}
 	for far := range g.fars {
-		for _, fid := range d.cmap.FacilitiesOf(far) {
+		for _, fid := range inv.cmap.FacilitiesOf(far) {
 			candSet[fid]++
 		}
 	}
@@ -656,7 +657,7 @@ func (d *Detector) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 	for _, fid := range cands {
-		if frac, n := d.affectedFractionWithFarAt(g, fid); n > 0 && frac >= d.cfg.ColocationMargin {
+		if frac, n := inv.affectedFractionWithFarAt(g, fid); n > 0 && frac >= inv.cfg.ColocationMargin {
 			return colo.FacilityPoP(fid)
 		}
 	}
@@ -664,7 +665,7 @@ func (d *Detector) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
 	// Partial-outage consistency: a subset of the facility failed, so not
 	// all colocated paths diverted — but every diverted path's far end
 	// must still be colocated in the facility.
-	if d.aggregateFraction(g) >= 2*d.cfg.Tfail {
+	if inv.aggregateFraction(g) >= 2*inv.cfg.Tfail {
 		consistent, total := 0, 0
 		for _, s := range g.signals {
 			for _, r := range s.diverted {
@@ -672,12 +673,12 @@ func (d *Detector) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
 					continue
 				}
 				total++
-				if d.cmap.AtFacility(r.ends.far, f) {
+				if inv.cmap.AtFacility(r.ends.far, f) {
 					consistent++
 				}
 			}
 		}
-		if total > 0 && float64(consistent)/float64(total) >= d.cfg.ColocationMargin {
+		if total > 0 && float64(consistent)/float64(total) >= inv.cfg.ColocationMargin {
 			return g.pop
 		}
 	}
@@ -686,7 +687,7 @@ func (d *Detector) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
 	var commonIXPs []colo.IXPID
 	first := true
 	for l := range g.links {
-		ixs := d.cmap.CommonIXPs(l.near, l.far)
+		ixs := inv.cmap.CommonIXPs(l.near, l.far)
 		if first {
 			commonIXPs = ixs
 			first = false
@@ -705,12 +706,12 @@ func (d *Detector) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
 	// probe the signalled facility and the affected ASes' shared
 	// facilities.
 	probes := []colo.PoP{g.pop}
-	for _, fid := range d.facilitiesOfAffected(g, 0.5, 8) {
+	for _, fid := range inv.facilitiesOfAffected(g, 0.5, 8) {
 		if fid != f {
 			probes = append(probes, colo.FacilityPoP(fid))
 		}
 	}
-	return d.probeCandidates(at, probes)
+	return inv.probeCandidates(at, probes)
 }
 
 // membershipFraction is the share of the affected ASes for which member
@@ -729,9 +730,9 @@ func membershipFraction(affected []bgp.ASN, member func(bgp.ASN) bool) float64 {
 }
 
 // totalStableAt counts every stable path currently tagged with the PoP.
-func (d *Detector) totalStableAt(pop colo.PoP) int {
+func (inv *investigator) totalStableAt(pop colo.PoP) int {
 	n := 0
-	for _, set := range d.stable[pop] {
+	for _, set := range inv.view.stableAt(pop) {
 		n += len(set)
 	}
 	return n
@@ -739,8 +740,8 @@ func (d *Detector) totalStableAt(pop colo.PoP) int {
 
 // aggregateFraction is the share of the PoP's stable paths the group
 // diverted — the bin-level fraction of Section 4.2 before per-AS grouping.
-func (d *Detector) aggregateFraction(g *popGroup) float64 {
-	total := d.totalStableAt(g.pop)
+func (inv *investigator) aggregateFraction(g *popGroup) float64 {
+	total := inv.totalStableAt(g.pop)
 	if total == 0 {
 		return 0
 	}
@@ -750,9 +751,9 @@ func (d *Detector) aggregateFraction(g *popGroup) float64 {
 // unaffectedASesAt returns the ASes that appear on stable paths at the
 // signal PoP but were not part of the diverted set — the complement Kepler
 // compares candidate facilities against.
-func (d *Detector) unaffectedASesAt(g *popGroup) []bgp.ASN {
+func (inv *investigator) unaffectedASesAt(g *popGroup) []bgp.ASN {
 	set := map[bgp.ASN]bool{}
-	for near, paths := range d.stable[g.pop] {
+	for near, paths := range inv.view.stableAt(g.pop) {
 		set[near] = true
 		for _, ends := range paths {
 			if ends.far != 0 {
@@ -831,15 +832,15 @@ func exclusiveBest(affected []bgp.ASN, memberSets [][]bgp.ASN) int {
 // while other facilities' members are fine, the outage is the facility's,
 // not the exchange's (Figure 2(b)). A full IXP outage affects members at
 // every fabric facility and therefore stays IXP-level.
-func (d *Detector) refineIXP(g *popGroup, at time.Time) colo.PoP {
+func (inv *investigator) refineIXP(g *popGroup, at time.Time) colo.PoP {
 	ix := colo.IXPID(g.pop.ID)
-	ixp, ok := d.cmap.IXP(ix)
+	ixp, ok := inv.cmap.IXP(ix)
 	if !ok || len(ixp.Facilities) < 2 {
 		return g.pop
 	}
 	memberSets := make([][]bgp.ASN, len(ixp.Facilities))
 	for i, fid := range ixp.Facilities {
-		if f, ok := d.cmap.Facility(fid); ok {
+		if f, ok := inv.cmap.Facility(fid); ok {
 			memberSets[i] = f.Members
 		}
 	}
@@ -852,8 +853,8 @@ func (d *Detector) refineIXP(g *popGroup, at time.Time) colo.PoP {
 	// of the dead links are the exchange's own members; collateral signals
 	// (rerouted paths that merely crossed the exchange) fail one of the
 	// two and stay unresolved.
-	if d.aggregateFraction(g) >= 0.5 &&
-		d.farConsistency(g, func(a bgp.ASN) bool { return d.cmap.AtIXP(a, ix) }) >= d.cfg.ColocationMargin {
+	if inv.aggregateFraction(g) >= 0.5 &&
+		inv.farConsistency(g, func(a bgp.ASN) bool { return inv.cmap.AtIXP(a, ix) }) >= inv.cfg.ColocationMargin {
 		return g.pop
 	}
 	// Probe the exchange, its fabric facilities, and the facilities where
@@ -865,16 +866,16 @@ func (d *Detector) refineIXP(g *popGroup, at time.Time) colo.PoP {
 		cands = append(cands, colo.FacilityPoP(fid))
 		seenFac[fid] = true
 	}
-	for _, fid := range d.facilitiesOfAffected(g, 0.5, 8) {
+	for _, fid := range inv.facilitiesOfAffected(g, 0.5, 8) {
 		if !seenFac[fid] {
 			cands = append(cands, colo.FacilityPoP(fid))
 		}
 	}
-	return d.probeCandidates(at, cands)
+	return inv.probeCandidates(at, cands)
 }
 
 // farConsistency is the fraction of diverted far ends satisfying member.
-func (d *Detector) farConsistency(g *popGroup, member func(bgp.ASN) bool) float64 {
+func (inv *investigator) farConsistency(g *popGroup, member func(bgp.ASN) bool) float64 {
 	total, hit := 0, 0
 	for _, s := range g.signals {
 		for _, r := range s.diverted {
@@ -896,7 +897,7 @@ func (d *Detector) farConsistency(g *popGroup, member func(bgp.ASN) bool) float6
 // refineCity raises the resolution of a city-tagged signal to a facility or
 // IXP in that city when the affected/unaffected split isolates exactly one
 // (Section 4.3: city signals check facilities first, then IXPs).
-func (d *Detector) refineCity(g *popGroup, at time.Time) colo.PoP {
+func (inv *investigator) refineCity(g *popGroup, at time.Time) colo.PoP {
 	city := geo.CityID(g.pop.ID)
 	affected := g.affectedASes()
 	if len(affected) == 0 {
@@ -908,17 +909,17 @@ func (d *Detector) refineCity(g *popGroup, at time.Time) colo.PoP {
 	// outage and a building outage light up different exclusive sets.
 	var cands []colo.PoP
 	var memberSets [][]bgp.ASN
-	for _, fid := range d.cmap.FacilitiesInCity(city) {
+	for _, fid := range inv.cmap.FacilitiesInCity(city) {
 		cands = append(cands, colo.FacilityPoP(fid))
-		if f, ok := d.cmap.Facility(fid); ok {
+		if f, ok := inv.cmap.Facility(fid); ok {
 			memberSets = append(memberSets, f.Members)
 		} else {
 			memberSets = append(memberSets, nil)
 		}
 	}
-	for _, ix := range d.cmap.IXPsInCity(city) {
+	for _, ix := range inv.cmap.IXPsInCity(city) {
 		cands = append(cands, colo.IXPPoP(ix))
-		if x, ok := d.cmap.IXP(ix); ok {
+		if x, ok := inv.cmap.IXP(ix); ok {
 			memberSets = append(memberSets, x.Members)
 		} else {
 			memberSets = append(memberSets, nil)
@@ -933,19 +934,19 @@ func (d *Detector) refineCity(g *popGroup, at time.Time) colo.PoP {
 	// ends reside in the city; a remote incident that merely rerouted
 	// paths away from the city fails the far-end test.
 	inCity := func(a bgp.ASN) bool {
-		for _, fid := range d.cmap.FacilitiesInCity(city) {
-			if d.cmap.AtFacility(a, fid) {
+		for _, fid := range inv.cmap.FacilitiesInCity(city) {
+			if inv.cmap.AtFacility(a, fid) {
 				return true
 			}
 		}
-		for _, ix := range d.cmap.IXPsInCity(city) {
-			if d.cmap.AtIXP(a, ix) {
+		for _, ix := range inv.cmap.IXPsInCity(city) {
+			if inv.cmap.AtIXP(a, ix) {
 				return true
 			}
 		}
 		return false
 	}
-	if d.aggregateFraction(g) >= 0.5 && d.farConsistency(g, inCity) >= d.cfg.ColocationMargin {
+	if inv.aggregateFraction(g) >= 0.5 && inv.farConsistency(g, inCity) >= inv.cfg.ColocationMargin {
 		return g.pop
 	}
 	// Probe candidates hosting at least one affected AS: a genuine
@@ -972,7 +973,7 @@ func (d *Detector) refineCity(g *popGroup, at time.Time) colo.PoP {
 	if len(probes) > maxProbes {
 		probes = probes[:maxProbes]
 	}
-	return d.probeCandidates(at, probes)
+	return inv.probeCandidates(at, probes)
 }
 
 func intersectIXPs(a, b []colo.IXPID) []colo.IXPID {

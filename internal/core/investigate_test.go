@@ -73,13 +73,13 @@ func TestVanishedCommonAS(t *testing.T) {
 	g := mkGroup(pop, recs)
 
 	// 99 retains plenty of monitored presence: hub alive, not AS-level.
-	d.pathsContaining[99] = 50
-	if got := d.vanishedCommonAS(g); got != 0 {
+	d.sh.pathsContaining[99] = 50
+	if got := d.inv.vanishedCommonAS(g); got != 0 {
 		t.Errorf("healthy hub flagged: %v", got)
 	}
 	// 99's presence collapsed below the diverted count: AS-level.
-	d.pathsContaining[99] = 1
-	if got := d.vanishedCommonAS(g); got != 99 {
+	d.sh.pathsContaining[99] = 1
+	if got := d.inv.vanishedCommonAS(g); got != 99 {
 		t.Errorf("vanished AS not flagged: %v", got)
 	}
 }
@@ -104,7 +104,7 @@ func TestProbeCandidatesSpecificity(t *testing.T) {
 	at := time.Now()
 
 	// No data plane: nothing resolvable.
-	if got := d.probeCandidates(at, []colo.PoP{colo.FacilityPoP(1)}); got.IsValid() {
+	if got := d.inv.probeCandidates(at, []colo.PoP{colo.FacilityPoP(1)}); got.IsValid() {
 		t.Errorf("probe without dp resolved %v", got)
 	}
 
@@ -114,19 +114,19 @@ func TestProbeCandidatesSpecificity(t *testing.T) {
 		colo.IXPPoP(2):      true,
 	}}
 	d.SetDataPlane(dp)
-	got := d.probeCandidates(at, []colo.PoP{colo.IXPPoP(2), colo.FacilityPoP(5), colo.FacilityPoP(6)})
+	got := d.inv.probeCandidates(at, []colo.PoP{colo.IXPPoP(2), colo.FacilityPoP(5), colo.FacilityPoP(6)})
 	if got != colo.FacilityPoP(5) {
 		t.Errorf("probe = %v, want facility:5", got)
 	}
 
 	// Two confirmed facilities: ambiguous.
 	dp.confirm[colo.FacilityPoP(6)] = true
-	if got := d.probeCandidates(at, []colo.PoP{colo.FacilityPoP(5), colo.FacilityPoP(6)}); got.IsValid() {
+	if got := d.inv.probeCandidates(at, []colo.PoP{colo.FacilityPoP(5), colo.FacilityPoP(6)}); got.IsValid() {
 		t.Errorf("ambiguous probe resolved %v", got)
 	}
 
 	// Only the IXP confirms: IXP wins.
-	if got := d.probeCandidates(at, []colo.PoP{colo.IXPPoP(2), colo.FacilityPoP(7)}); got != colo.IXPPoP(2) {
+	if got := d.inv.probeCandidates(at, []colo.PoP{colo.IXPPoP(2), colo.FacilityPoP(7)}); got != colo.IXPPoP(2) {
 		t.Errorf("probe = %v, want ixp:2", got)
 	}
 }

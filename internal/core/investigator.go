@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"kepler/internal/as2org"
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+)
+
+// stateView gives the investigator read access to the per-path layer's
+// cross-path aggregates. The sequential detector backs it with its single
+// shard's maps directly; the concurrent engine backs it with an on-demand
+// merge across shards, valid only while the shards are paused at a bin
+// barrier.
+type stateView interface {
+	// stableAt returns the stable baseline at a PoP, grouped by near-end
+	// AS. The returned map must be treated as read-only and not retained
+	// past the current bin close.
+	stableAt(pop colo.PoP) map[bgp.ASN]map[PathKey]popEnd
+	// pathsContaining returns the number of monitored paths whose AS path
+	// traverses a.
+	pathsContaining(a bgp.ASN) int
+}
+
+// investigator owns the cross-path layer of the pipeline: bin-boundary
+// threshold evaluation, Section 4.3 signal investigation, and outage
+// duration tracking. It runs strictly at bin boundaries, which is what
+// lets the per-path layer shard freely: all global reads happen while the
+// shards are synchronized.
+type investigator struct {
+	cfg  Config
+	cmap *colo.Map
+	orgs *as2org.Table
+	dp   DataPlane
+	view stateView
+
+	incidents []Incident
+	tracker   *outageTracker
+	completed []Outage
+}
+
+func newInvestigator(cfg Config, cmap *colo.Map, orgs *as2org.Table, view stateView) *investigator {
+	return &investigator{
+		cfg:     cfg,
+		cmap:    cmap,
+		orgs:    orgs,
+		view:    view,
+		tracker: newOutageTracker(cfg),
+	}
+}
+
+func (inv *investigator) drainCompleted() []Outage {
+	out := inv.completed
+	inv.completed = nil
+	return out
+}
+
+// signal is one (pop, nearAS) outage signal raised at a bin boundary.
+type signal struct {
+	pop      colo.PoP
+	near     bgp.ASN
+	diverted []divertRec
+	stable   int
+}
+
+// runBin evaluates the per-AS divergence thresholds for the bin ending at
+// binEnd and classifies any resulting signals (the signal-raising half of
+// the sequential detector's closeBin). diverted is the bin's merged divert
+// index; callers tick the outage tracker and clean the stable baseline
+// afterwards.
+func (inv *investigator) runBin(binEnd time.Time, diverted map[colo.PoP]map[bgp.ASN][]divertRec) {
+	if len(diverted) == 0 {
+		return
+	}
+
+	var signals []signal
+	pops := make([]colo.PoP, 0, len(diverted))
+	for pop := range diverted {
+		pops = append(pops, pop)
+	}
+	sort.Slice(pops, func(i, j int) bool {
+		if pops[i].Kind != pops[j].Kind {
+			return pops[i].Kind < pops[j].Kind
+		}
+		return pops[i].ID < pops[j].ID
+	})
+	for _, pop := range pops {
+		nears := make([]bgp.ASN, 0, len(diverted[pop]))
+		for near := range diverted[pop] {
+			nears = append(nears, near)
+		}
+		sort.Slice(nears, func(i, j int) bool { return nears[i] < nears[j] })
+
+		stableByNear := inv.view.stableAt(pop)
+
+		if inv.cfg.DisablePerASGrouping {
+			// Ablation mode: one aggregate fraction per PoP. A partial
+			// outage hitting regional ASes drowns under a big AS's
+			// unaffected paths — the bias the paper's grouping removes.
+			divertedTotal := 0
+			for _, near := range nears {
+				divertedTotal += len(diverted[pop][near])
+			}
+			total := inv.totalStableAt(pop)
+			if total == 0 || float64(divertedTotal)/float64(total) <= inv.cfg.Tfail {
+				continue
+			}
+			for _, near := range nears {
+				recs := diverted[pop][near]
+				signals = append(signals, signal{pop: pop, near: near, diverted: recs, stable: len(stableByNear[near])})
+			}
+			continue
+		}
+
+		for _, near := range nears {
+			recs := diverted[pop][near]
+			stableCount := len(stableByNear[near]) // still includes diverted ones
+			if stableCount == 0 {
+				continue
+			}
+			frac := float64(len(recs)) / float64(stableCount)
+			if frac > inv.cfg.Tfail {
+				signals = append(signals, signal{pop: pop, near: near, diverted: recs, stable: stableCount})
+			}
+		}
+	}
+
+	if len(signals) > 0 {
+		inv.investigate(binEnd, signals)
+	}
+}
+
+// closeBinOver is the canonical bin-close sequence shared by Detector and
+// Engine: reconcile path returns, investigate the merged diverts, tick
+// outage tracking, redistribute restoration watches, then apply the
+// shards' end-of-bin baseline cleanup. The caller guarantees exclusive
+// access to every shard (the Detector is single-threaded; the Engine holds
+// its workers at the bin barrier) and has already run promotions due at
+// end. tick and watchSets must not read shard state: finishBin runs after
+// them, and the investigator's view of the shards is only defined up to
+// this function's return.
+func (inv *investigator) closeBinOver(end time.Time, shards []*pathShard, diverted map[colo.PoP]map[bgp.ASN][]divertRec, shardOf func(PathKey) int) {
+	var evs []returnEvent
+	for _, s := range shards {
+		evs = append(evs, s.takeReturns()...)
+	}
+	inv.tracker.applyReturns(evs)
+	inv.runBin(end, diverted)
+	inv.tracker.tick(end, inv)
+	sets := inv.tracker.watchSets(len(shards), shardOf)
+	for i, s := range shards {
+		s.watches = sets[i]
+	}
+	for _, s := range shards {
+		s.finishBin()
+	}
+}

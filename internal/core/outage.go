@@ -96,27 +96,65 @@ func (t *outageTracker) observe(at time.Time, epicenter colo.PoP, g *popGroup, c
 	}
 }
 
-// noteReturn is called on every announcement: a waiting path re-tagging a
-// signal PoP counts toward restoration.
-func (t *outageTracker) noteReturn(at time.Time, key PathKey, newTags map[colo.PoP]popEnd) {
-	for _, o := range t.opened {
-		if !o.waiting[key] {
+// applyReturns reconciles the shards' reported path returns into the
+// authoritative waiting/returned sets. It runs at every bin barrier before
+// signal investigation, so the tracker observes exactly the returns the
+// sequential detector's inline walk would have recorded mid-bin; lastReturn
+// takes the max because the reports of concurrent shards arrive unordered
+// while the record stream itself is time-ordered.
+func (t *outageTracker) applyReturns(evs []returnEvent) {
+	for _, ev := range evs {
+		o := t.opened[ev.epicenter]
+		if o == nil || !o.waiting[ev.key] {
 			continue
 		}
-		for pop := range newTags {
-			if o.signalPops[pop] {
-				delete(o.waiting, key)
-				o.returned[key] = true
-				o.lastReturn = at
-				break
-			}
+		delete(o.waiting, ev.key)
+		o.returned[ev.key] = true
+		if ev.at.After(o.lastReturn) {
+			o.lastReturn = ev.at
 		}
 	}
 }
 
+// watchSets partitions each open outage's waiting set across n shards so
+// the per-path layer can detect returns without touching the tracker.
+// Waiting maps are copied (shards consume their copies); signalPops is
+// shared read-only — the tracker only mutates it at bin barriers, when the
+// shards are paused, and pushes fresh watch sets afterwards. A nil shardOf
+// assigns everything to shard 0.
+func (t *outageTracker) watchSets(n int, shardOf func(PathKey) int) [][]shardWatch {
+	out := make([][]shardWatch, n)
+	if len(t.opened) == 0 {
+		return out
+	}
+	for _, o := range t.opened {
+		per := make([]map[PathKey]bool, n)
+		for key := range o.waiting {
+			i := 0
+			if shardOf != nil {
+				i = shardOf(key)
+			}
+			if per[i] == nil {
+				per[i] = make(map[PathKey]bool)
+			}
+			per[i][key] = true
+		}
+		for i := range per {
+			if per[i] != nil {
+				out[i] = append(out[i], shardWatch{epicenter: o.epicenter, signalPops: o.signalPops, waiting: per[i]})
+			}
+		}
+	}
+	return out
+}
+
+// idle reports whether the tracker has neither open nor cooling outages —
+// a bin close with no diverts is then a no-op.
+func (t *outageTracker) idle() bool { return len(t.opened) == 0 && len(t.cooling) == 0 }
+
 // tick runs at every bin boundary: closes restored outages and emits
 // closed outages whose oscillation window has passed.
-func (t *outageTracker) tick(now time.Time, d *Detector) {
+func (t *outageTracker) tick(now time.Time, inv *investigator) {
 	var closed []colo.PoP
 	for pop, o := range t.opened {
 		total := len(o.waiting) + len(o.returned)
@@ -147,7 +185,7 @@ func (t *outageTracker) tick(now time.Time, d *Detector) {
 	var keep []Outage
 	for _, c := range t.cooling {
 		if now.Sub(c.End) >= t.cfg.OscillationGap {
-			d.completed = append(d.completed, c)
+			inv.completed = append(inv.completed, c)
 		} else {
 			keep = append(keep, c)
 		}
@@ -157,8 +195,8 @@ func (t *outageTracker) tick(now time.Time, d *Detector) {
 
 // drainCooling emits every closed outage regardless of the oscillation
 // window (stream end).
-func (t *outageTracker) drainCooling(d *Detector) {
-	d.completed = append(d.completed, t.cooling...)
+func (t *outageTracker) drainCooling(inv *investigator) {
+	inv.completed = append(inv.completed, t.cooling...)
 	t.cooling = nil
 }
 
@@ -197,9 +235,13 @@ func (t *outageTracker) finalize(o *openOutage, end time.Time) Outage {
 		affected = append(affected, a)
 	}
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	// Deterministic representative: order by (Kind, ID) — a bare ID
+	// comparison ties between PoPs of different kinds sharing an ID and
+	// would leave the choice to map iteration order.
 	var sigPop colo.PoP
 	for pop := range o.signalPops {
-		if !sigPop.IsValid() || pop.ID < sigPop.ID {
+		if !sigPop.IsValid() || pop.Kind < sigPop.Kind ||
+			(pop.Kind == sigPop.Kind && pop.ID < sigPop.ID) {
 			sigPop = pop
 		}
 	}

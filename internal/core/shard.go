@@ -1,0 +1,327 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"kepler/internal/bgp"
+	"kepler/internal/bgpstream"
+	"kepler/internal/colo"
+	"kepler/internal/communities"
+)
+
+// popEnd is one tagged (near, far) AS pair a path crosses at a PoP.
+type popEnd struct {
+	near, far bgp.ASN
+}
+
+// pathState is the tracked state of one monitored path.
+type pathState struct {
+	// tags maps each currently tagged PoP to its hop ends.
+	tags map[colo.PoP]popEnd
+	// since records when each PoP was first tagged continuously.
+	since map[colo.PoP]time.Time
+	// path is the current (deduplicated) AS path; kept so that signal
+	// investigation can intersect the old paths of diverted routes and
+	// recognize AS-level incidents (Section 4.3).
+	path bgp.Path
+}
+
+// divertRec is one path leaving a PoP within the current bin. seq is the
+// global op sequence number of the route op that caused the divert: the
+// investigator sorts merged per-shard slices on it to reproduce the exact
+// record-order slices of the sequential detector.
+type divertRec struct {
+	key     PathKey
+	ends    popEnd
+	oldPath bgp.Path
+	seq     uint64
+}
+
+// promo schedules a path's promotion into the stable baseline once its tag
+// has persisted for the stability window.
+type promo struct {
+	due   time.Time
+	key   PathKey
+	pop   colo.PoP
+	since time.Time // guards against re-tagging between scheduling and due
+}
+
+// promoQueue is a min-heap on due time.
+type promoQueue []promo
+
+func (q promoQueue) Len() int           { return len(q) }
+func (q promoQueue) Less(i, j int) bool { return q[i].due.Before(q[j].due) }
+func (q promoQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *promoQueue) Push(x any)        { *q = append(*q, x.(promo)) }
+func (q *promoQueue) Pop() any          { old := *q; n := len(old); p := old[n-1]; *q = old[:n-1]; return p }
+
+// shardWatch mirrors one open outage's restoration bookkeeping for the keys
+// a shard owns: the concurrent replacement for the sequential detector's
+// inline noteReturn walk over the outage tracker. waiting is the shard's
+// private copy; the tracker keeps the authoritative sets and reconciles
+// reported returns at each bin barrier.
+type shardWatch struct {
+	epicenter  colo.PoP
+	signalPops map[colo.PoP]bool // shared read-only with the tracker between barriers
+	waiting    map[PathKey]bool
+}
+
+// returnEvent reports that a diverted path re-tagged one of its outage's
+// signal PoPs, counting toward restoration (Section 4.4).
+type returnEvent struct {
+	epicenter colo.PoP
+	key       PathKey
+	at        time.Time
+}
+
+// pathShard owns the per-path monitoring state (Section 4.2) for one hash
+// partition of the PathKey space. All of its state transitions depend only
+// on the ops of its own keys (plus broadcast peer-down ops), which is what
+// makes the layer embarrassingly parallel; only the bin-boundary signal
+// investigation needs a merged cross-shard view.
+type pathShard struct {
+	cfg  Config
+	dict *communities.Dictionary
+	cmap *colo.Map
+
+	paths map[PathKey]*pathState
+	// stable[pop][near] -> set of stable paths with that near-end AS.
+	stable map[colo.PoP]map[bgp.ASN]map[PathKey]popEnd
+	// pathsOfPeer indexes paths by vantage for session-gap handling.
+	pathsOfPeer map[bgp.ASN]map[PathKey]bool
+	// pathsContaining counts monitored paths whose AS path traverses each
+	// ASN; signal investigation sums it across shards to tell a globally
+	// vanishing AS (AS-level incident) from a hub that merely lost one site.
+	pathsContaining map[bgp.ASN]int
+
+	promos   promoQueue
+	diverted map[colo.PoP]map[bgp.ASN][]divertRec // current bin
+
+	// watches / returns implement restoration tracking between barriers.
+	watches []shardWatch
+	returns []returnEvent
+}
+
+func newPathShard(cfg Config, dict *communities.Dictionary, cmap *colo.Map) *pathShard {
+	return &pathShard{
+		cfg:             cfg,
+		dict:            dict,
+		cmap:            cmap,
+		paths:           make(map[PathKey]*pathState),
+		stable:          make(map[colo.PoP]map[bgp.ASN]map[PathKey]popEnd),
+		pathsOfPeer:     make(map[bgp.ASN]map[PathKey]bool),
+		pathsContaining: make(map[bgp.ASN]int),
+		diverted:        make(map[colo.PoP]map[bgp.ASN][]divertRec),
+	}
+}
+
+// apply executes one fanned-out route op. Promotions due at or before the
+// op's time run first, exactly as the sequential detector promotes before
+// processing each record.
+func (s *pathShard) apply(op *bgpstream.RouteOp) {
+	s.runPromotions(op.Time)
+	switch op.Kind {
+	case bgpstream.OpPeerDown:
+		s.suspendPeer(op.Peer)
+	case bgpstream.OpWithdraw:
+		s.withdraw(PathKey{Peer: op.Peer, Prefix: op.Prefix}, op.Seq)
+	case bgpstream.OpAnnounce:
+		if err := bgp.Sanitize(op.Prefix, op.Path); err != nil {
+			return
+		}
+		s.announce(op.Time, PathKey{Peer: op.Peer, Prefix: op.Prefix}, op.Path, op.Communities, op.Seq)
+	}
+}
+
+// runPromotions moves paths whose tags survived the stability window into
+// the stable baseline.
+func (s *pathShard) runPromotions(now time.Time) {
+	for len(s.promos) > 0 && !s.promos[0].due.After(now) {
+		p := heap.Pop(&s.promos).(promo)
+		st := s.paths[p.key]
+		if st == nil {
+			continue
+		}
+		since, tagged := st.since[p.pop]
+		if !tagged || !since.Equal(p.since) {
+			continue // re-tagged since scheduling; a newer promo exists
+		}
+		s.addStable(p.pop, p.key, st.tags[p.pop])
+	}
+}
+
+// announce updates a path with a new tagged route.
+func (s *pathShard) announce(at time.Time, key PathKey, path bgp.Path, comms bgp.Communities, seq uint64) {
+	hops := s.dict.Annotate(path, comms, s.cmap)
+	newTags := make(map[colo.PoP]popEnd, len(hops))
+	for _, h := range hops {
+		newTags[h.PoP] = popEnd{near: h.Near, far: h.Far}
+	}
+
+	st := s.paths[key]
+	if st == nil {
+		st = &pathState{tags: map[colo.PoP]popEnd{}, since: map[colo.PoP]time.Time{}}
+		s.paths[key] = st
+		if s.pathsOfPeer[key.Peer] == nil {
+			s.pathsOfPeer[key.Peer] = make(map[PathKey]bool)
+		}
+		s.pathsOfPeer[key.Peer][key] = true
+	}
+
+	// PoPs no longer tagged: divert events. A changed community counts as
+	// a route change even when the AS path is identical — and vice versa a
+	// kept community means no change for that PoP (Section 4.2).
+	for pop, ends := range st.tags {
+		if _, still := newTags[pop]; !still {
+			s.recordDivert(key, pop, ends, st.path, seq)
+		}
+	}
+	// Newly tagged PoPs start their stability clock; kept PoPs keep it.
+	for pop, ends := range newTags {
+		if _, had := st.tags[pop]; !had {
+			st.since[pop] = at
+			heap.Push(&s.promos, promo{due: at.Add(s.cfg.StableWindow), key: key, pop: pop, since: at})
+		}
+		if at.Sub(st.since[pop]) >= s.cfg.StableWindow {
+			s.addStable(pop, key, ends)
+		}
+	}
+	for pop := range st.since {
+		if _, still := newTags[pop]; !still {
+			delete(st.since, pop)
+		}
+	}
+	st.tags = newTags
+	s.countPath(st.path, -1)
+	st.path = path.Dedup()
+	s.countPath(st.path, +1)
+
+	// A re-tag may return a diverted path to its baseline PoP.
+	s.noteReturn(at, key, newTags)
+}
+
+// noteReturn checks the shard's outage watches: a waiting path re-tagging a
+// signal PoP counts toward restoration and is reported at the next barrier.
+func (s *pathShard) noteReturn(at time.Time, key PathKey, newTags map[colo.PoP]popEnd) {
+	for i := range s.watches {
+		w := &s.watches[i]
+		if !w.waiting[key] {
+			continue
+		}
+		for pop := range newTags {
+			if w.signalPops[pop] {
+				delete(w.waiting, key)
+				s.returns = append(s.returns, returnEvent{epicenter: w.epicenter, key: key, at: at})
+				break
+			}
+		}
+	}
+}
+
+// withdraw removes a path entirely (explicit withdrawal).
+func (s *pathShard) withdraw(key PathKey, seq uint64) {
+	st := s.paths[key]
+	if st == nil {
+		return
+	}
+	for pop, ends := range st.tags {
+		s.recordDivert(key, pop, ends, st.path, seq)
+	}
+	s.countPath(st.path, -1)
+	delete(s.paths, key)
+	if m := s.pathsOfPeer[key.Peer]; m != nil {
+		delete(m, key)
+	}
+}
+
+// suspendPeer silently drops a peer's paths from monitoring state after a
+// collector feed disruption.
+func (s *pathShard) suspendPeer(peer bgp.ASN) {
+	for key := range s.pathsOfPeer[peer] {
+		st := s.paths[key]
+		if st == nil {
+			continue
+		}
+		for pop := range st.tags {
+			s.removeStable(pop, key)
+		}
+		s.countPath(st.path, -1)
+		delete(s.paths, key)
+	}
+	delete(s.pathsOfPeer, peer)
+}
+
+// countPath adjusts pathsContaining for every AS on the path.
+func (s *pathShard) countPath(path bgp.Path, delta int) {
+	for _, a := range path {
+		s.pathsContaining[a] += delta
+		if s.pathsContaining[a] <= 0 {
+			delete(s.pathsContaining, a)
+		}
+	}
+}
+
+func (s *pathShard) addStable(pop colo.PoP, key PathKey, ends popEnd) {
+	byNear := s.stable[pop]
+	if byNear == nil {
+		byNear = make(map[bgp.ASN]map[PathKey]popEnd)
+		s.stable[pop] = byNear
+	}
+	set := byNear[ends.near]
+	if set == nil {
+		set = make(map[PathKey]popEnd)
+		byNear[ends.near] = set
+	}
+	set[key] = ends
+}
+
+func (s *pathShard) removeStable(pop colo.PoP, key PathKey) {
+	for near, set := range s.stable[pop] {
+		if _, ok := set[key]; ok {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(s.stable[pop], near)
+			}
+		}
+	}
+	if len(s.stable[pop]) == 0 {
+		delete(s.stable, pop)
+	}
+}
+
+// recordDivert notes that a stable path left a PoP within the current bin.
+// Non-stable paths are transient and ignored.
+func (s *pathShard) recordDivert(key PathKey, pop colo.PoP, ends popEnd, oldPath bgp.Path, seq uint64) {
+	set := s.stable[pop][ends.near]
+	if _, stable := set[key]; !stable {
+		return
+	}
+	byNear := s.diverted[pop]
+	if byNear == nil {
+		byNear = make(map[bgp.ASN][]divertRec)
+		s.diverted[pop] = byNear
+	}
+	byNear[ends.near] = append(byNear[ends.near], divertRec{key: key, ends: ends, oldPath: oldPath, seq: seq})
+}
+
+// takeReturns hands the accumulated return events to the investigator.
+func (s *pathShard) takeReturns() []returnEvent {
+	out := s.returns
+	s.returns = nil
+	return out
+}
+
+// finishBin applies the end-of-bin cleanup after investigation: diverted
+// paths leave the stable baseline (Section 4.2: "after each binning
+// interval, we remove the changed paths from the set of stable paths").
+func (s *pathShard) finishBin() {
+	for pop, byNear := range s.diverted {
+		for _, recs := range byNear {
+			for _, r := range recs {
+				s.removeStable(pop, r.key)
+			}
+		}
+	}
+	s.diverted = make(map[colo.PoP]map[bgp.ASN][]divertRec)
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// IngestStats collects low-overhead runtime counters from the sharded
+// ingestion engine: records consumed, route ops fanned out to shards, bins
+// closed, and cumulative time the engine spent synchronizing shards at bin
+// barriers. All counters are safe for concurrent update.
+type IngestStats struct {
+	Records      atomic.Int64 // MRT records consumed
+	Ops          atomic.Int64 // route ops dispatched to shards
+	Bins         atomic.Int64 // bins closed (barriers executed)
+	BarrierNanos atomic.Int64 // cumulative wall time inside bin barriers
+
+	startOnce sync.Once
+	start     atomic.Int64 // wall-clock start, unix nanos
+}
+
+// Begin marks the ingestion start for rate computation. Idempotent; the
+// engine calls it on the first record.
+func (s *IngestStats) Begin() {
+	s.startOnce.Do(func() { s.start.Store(time.Now().UnixNano()) })
+}
+
+// IngestSnapshot is a point-in-time view of the engine's ingestion health.
+type IngestSnapshot struct {
+	Records int64
+	Ops     int64
+	Bins    int64
+	// RecordsPerSec is the wall-clock ingestion rate since Begin.
+	RecordsPerSec float64
+	// BarrierTime is the cumulative wall time spent in bin barriers.
+	BarrierTime time.Duration
+	// BinLag is the mean barrier stall per closed bin: how far behind the
+	// sequentialized investigator drags the parallel shard layer.
+	BinLag time.Duration
+	// QueueDepths is the per-shard count of dispatched-but-unprocessed op
+	// batches at snapshot time.
+	QueueDepths []int
+}
+
+// Snapshot computes current rates. queueDepths is supplied by the caller
+// (the engine knows its channel occupancy); it may be nil.
+func (s *IngestStats) Snapshot(queueDepths []int) IngestSnapshot {
+	snap := IngestSnapshot{
+		Records:     s.Records.Load(),
+		Ops:         s.Ops.Load(),
+		Bins:        s.Bins.Load(),
+		BarrierTime: time.Duration(s.BarrierNanos.Load()),
+		QueueDepths: queueDepths,
+	}
+	if start := s.start.Load(); start > 0 {
+		elapsed := time.Since(time.Unix(0, start)).Seconds()
+		if elapsed > 0 {
+			snap.RecordsPerSec = float64(snap.Records) / elapsed
+		}
+	}
+	if snap.Bins > 0 {
+		snap.BinLag = snap.BarrierTime / time.Duration(snap.Bins)
+	}
+	return snap
+}
+
+// String renders the snapshot as a single log-friendly line.
+func (s IngestSnapshot) String() string {
+	return fmt.Sprintf("records=%d ops=%d bins=%d rate=%.0f rec/s barrier=%s binlag=%s queues=%v",
+		s.Records, s.Ops, s.Bins, s.RecordsPerSec, s.BarrierTime.Round(time.Microsecond),
+		s.BinLag.Round(time.Microsecond), s.QueueDepths)
+}

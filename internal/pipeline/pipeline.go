@@ -67,9 +67,16 @@ func Build(w *topology.World, seed int64) *Stack {
 	return &Stack{World: w, Geo: w.Geo, Map: cmap, Dict: dict, Orgs: orgs}
 }
 
-// NewDetector builds a detector over the stack.
+// NewDetector builds a sequential detector over the stack.
 func (s *Stack) NewDetector(cfg core.Config) *core.Detector {
 	return core.New(cfg, s.Dict, s.Map, s.Orgs)
+}
+
+// NewEngine builds a sharded concurrent engine over the stack; shards <= 0
+// selects GOMAXPROCS. The engine emits exactly the same outages and
+// incidents as the sequential detector. Callers own Close.
+func (s *Stack) NewEngine(cfg core.Config, shards int) *core.Engine {
+	return core.NewEngine(cfg, s.Dict, s.Map, s.Orgs, shards)
 }
 
 // Run feeds a time-sorted record stream through a fresh detector and
@@ -93,6 +100,30 @@ func (s *Stack) Run(records []*mrt.Record, cfg core.Config, dp core.DataPlane) (
 		outages = append(outages, det.Flush(records[len(records)-1].Time)...)
 	}
 	return outages, det.Incidents()
+}
+
+// RunEngine feeds a time-sorted record stream through a fresh sharded
+// engine and returns all completed outages and classified incidents — the
+// concurrent counterpart of Run, with identical output for any stream.
+func (s *Stack) RunEngine(records []*mrt.Record, cfg core.Config, dp core.DataPlane, shards int) ([]core.Outage, []core.Incident) {
+	eng := s.NewEngine(cfg, shards)
+	defer eng.Close()
+	if dp != nil {
+		eng.SetDataPlane(dp)
+	}
+	var outages []core.Outage
+	src := bgpstream.NewSliceSource(records)
+	for {
+		rec, err := src.Next()
+		if err != nil {
+			break
+		}
+		outages = append(outages, eng.Process(rec)...)
+	}
+	if len(records) > 0 {
+		outages = append(outages, eng.Flush(records[len(records)-1].Time)...)
+	}
+	return outages, eng.Incidents()
 }
 
 // SimDataPlane validates suspected outages with targeted synthetic

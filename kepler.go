@@ -6,24 +6,47 @@
 // PoP-level path divergence against a colocation map, and validating the
 // inferred epicenters against data-plane measurements.
 //
+// # Architecture: shards + investigator
+//
+// The detection pipeline is split into two layers. The per-path layer —
+// community annotation, stable-baseline maintenance, divergence tracking
+// (Section 4.2) — depends only on the records of each (vantage, prefix)
+// path, so it is partitioned across N shard workers by a hash of the path
+// key. The cross-path layer — per-AS thresholding, Section 4.3 signal
+// investigation, and outage duration tracking — runs in a single
+// investigator that synchronizes the shards at every 60 s bin boundary
+// and reads their merged state. Two entry points expose the same
+// semantics:
+//
+//   - Engine — the sharded concurrent pipeline (NewEngine). Scales record
+//     ingestion across cores; for any stream it emits byte-for-byte the
+//     same Outages and Incidents as the sequential path.
+//   - Detector — the sequential pipeline (NewDetector), kept as the N=1
+//     compatibility path with zero goroutines.
+//
 // The facade re-exports the detection core; richer control lives in the
 // internal packages, which the module's commands and examples exercise:
 //
 //   - internal/core        — the detection pipeline (this package's types)
 //   - internal/communities — community dictionary + documentation miner
 //   - internal/colo        — colocation map construction
-//   - internal/bgpstream   — unified multi-collector record feeds
+//   - internal/bgpstream   — unified multi-collector record feeds and the
+//     record-to-shard fan-out stage
+//   - internal/metrics     — evaluation stats plus ingestion counters
+//     (records/sec, shard queue depth, bin lag)
 //   - internal/topology, internal/routing, internal/simulate — the
 //     synthetic Internet used for evaluation
 //
-// A minimal deployment:
+// A minimal concurrent deployment:
 //
-//	det := kepler.NewDetector(kepler.DefaultConfig(), dict, cmap, orgs)
+//	eng := kepler.NewEngine(kepler.DefaultConfig(), dict, cmap, orgs, 0) // 0: one shard per core
+//	defer eng.Close()
 //	for rec := range feed {
-//	    for _, outage := range det.Process(rec) {
+//	    for _, outage := range eng.Process(rec) {
 //	        log.Printf("outage at %v: %v..%v", outage.PoP, outage.Start, outage.End)
 //	    }
 //	}
+//	outages := eng.Flush(lastRecordTime) // drain open state at stream end
 package kepler
 
 import (
@@ -37,8 +60,12 @@ import (
 type (
 	// Config carries Kepler's tuning parameters (thresholds, windows).
 	Config = core.Config
-	// Detector is the streaming detection pipeline.
+	// Detector is the sequential streaming detection pipeline.
 	Detector = core.Detector
+	// Engine is the sharded concurrent detection pipeline: N path-state
+	// shard workers plus a bin-synchronized investigator, with output
+	// identical to Detector for any record stream.
+	Engine = core.Engine
 	// Outage is a completed PoP-level outage with duration and impact.
 	Outage = core.Outage
 	// Incident is one classified outage signal (link/AS/operator/PoP).
@@ -71,8 +98,15 @@ const (
 // oscillation gap.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// NewDetector builds a streaming detector over a mined dictionary, a
-// merged colocation map and an optional AS-to-organization table.
+// NewDetector builds a sequential streaming detector over a mined
+// dictionary, a merged colocation map and an optional AS-to-organization
+// table.
 func NewDetector(cfg Config, dict *Dictionary, cmap *ColocationMap, orgs *OrgTable) *Detector {
 	return core.New(cfg, dict, cmap, orgs)
+}
+
+// NewEngine builds the sharded concurrent engine over the same inputs;
+// shards <= 0 selects one shard worker per core. Call Close when done.
+func NewEngine(cfg Config, dict *Dictionary, cmap *ColocationMap, orgs *OrgTable, shards int) *Engine {
+	return core.NewEngine(cfg, dict, cmap, orgs, shards)
 }
