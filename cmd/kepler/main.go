@@ -40,6 +40,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *seed < 0 {
+		fatal(fmt.Errorf("-seed must be non-negative, got %d (a world cannot be generated from a negative seed)", *seed))
+	}
+	if *tfail <= 0 || *tfail > 1 {
+		fatal(fmt.Errorf("-tfail must be in (0,1], got %v (it is the fraction of an AS's stable paths that must divert)", *tfail))
+	}
+
 	cfg := topology.DefaultConfig()
 	cfg.Seed = *seed
 	w, err := topology.Generate(cfg)

@@ -1,0 +1,224 @@
+// Command keplerd runs Kepler as a long-lived service: it ingests a
+// streamed record source through the sharded detection engine and serves
+// detection results over an HTTP JSON API plus a Server-Sent-Events stream
+// while ingestion is running. This is the daemon shape of the paper's
+// deployment — a continuously-operating monitor rather than a batch report.
+//
+// Two sources are available:
+//
+//   - -archive replays an MRT-lite file (from cmd/topogen) through a
+//     rate-controlled replayer: -speed 1 re-creates the original arrival
+//     timing, -speed 60 compresses an archive minute into a second, and
+//     -speed 0 (the default) replays as fast as the hardware allows. After
+//     the archive drains, the daemon keeps serving its results until
+//     signalled.
+//   - -synthetic renders rolling scenario windows over the generated world
+//     forever — the soak-test mode; no file needed.
+//
+// The colocation map and community dictionary are reconstructed from the
+// same world seed the archive was generated with, exactly as cmd/kepler
+// does.
+//
+// Endpoints: /healthz, /v1/outages, /v1/outages/open, /v1/incidents,
+// /v1/stats, /v1/events (SSE). Shutdown on SIGINT/SIGTERM is graceful:
+// the source is drained, the engine flushed (emitting final outage
+// events), subscribers closed, and the HTTP server stopped.
+//
+// Usage:
+//
+//	keplerd -seed 1 -archive archive.mrt -listen 127.0.0.1:8080
+//	keplerd -seed 1 -synthetic -speed 600
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"kepler/internal/core"
+	"kepler/internal/events"
+	"kepler/internal/live"
+	"kepler/internal/metrics"
+	"kepler/internal/mrt"
+	"kepler/internal/pipeline"
+	"kepler/internal/server"
+	"kepler/internal/topology"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "world seed the archive was generated with")
+		archive   = flag.String("archive", "", "MRT-lite archive to replay")
+		synthetic = flag.Bool("synthetic", false, "soak mode: stream rendered scenario windows instead of an archive")
+		speed     = flag.Float64("speed", 0, "archive replay speed multiplier; 0 replays at maximum speed")
+		listen    = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		tfail     = flag.Float64("tfail", 0.10, "outage signal threshold, in (0,1]")
+		unres     = flag.Bool("report-unresolved", true, "report outages whose epicenter could not be pinned (no data plane in replay mode)")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "path-state shard workers; <= 0 selects one per core")
+		sseBuffer = flag.Int("sse-buffer", 256, "per-client SSE event queue; a client stalled past it loses events")
+		grace     = flag.Duration("shutdown-timeout", 10*time.Second, "graceful HTTP shutdown budget")
+	)
+	flag.Parse()
+
+	if *seed < 0 {
+		fatal(fmt.Errorf("-seed must be non-negative, got %d (a world cannot be generated from a negative seed)", *seed))
+	}
+	if *tfail <= 0 || *tfail > 1 {
+		fatal(fmt.Errorf("-tfail must be in (0,1], got %v (it is the fraction of an AS's stable paths that must divert)", *tfail))
+	}
+	if *speed < 0 {
+		fatal(fmt.Errorf("-speed must be >= 0, got %v (0 replays at maximum speed)", *speed))
+	}
+	if *archive == "" && !*synthetic {
+		fatal(fmt.Errorf("one of -archive or -synthetic is required"))
+	}
+	if *archive != "" && *synthetic {
+		fatal(fmt.Errorf("-archive and -synthetic are mutually exclusive"))
+	}
+
+	cfg := topology.DefaultConfig()
+	cfg.Seed = *seed
+	w, err := topology.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	stack := pipeline.Build(w, 77)
+	log.Printf("keplerd: dictionary %d communities from %d ASes; %d facilities, %d IXPs mapped",
+		stack.Dict.Len(), len(stack.Dict.CoveredASNs()), stack.Map.NumFacilities(), stack.Map.NumIXPs())
+
+	// Source.
+	var src live.Source
+	switch {
+	case *synthetic:
+		src = live.NewSynthetic(w, live.SyntheticConfig{Seed: *seed + 100})
+		log.Printf("keplerd: synthetic soak source (endless rolling windows)")
+	default:
+		f, err := os.Open(*archive)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = live.NewReplayer(mrt.NewReader(f), *speed)
+		log.Printf("keplerd: replaying %s at %s", *archive, speedName(*speed))
+	}
+
+	kcfg := core.DefaultConfig()
+	kcfg.Tfail = *tfail
+	kcfg.ReportUnresolved = *unres
+
+	// Engine → bus → server wiring.
+	svc := &metrics.ServiceStats{}
+	bus := events.New(svc)
+	eng := stack.NewEngine(kcfg, *shards)
+	srv := server.New(server.Options{
+		Bus:       bus,
+		Service:   svc,
+		Ingest:    func() metrics.IngestSnapshot { return eng.Stats() },
+		Namer:     w.PoPName,
+		SSEBuffer: *sseBuffer,
+	})
+
+	// resolved accumulates on the ingest goroutine only: the hooks run
+	// inside Process/Flush, so snapshot builds observe a consistent slice.
+	var resolved []core.Outage
+	hooks := events.EngineHooks(bus)
+	publishResolved := hooks.OutageResolved
+	hooks.OutageResolved = func(o core.Outage) {
+		publishResolved(o)
+		resolved = append(resolved, o)
+		log.Printf("keplerd: OUTAGE RESOLVED %s %q %s -> %s (%s) ases=%d paths=%d",
+			o.PoP, w.PoPName(o.PoP), o.Start.Format("2006-01-02 15:04"),
+			o.End.Format("15:04"), o.Duration().Round(time.Minute),
+			len(o.AffectedASes), o.DivertedPaths)
+	}
+	publishOpened := hooks.OutageOpened
+	hooks.OutageOpened = func(s core.OutageStatus) {
+		publishOpened(s)
+		log.Printf("keplerd: outage opened at %s %q (%d paths diverted)", s.PoP, w.PoPName(s.PoP), s.WaitingPaths)
+	}
+	publishBin := hooks.BinClosed
+	hooks.BinClosed = func(end time.Time) {
+		publishBin(end)
+		srv.PublishSnapshot(server.BuildSnapshot(end, eng, resolved))
+	}
+	eng.SetHooks(hooks)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("keplerd: http: %v", err)
+		}
+	}()
+	log.Printf("keplerd: serving http://%s (try /healthz, /v1/outages, /v1/events)", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv.SetReady(true)
+
+	// Ingest loop. The final snapshot publish happens here, on the same
+	// goroutine the hooks run on.
+	type outcome struct {
+		res live.PumpResult
+		err error
+	}
+	pumpDone := make(chan outcome, 1)
+	go func() {
+		res, err := live.Pump(ctx, src, eng)
+		srv.PublishSnapshot(server.BuildSnapshot(res.Last, eng, resolved))
+		pumpDone <- outcome{res, err}
+	}()
+
+	var out outcome
+	select {
+	case out = <-pumpDone:
+		if out.err != nil && ctx.Err() == nil {
+			log.Printf("keplerd: source failed: %v", out.err)
+		} else {
+			log.Printf("keplerd: source drained (%d records); serving results until signalled", out.res.Records)
+		}
+		<-ctx.Done()
+	case <-ctx.Done():
+		log.Printf("keplerd: signal received, draining")
+		out = <-pumpDone // Pump aborts promptly: the source sees ctx.Done
+	}
+	stop()
+
+	// Graceful teardown: flush already ran inside Pump; close subscribers,
+	// stop the HTTP server, stop the shard workers.
+	bus.Close()
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("keplerd: http shutdown: %v (forcing close)", err)
+		httpSrv.Close()
+	}
+	eng.Close()
+	log.Printf("keplerd: ingest %v", eng.Stats())
+	log.Printf("keplerd: service %v", svc.Snapshot())
+	log.Printf("keplerd: %d outages resolved, %d incidents classified; bye",
+		len(resolved), len(eng.Incidents()))
+}
+
+func speedName(speed float64) string {
+	if speed <= 0 {
+		return "maximum speed"
+	}
+	return fmt.Sprintf("%gx real time", speed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "keplerd:", err)
+	os.Exit(1)
+}

@@ -71,6 +71,15 @@ func main() {
 	defer eng.Close()
 	eng.SetDataPlane(stack.NewSimDataPlane(res, 50000))
 
+	// Lifecycle hooks fire at bin boundaries as detection state changes —
+	// the same callbacks cmd/keplerd bridges onto its event bus and SSE
+	// stream. Here they just narrate the outage in real time.
+	eng.SetHooks(kepler.Hooks{
+		OutageOpened: func(s kepler.OutageStatus) {
+			fmt.Printf("  [live] outage opened at %v: %d paths diverted\n", s.PoP, s.WaitingPaths)
+		},
+	})
+
 	var outages []kepler.Outage
 	for _, rec := range res.Records {
 		outages = append(outages, eng.Process(rec)...)
@@ -92,4 +101,14 @@ func main() {
 	if len(outages) == 0 {
 		fmt.Println("no outages detected — unexpected; try a different seed")
 	}
+
+	// 6. The same pipeline runs as a long-lived service: cmd/keplerd wires
+	// a streamed source into this engine and serves results over HTTP while
+	// ingesting. Try it against a generated archive:
+	//
+	//	go run ./cmd/topogen -seed 1 -days 30 -out archive.mrt
+	//	go run ./cmd/keplerd -seed 1 -archive archive.mrt &
+	//	curl localhost:8080/v1/outages/open   # ongoing outages as JSON
+	//	curl -N localhost:8080/v1/events      # live SSE event stream
+	fmt.Println("\nnext: run this pipeline as a daemon — see cmd/keplerd (HTTP API + SSE)")
 }

@@ -79,6 +79,10 @@ func New(cfg Config, dict *communities.Dictionary, cmap *colo.Map, orgs *as2org.
 // SetDataPlane wires the targeted-measurement backend.
 func (d *Detector) SetDataPlane(dp DataPlane) { d.inv.dp = dp }
 
+// SetHooks installs lifecycle callbacks (see Hooks). It must be called
+// before the first Process.
+func (d *Detector) SetHooks(h Hooks) { d.inv.hooks = h }
+
 // Process feeds one record (records must arrive in non-decreasing time
 // order, as bgpstream guarantees) and returns any outages that completed.
 func (d *Detector) Process(rec *mrt.Record) []Outage {
@@ -119,3 +123,6 @@ func (d *Detector) Incidents() []Incident { return d.inv.incidents }
 
 // OpenOutages returns the PoPs with ongoing outages.
 func (d *Detector) OpenOutages() []colo.PoP { return d.inv.tracker.open() }
+
+// OpenOutageStatuses snapshots every ongoing outage, sorted by epicenter.
+func (d *Detector) OpenOutageStatuses() []OutageStatus { return d.inv.tracker.openStatuses() }

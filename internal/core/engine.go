@@ -139,7 +139,13 @@ type Engine struct {
 	// provable no-op.
 	opsSinceBarrier bool
 	stats           metrics.IngestStats
-	closed          bool
+
+	// lifecycle serializes Flush against Close so a daemon's shutdown path
+	// can race the two safely; closeOnce makes Close idempotent. Process
+	// remains single-goroutine and must happen-before any Flush or Close.
+	lifecycle sync.Mutex
+	closeOnce sync.Once
+	closed    bool
 }
 
 // NewEngine builds a sharded engine with the given number of shard
@@ -179,6 +185,10 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // SetDataPlane wires the targeted-measurement backend. It must be called
 // before the first Process.
 func (e *Engine) SetDataPlane(dp DataPlane) { e.inv.dp = dp }
+
+// SetHooks installs lifecycle callbacks (see Hooks). It must be called
+// before the first Process.
+func (e *Engine) SetHooks(h Hooks) { e.inv.hooks = h }
 
 // Process feeds one record (records must arrive in non-decreasing time
 // order) and returns any outages that completed at bin boundaries crossed
@@ -271,8 +281,16 @@ func (e *Engine) mergeDiverted() map[colo.PoP]map[bgp.ASN][]divertRec {
 
 // Flush closes the current bin and any open outages as of the given time,
 // returning all remaining completed outages. The engine stays usable for
-// further records afterwards.
+// further records afterwards. Flush is safe to call concurrently with
+// Close: after Close it only drains already-completed outages.
 func (e *Engine) Flush(asOf time.Time) []Outage {
+	e.lifecycle.Lock()
+	defer e.lifecycle.Unlock()
+	if e.closed {
+		// The shard workers are gone, so no further bin can close; anything
+		// that completed before Close is still drainable.
+		return e.inv.drainCompleted()
+	}
 	e.clock.advance(asOf.Add(e.cfg.BinInterval), e.closeBin)
 	e.inv.tracker.closeAll(asOf)
 	e.inv.tracker.drainCooling(e.inv)
@@ -285,6 +303,10 @@ func (e *Engine) Incidents() []Incident { return e.inv.incidents }
 
 // OpenOutages returns the PoPs with ongoing outages.
 func (e *Engine) OpenOutages() []colo.PoP { return e.inv.tracker.open() }
+
+// OpenOutageStatuses snapshots every ongoing outage, sorted by epicenter.
+// Only valid between Process calls or inside a BinClosed hook.
+func (e *Engine) OpenOutageStatuses() []OutageStatus { return e.inv.tracker.openStatuses() }
 
 // SessionTracker exposes the fan-out's session tracker.
 func (e *Engine) SessionTracker() *bgpstream.SessionTracker { return e.fan.Tracker() }
@@ -299,17 +321,19 @@ func (e *Engine) Stats() metrics.IngestSnapshot {
 	return e.stats.Snapshot(depths)
 }
 
-// Close stops the shard workers. The engine must not be used afterwards;
-// call Flush first to drain results.
+// Close stops the shard workers and waits for them to exit. Close is
+// idempotent and safe to call concurrently with Flush (daemon shutdown
+// paths race the two); Process must not be called afterwards.
 func (e *Engine) Close() {
-	if e.closed {
-		return
-	}
-	e.closed = true
-	for _, s := range e.shards {
-		close(s.in)
-	}
-	for _, s := range e.shards {
-		<-s.done
-	}
+	e.closeOnce.Do(func() {
+		e.lifecycle.Lock()
+		defer e.lifecycle.Unlock()
+		e.closed = true
+		for _, s := range e.shards {
+			close(s.in)
+		}
+		for _, s := range e.shards {
+			<-s.done
+		}
+	})
 }

@@ -345,6 +345,9 @@ func (inv *investigator) investigate(at time.Time, signals []signal) {
 			inc.Kind = IncidentAS
 		}
 		inv.incidents = append(inv.incidents, inc)
+		if inv.hooks.IncidentClassified != nil {
+			inv.hooks.IncidentClassified(inc)
+		}
 	}
 
 	// Collateral folding: a diverted path is usually tagged at several
@@ -518,7 +521,16 @@ func (inv *investigator) openOutageFor(at time.Time, epicenter colo.PoP, g *popG
 			}
 		}
 	}
+	existed := inv.tracker.opened[epicenter] != nil
 	inv.tracker.observe(at, epicenter, g, confirmed, checked)
+	if o := inv.tracker.opened[epicenter]; o != nil {
+		switch {
+		case !existed && inv.hooks.OutageOpened != nil:
+			inv.hooks.OutageOpened(o.status())
+		case existed && inv.hooks.OutageUpdated != nil:
+			inv.hooks.OutageUpdated(o.status())
+		}
+	}
 }
 
 // disambiguate locates the epicenter of a PoP-level signal group

@@ -30,11 +30,12 @@ type stateView interface {
 // lets the per-path layer shard freely: all global reads happen while the
 // shards are synchronized.
 type investigator struct {
-	cfg  Config
-	cmap *colo.Map
-	orgs *as2org.Table
-	dp   DataPlane
-	view stateView
+	cfg   Config
+	cmap  *colo.Map
+	orgs  *as2org.Table
+	dp    DataPlane
+	view  stateView
+	hooks Hooks
 
 	incidents []Incident
 	tracker   *outageTracker
@@ -155,5 +156,8 @@ func (inv *investigator) closeBinOver(end time.Time, shards []*pathShard, divert
 	}
 	for _, s := range shards {
 		s.finishBin()
+	}
+	if inv.hooks.BinClosed != nil {
+		inv.hooks.BinClosed(end)
 	}
 }

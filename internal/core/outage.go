@@ -185,7 +185,7 @@ func (t *outageTracker) tick(now time.Time, inv *investigator) {
 	var keep []Outage
 	for _, c := range t.cooling {
 		if now.Sub(c.End) >= t.cfg.OscillationGap {
-			inv.completed = append(inv.completed, c)
+			inv.emit(c)
 		} else {
 			keep = append(keep, c)
 		}
@@ -196,7 +196,9 @@ func (t *outageTracker) tick(now time.Time, inv *investigator) {
 // drainCooling emits every closed outage regardless of the oscillation
 // window (stream end).
 func (t *outageTracker) drainCooling(inv *investigator) {
-	inv.completed = append(inv.completed, t.cooling...)
+	for _, c := range t.cooling {
+		inv.emit(c)
+	}
 	t.cooling = nil
 }
 

@@ -1,0 +1,198 @@
+// Package events is the outage event bus of the live service layer: it
+// bridges the detection engine's lifecycle hooks (outage opened, updated,
+// resolved; incident classified; bin closed) onto bounded per-subscriber
+// queues that many concurrent consumers — SSE streams, loggers, future
+// persistence sinks — drain independently. Publishing never blocks: a
+// subscriber whose queue is full loses the event and the loss is counted,
+// so one stuck client can never stall a bin close (the publisher is the
+// ingestion goroutine itself).
+package events
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kepler/internal/core"
+	"kepler/internal/metrics"
+)
+
+// Kind discriminates bus events.
+type Kind string
+
+// Event kinds, also used as SSE event names by internal/server.
+const (
+	KindOutageOpened   Kind = "outage_opened"
+	KindOutageUpdated  Kind = "outage_updated"
+	KindOutageResolved Kind = "outage_resolved"
+	KindIncident       Kind = "incident"
+	KindBinClosed      Kind = "bin_closed"
+)
+
+// Event is one bus message. Exactly one of the payload pointers is non-nil,
+// matched to Kind; BinClosed events carry only Time. Seq is a bus-global,
+// gapless publication sequence number (SSE ids derive from it).
+type Event struct {
+	Seq      uint64
+	Time     time.Time
+	Kind     Kind
+	Status   *core.OutageStatus // opened / updated
+	Outage   *core.Outage       // resolved
+	Incident *core.Incident     // incident
+}
+
+// Subscriber is one bounded-queue consumer registration.
+type Subscriber struct {
+	bus     *Bus
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// Events returns the subscriber's delivery channel. It is closed when the
+// bus closes or the subscriber cancels.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events this subscriber lost to a full queue.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// Close cancels the subscription and closes the delivery channel. Safe to
+// call multiple times and concurrently with Publish and Bus.Close:
+// idempotence comes from bus-map membership, checked under the bus lock,
+// so no subscriber-side state is ever held while waiting for it.
+func (s *Subscriber) Close() {
+	s.bus.unsubscribe(s)
+}
+
+// Bus fans events out to subscribers. The zero value is not usable; use New.
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[*Subscriber]struct{}
+	seq    uint64
+	closed bool
+
+	published atomic.Int64
+	dropped   atomic.Int64
+	svc       *metrics.ServiceStats // optional mirror
+}
+
+// New builds a bus. svc, if non-nil, receives publish/drop counter updates
+// alongside the bus's own counters (the server exports it via /v1/stats).
+func New(svc *metrics.ServiceStats) *Bus {
+	return &Bus{subs: make(map[*Subscriber]struct{}), svc: svc}
+}
+
+// Subscribe registers a consumer with the given queue capacity (minimum 1).
+// Events published while the queue is full are dropped for this subscriber
+// only, and counted. Subscribing to a closed bus returns an
+// already-closed subscription.
+func (b *Bus) Subscribe(buffer int) *Subscriber {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Subscriber{bus: b, ch: make(chan Event, buffer)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		// Never registered: Close degrades to a no-op membership miss.
+		close(s.ch)
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+func (b *Bus) unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+		close(s.ch)
+	}
+}
+
+// Publish assigns the event its sequence number and offers it to every
+// subscriber without blocking. It is called from the ingestion goroutine's
+// engine hooks, so the only per-subscriber cost is a channel send or a
+// drop-counter increment.
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.seq++
+	ev.Seq = b.seq
+	b.published.Add(1)
+	if b.svc != nil {
+		b.svc.EventsPublished.Add(1)
+	}
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+			if b.svc != nil {
+				b.svc.EventsDropped.Add(1)
+			}
+		}
+	}
+}
+
+// Close shuts the bus down: all subscriber channels are closed and further
+// Publish and Subscribe calls become no-ops. Idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		delete(b.subs, s)
+		close(s.ch)
+	}
+}
+
+// Stats is a point-in-time view of the bus.
+type Stats struct {
+	Published   int64 `json:"published"`
+	Dropped     int64 `json:"dropped"`
+	Subscribers int   `json:"subscribers"`
+}
+
+// Stats snapshots publication and drop counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	n := len(b.subs)
+	b.mu.Unlock()
+	return Stats{
+		Published:   b.published.Load(),
+		Dropped:     b.dropped.Load(),
+		Subscribers: n,
+	}
+}
+
+// EngineHooks bridges a detection pipeline onto the bus: every lifecycle
+// callback becomes a published event. Callers that need additional
+// callbacks (snapshot refresh, outage accumulation) chain their own
+// functions over the returned struct before Engine.SetHooks.
+func EngineHooks(b *Bus) core.Hooks {
+	return core.Hooks{
+		OutageOpened: func(s core.OutageStatus) {
+			b.Publish(Event{Time: s.LastSignal, Kind: KindOutageOpened, Status: &s})
+		},
+		OutageUpdated: func(s core.OutageStatus) {
+			b.Publish(Event{Time: s.LastSignal, Kind: KindOutageUpdated, Status: &s})
+		},
+		OutageResolved: func(o core.Outage) {
+			b.Publish(Event{Time: o.End, Kind: KindOutageResolved, Outage: &o})
+		},
+		IncidentClassified: func(inc core.Incident) {
+			b.Publish(Event{Time: inc.Time, Kind: KindIncident, Incident: &inc})
+		},
+		BinClosed: func(end time.Time) {
+			b.Publish(Event{Time: end, Kind: KindBinClosed})
+		},
+	}
+}

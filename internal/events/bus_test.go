@@ -1,0 +1,240 @@
+package events
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"kepler/internal/colo"
+	"kepler/internal/core"
+	"kepler/internal/metrics"
+)
+
+func ev(kind Kind, at time.Time) Event { return Event{Kind: kind, Time: at} }
+
+func TestBusDeliveryOrderAndSeq(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	sub := b.Subscribe(16)
+	base := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		b.Publish(ev(KindBinClosed, base.Add(time.Duration(i)*time.Minute)))
+	}
+	for i := 0; i < 5; i++ {
+		got := <-sub.Events()
+		if got.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, got.Seq)
+		}
+		if !got.Time.Equal(base.Add(time.Duration(i) * time.Minute)) {
+			t.Fatalf("event %d out of order: %v", i, got.Time)
+		}
+	}
+	if st := b.Stats(); st.Published != 5 || st.Dropped != 0 || st.Subscribers != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBusSlowConsumerDrops(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	slow := b.Subscribe(2)
+	fast := b.Subscribe(64)
+	for i := 0; i < 10; i++ {
+		b.Publish(ev(KindBinClosed, time.Time{}))
+	}
+	// The slow subscriber holds 2, dropped 8; the fast one got everything.
+	if d := slow.Dropped(); d != 8 {
+		t.Errorf("slow dropped = %d, want 8", d)
+	}
+	if d := fast.Dropped(); d != 0 {
+		t.Errorf("fast dropped = %d, want 0", d)
+	}
+	if st := b.Stats(); st.Dropped != 8 || st.Published != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The slow consumer still sees the oldest queued events, not garbage.
+	first := <-slow.Events()
+	if first.Seq != 1 {
+		t.Errorf("slow first seq = %d, want 1", first.Seq)
+	}
+	n := 0
+	for range fast.Events() {
+		n++
+		if n == 10 {
+			break
+		}
+	}
+}
+
+func TestBusCloseSemantics(t *testing.T) {
+	b := New(nil)
+	sub := b.Subscribe(4)
+	b.Publish(ev(KindBinClosed, time.Time{}))
+	b.Close()
+	b.Close() // idempotent
+	// Queued events remain readable; the channel then reports closure.
+	if e, ok := <-sub.Events(); !ok || e.Seq != 1 {
+		t.Fatalf("queued event lost at close: %v %v", e, ok)
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("channel not closed after bus close")
+	}
+	// Publish and Subscribe after close are inert.
+	b.Publish(ev(KindBinClosed, time.Time{}))
+	late := b.Subscribe(4)
+	if _, ok := <-late.Events(); ok {
+		t.Fatal("late subscription delivered events after close")
+	}
+	late.Close() // no-op, no panic
+	sub.Close()  // no-op, no panic
+}
+
+func TestBusSubscriberClose(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	sub := b.Subscribe(4)
+	other := b.Subscribe(4)
+	sub.Close()
+	sub.Close() // idempotent
+	b.Publish(ev(KindBinClosed, time.Time{}))
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("cancelled subscriber still receiving")
+	}
+	if e := <-other.Events(); e.Seq != 1 {
+		t.Fatalf("surviving subscriber missed the event: %+v", e)
+	}
+	if st := b.Stats(); st.Subscribers != 1 {
+		t.Errorf("subscribers = %d, want 1", st.Subscribers)
+	}
+}
+
+// TestBusConcurrency hammers publish, subscribe, cancel and close from many
+// goroutines; run with -race. It also checks the ServiceStats mirror is
+// consistent: published equals the bus's own counter.
+func TestBusConcurrency(t *testing.T) {
+	var svc metrics.ServiceStats
+	b := New(&svc)
+	var pubs, subs sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < 4; i++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for j := 0; j < 500; j++ {
+				b.Publish(ev(KindBinClosed, time.Time{}))
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		subs.Add(1)
+		go func(slow bool) {
+			defer subs.Done()
+			sub := b.Subscribe(4)
+			defer sub.Close()
+			for {
+				select {
+				case _, ok := <-sub.Events():
+					if !ok {
+						return
+					}
+					if slow {
+						time.Sleep(time.Millisecond)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}(i == 0)
+	}
+	pubs.Wait()
+	close(stop)
+	subs.Wait()
+	st := b.Stats()
+	if st.Published != 2000 {
+		t.Errorf("published = %d, want 2000", st.Published)
+	}
+	if svc.EventsPublished.Load() != st.Published || svc.EventsDropped.Load() != st.Dropped {
+		t.Errorf("service mirror diverged: %d/%d vs %+v",
+			svc.EventsPublished.Load(), svc.EventsDropped.Load(), st)
+	}
+	b.Close()
+}
+
+// TestBusCloseRacesSubscriberClose pins the shutdown lock-order fix: a
+// subscriber cancelling (SSE client disconnect) exactly while the bus
+// closes (daemon shutdown) must never deadlock, and later Publishes must
+// stay non-blocking. Run with -race and the package's -timeout.
+func TestBusCloseRacesSubscriberClose(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		b := New(nil)
+		subs := make([]*Subscriber, 8)
+		for j := range subs {
+			subs[j] = b.Subscribe(1)
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(subs) + 1)
+		go func() {
+			defer wg.Done()
+			b.Close()
+		}()
+		for _, s := range subs {
+			go func(s *Subscriber) {
+				defer wg.Done()
+				s.Close()
+				s.Close()
+			}(s)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Bus.Close deadlocked against Subscriber.Close")
+		}
+		b.Publish(ev(KindBinClosed, time.Time{})) // must not block after close
+	}
+}
+
+// TestEngineHooksBridge attaches the bus bridge to a detector-compatible
+// hook set and checks kind/payload mapping.
+func TestEngineHooksBridge(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	sub := b.Subscribe(16)
+	h := EngineHooks(b)
+
+	at := time.Date(2016, 6, 3, 12, 0, 0, 0, time.UTC)
+	pop := colo.FacilityPoP(7)
+	h.OutageOpened(core.OutageStatus{PoP: pop, LastSignal: at, WaitingPaths: 3})
+	h.OutageUpdated(core.OutageStatus{PoP: pop, LastSignal: at.Add(time.Minute)})
+	h.IncidentClassified(core.Incident{Time: at, Kind: core.IncidentPoP, PoP: pop})
+	h.OutageResolved(core.Outage{PoP: pop, Start: at, End: at.Add(time.Hour)})
+	h.BinClosed(at.Add(2 * time.Hour))
+
+	wantKinds := []Kind{KindOutageOpened, KindOutageUpdated, KindIncident, KindOutageResolved, KindBinClosed}
+	for i, want := range wantKinds {
+		got := <-sub.Events()
+		if got.Kind != want {
+			t.Fatalf("event %d kind = %q, want %q", i, got.Kind, want)
+		}
+		switch want {
+		case KindOutageOpened, KindOutageUpdated:
+			if got.Status == nil || got.Status.PoP != pop {
+				t.Errorf("%s payload = %+v", want, got.Status)
+			}
+		case KindOutageResolved:
+			if got.Outage == nil || got.Outage.PoP != pop {
+				t.Errorf("resolved payload = %+v", got.Outage)
+			}
+		case KindIncident:
+			if got.Incident == nil || got.Incident.Kind != core.IncidentPoP {
+				t.Errorf("incident payload = %+v", got.Incident)
+			}
+		case KindBinClosed:
+			if got.Status != nil || got.Outage != nil || got.Incident != nil {
+				t.Errorf("bin event carries payload: %+v", got)
+			}
+		}
+	}
+}

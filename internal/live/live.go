@@ -1,0 +1,166 @@
+// Package live turns the batch detection engine into a continuously-fed
+// service: it defines the context-aware Source interface for streamed MRT
+// records and the Pump that drives a core.Engine from one. Two sources
+// ship: a rate-controlled archive Replayer (replay at N× real time, or as
+// fast as the hardware allows) and a Synthetic world-driven generator that
+// renders rolling scenario windows for soak testing. Both feed the engine
+// through its existing record fan-out; the serving layer observes results
+// via the engine's lifecycle hooks (internal/events) rather than through
+// the pump's return value.
+package live
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+
+	"kepler/internal/core"
+	"kepler/internal/mrt"
+)
+
+// Source yields MRT records in non-decreasing time order, blocking until
+// the next record is due (paced sources) or available (generated sources).
+// Next returns io.EOF at stream end and ctx.Err() if cancelled while
+// blocked — the hook that makes daemon shutdown prompt even mid-pacing.
+type Source interface {
+	Next(ctx context.Context) (*mrt.Record, error)
+}
+
+// batchSource is the subset of bgpstream.Source the adapters accept: any
+// blocking-free, already-ordered record iterator (mrt.Reader,
+// bgpstream.SliceSource, Merger, Stream, ...).
+type batchSource interface {
+	Next() (*mrt.Record, error)
+}
+
+// adapted lifts a batch source into a context-aware one. The underlying
+// Next is assumed non-blocking (file reads), so cancellation is only
+// checked between records.
+type adapted struct{ src batchSource }
+
+// Adapt wraps a batch bgpstream-style source as a live Source.
+func Adapt(src interface {
+	Next() (*mrt.Record, error)
+}) Source {
+	return adapted{src: src}
+}
+
+func (a adapted) Next(ctx context.Context) (*mrt.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.src.Next()
+}
+
+// Replayer paces an archive against the wall clock: record timestamps are
+// mapped onto real time at a configurable speedup, reproducing the arrival
+// process the paper's live deployment saw from its collectors. Speed <= 0
+// disables pacing (maximum-speed replay, the batch-equivalence mode).
+type Replayer struct {
+	src    batchSource
+	speed  float64
+	origin time.Time // stream time of the first record
+	wall0  time.Time // wall time the first record was released
+
+	// now and sleep are test seams; nil selects the real clock.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewReplayer wraps src with pacing. speed is the time-compression factor:
+// 1 replays in real time, 60 replays one archive minute per wall second,
+// <= 0 replays as fast as the source can be read.
+func NewReplayer(src interface {
+	Next() (*mrt.Record, error)
+}, speed float64) *Replayer {
+	return &Replayer{src: src, speed: speed}
+}
+
+func (r *Replayer) clock() func() time.Time {
+	if r.now != nil {
+		return r.now
+	}
+	return time.Now
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Next implements Source: it reads the next record and blocks until its
+// scheduled release instant.
+func (r *Replayer) Next(ctx context.Context) (*mrt.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec, err := r.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	if r.speed <= 0 {
+		return rec, nil
+	}
+	if r.origin.IsZero() {
+		r.origin = rec.Time
+		r.wall0 = r.clock()()
+		return rec, nil
+	}
+	due := r.wall0.Add(time.Duration(float64(rec.Time.Sub(r.origin)) / r.speed))
+	if wait := due.Sub(r.clock()()); wait > 0 {
+		doSleep := r.sleep
+		if doSleep == nil {
+			doSleep = sleepCtx
+		}
+		if err := doSleep(ctx, wait); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// PumpResult summarizes one Pump run.
+type PumpResult struct {
+	// Records consumed from the source.
+	Records int
+	// Last is the timestamp of the final record (zero if none arrived).
+	Last time.Time
+	// Outages completed during the run, including the shutdown flush —
+	// exactly what the batch pipeline would have returned for the same
+	// records.
+	Outages []core.Outage
+}
+
+// Pump drives the engine from the source until EOF or context
+// cancellation, then flushes open state as of the last record. The engine's
+// hooks fire on this goroutine, so a daemon installs its event publication
+// and snapshot refresh there and treats Pump as the whole ingest loop. The
+// returned error is nil at EOF, the context error if cancelled, and the
+// source error otherwise; the flush runs in every case.
+func Pump(ctx context.Context, src Source, eng *core.Engine) (PumpResult, error) {
+	var res PumpResult
+	var runErr error
+	for {
+		rec, err := src.Next(ctx)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				runErr = err
+			}
+			break
+		}
+		res.Records++
+		res.Last = rec.Time
+		res.Outages = append(res.Outages, eng.Process(rec)...)
+	}
+	if !res.Last.IsZero() {
+		res.Outages = append(res.Outages, eng.Flush(res.Last)...)
+	}
+	return res, runErr
+}

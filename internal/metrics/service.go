@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ServiceStats collects the serving layer's runtime counters: HTTP request
+// accounting from internal/server and event-bus publish/drop accounting
+// from internal/events. All fields are atomics, safe for concurrent update
+// from request handlers, SSE writers and the ingestion goroutine alike.
+type ServiceStats struct {
+	HTTPRequests atomic.Int64 // API requests served (all endpoints)
+	HTTPErrors   atomic.Int64 // requests answered with a 4xx/5xx status
+	SSEConnected atomic.Int64 // SSE streams opened over the process lifetime
+	SSEActive    atomic.Int64 // currently connected SSE streams (gauge)
+
+	EventsPublished atomic.Int64 // events fanned out by the bus
+	EventsDropped   atomic.Int64 // per-subscriber deliveries lost to full queues
+}
+
+// ServiceSnapshot is a point-in-time copy of ServiceStats.
+type ServiceSnapshot struct {
+	HTTPRequests    int64
+	HTTPErrors      int64
+	SSEConnected    int64
+	SSEActive       int64
+	EventsPublished int64
+	EventsDropped   int64
+}
+
+// Snapshot copies the current counter values.
+func (s *ServiceStats) Snapshot() ServiceSnapshot {
+	return ServiceSnapshot{
+		HTTPRequests:    s.HTTPRequests.Load(),
+		HTTPErrors:      s.HTTPErrors.Load(),
+		SSEConnected:    s.SSEConnected.Load(),
+		SSEActive:       s.SSEActive.Load(),
+		EventsPublished: s.EventsPublished.Load(),
+		EventsDropped:   s.EventsDropped.Load(),
+	}
+}
+
+// String renders the snapshot as a single log-friendly line.
+func (s ServiceSnapshot) String() string {
+	return fmt.Sprintf("http=%d errors=%d sse=%d/%d events=%d dropped=%d",
+		s.HTTPRequests, s.HTTPErrors, s.SSEActive, s.SSEConnected,
+		s.EventsPublished, s.EventsDropped)
+}

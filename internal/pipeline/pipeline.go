@@ -8,6 +8,7 @@
 package pipeline
 
 import (
+	"context"
 	"time"
 
 	"kepler/internal/as2org"
@@ -17,6 +18,7 @@ import (
 	"kepler/internal/communities"
 	"kepler/internal/core"
 	"kepler/internal/geo"
+	"kepler/internal/live"
 	"kepler/internal/mrt"
 	"kepler/internal/registry"
 	"kepler/internal/routing"
@@ -104,26 +106,17 @@ func (s *Stack) Run(records []*mrt.Record, cfg core.Config, dp core.DataPlane) (
 
 // RunEngine feeds a time-sorted record stream through a fresh sharded
 // engine and returns all completed outages and classified incidents — the
-// concurrent counterpart of Run, with identical output for any stream.
+// concurrent counterpart of Run, with identical output for any stream. It
+// drives the engine through the same live.Pump loop the keplerd daemon
+// uses, so the batch and serving paths cannot drift.
 func (s *Stack) RunEngine(records []*mrt.Record, cfg core.Config, dp core.DataPlane, shards int) ([]core.Outage, []core.Incident) {
 	eng := s.NewEngine(cfg, shards)
 	defer eng.Close()
 	if dp != nil {
 		eng.SetDataPlane(dp)
 	}
-	var outages []core.Outage
-	src := bgpstream.NewSliceSource(records)
-	for {
-		rec, err := src.Next()
-		if err != nil {
-			break
-		}
-		outages = append(outages, eng.Process(rec)...)
-	}
-	if len(records) > 0 {
-		outages = append(outages, eng.Flush(records[len(records)-1].Time)...)
-	}
-	return outages, eng.Incidents()
+	res, _ := live.Pump(context.Background(), live.Adapt(bgpstream.NewSliceSource(records)), eng)
+	return res.Outages, eng.Incidents()
 }
 
 // SimDataPlane validates suspected outages with targeted synthetic

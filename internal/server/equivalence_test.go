@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"kepler/internal/bgpstream"
+	"kepler/internal/colo"
+	"kepler/internal/core"
+	"kepler/internal/events"
+	"kepler/internal/live"
+	"kepler/internal/metrics"
+	"kepler/internal/pipeline"
+	"kepler/internal/simulate"
+	"kepler/internal/topology"
+)
+
+// TestLiveServiceMatchesBatch is the serving layer's correctness contract:
+// a daemon-wired stack (replayed archive → sharded engine with hooks →
+// event bus → HTTP server) must report over the API exactly the outages
+// and incidents the batch Detector produces for the same archive, and the
+// SSE stream must deliver the same resolved-outage sequence. Run with
+// -race: ingestion, snapshot publication and API reads overlap throughout.
+func TestLiveServiceMatchesBatch(t *testing.T) {
+	w, err := topology.Generate(topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := pipeline.Build(w, 77)
+	var target colo.FacilityID
+	bestN := 0
+	for _, f := range stack.Map.Facilities() {
+		if _, n := stack.Map.Trackable(f.ID, stack.Dict.Covers); n > bestN {
+			target, bestN = f.ID, n
+		}
+	}
+	if target == 0 {
+		t.Fatal("no trackable facility")
+	}
+	start := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(14 * 24 * time.Hour)
+	ev := simulate.Event{
+		Kind: simulate.EvFacility, Facility: target,
+		Start:    start.Add(5 * 24 * time.Hour),
+		Duration: 45 * time.Minute,
+	}
+	res, err := simulate.Render(w, []simulate.Event{ev}, start, end, simulate.RenderConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.ReportUnresolved = true // no data plane in replay mode
+	wantOuts, wantIncs := stack.Run(res.Records, cfg, nil)
+	if len(wantOuts) == 0 {
+		t.Fatal("batch reference detected nothing; equivalence would be vacuous")
+	}
+
+	// Daemon wiring, as cmd/keplerd assembles it.
+	svc := &metrics.ServiceStats{}
+	bus := events.New(svc)
+	eng := stack.NewEngine(cfg, 4)
+	defer eng.Close()
+	srv := New(Options{
+		Bus:     bus,
+		Service: svc,
+		Ingest:  func() metrics.IngestSnapshot { return eng.Stats() },
+		Namer:   w.PoPName,
+		// The SSE queue receives every kind (filtering happens at write
+		// time); size it so a descheduled writer cannot lose a resolved
+		// event under -race slowdowns.
+		SSEBuffer: 1 << 14,
+	})
+	var resolved []core.Outage
+	hooks := events.EngineHooks(bus)
+	publishResolved := hooks.OutageResolved
+	hooks.OutageResolved = func(o core.Outage) {
+		publishResolved(o)
+		resolved = append(resolved, o)
+	}
+	publishBin := hooks.BinClosed
+	hooks.BinClosed = func(binEnd time.Time) {
+		publishBin(binEnd)
+		srv.PublishSnapshot(BuildSnapshot(binEnd, eng, resolved))
+	}
+	eng.SetHooks(hooks)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.SetReady(true)
+
+	// A bus-level collector witnesses the full resolved-event sequence
+	// (big queue: it must not drop), while an SSE client consumes the same
+	// stream over HTTP. API polling runs concurrently to assert reads
+	// never disturb ingestion.
+	collector := bus.Subscribe(4096)
+	var busResolved []core.Outage
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for ev := range collector.Events() {
+			if ev.Kind == events.KindOutageResolved {
+				busResolved = append(busResolved, *ev.Outage)
+			}
+		}
+	}()
+	sseResp, err := http.Get(ts.URL + "/v1/events?kinds=outage_resolved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	sseDone := make(chan []EventView)
+	go func() {
+		br := bufio.NewReader(sseResp.Body)
+		var got []EventView
+		for {
+			f, err := readFrame(br)
+			if err != nil || f.event == "bye" {
+				sseDone <- got
+				return
+			}
+			if f.comment {
+				continue
+			}
+			var ev EventView
+			if json.Unmarshal([]byte(f.data), &ev) == nil {
+				got = append(got, ev)
+			}
+		}
+	}()
+	pollStop := make(chan struct{})
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		for {
+			select {
+			case <-pollStop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/v1/outages")
+			if err == nil {
+				resp.Body.Close()
+			}
+			resp, err = http.Get(ts.URL + "/v1/stats")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	// Ingest the archive at maximum replay speed.
+	src := live.NewReplayer(bgpstream.NewSliceSource(res.Records), 0)
+	pres, err := live.Pump(context.Background(), src, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.PublishSnapshot(BuildSnapshot(pres.Last, eng, resolved))
+	close(pollStop)
+	<-pollDone
+	bus.Close()
+	<-collectorDone
+
+	// 1. The engine's own output matched batch (sanity for the harness).
+	if !reflect.DeepEqual(pres.Outages, wantOuts) {
+		t.Errorf("pump output diverges from batch:\n live:  %+v\n batch: %+v", pres.Outages, wantOuts)
+	}
+	// 2. The hook-accumulated state equals batch.
+	if !reflect.DeepEqual(resolved, wantOuts) {
+		t.Errorf("hook accumulation diverges from batch")
+	}
+	// 3. The bus delivered the same resolved sequence.
+	if !reflect.DeepEqual(busResolved, wantOuts) {
+		t.Errorf("bus resolved events diverge: %d vs %d", len(busResolved), len(wantOuts))
+	}
+	if collector.Dropped() != 0 {
+		t.Fatalf("collector dropped %d events; equivalence sample incomplete", collector.Dropped())
+	}
+
+	// 4. The API reports exactly the batch outages, rendered through the
+	// server's own views.
+	var apiOuts struct {
+		Count   int          `json:"count"`
+		Outages []OutageView `json:"outages"`
+	}
+	getJSON(t, ts.URL+"/v1/outages", http.StatusOK, &apiOuts)
+	wantViews := make([]OutageView, len(wantOuts))
+	for i := range wantOuts {
+		wantViews[i] = srv.outageView(&wantOuts[i])
+	}
+	if !reflect.DeepEqual(apiOuts.Outages, wantViews) {
+		t.Errorf("API outages diverge:\n api:   %+v\n batch: %+v", apiOuts.Outages, wantViews)
+	}
+
+	// 5. Incidents line up too.
+	var apiIncs struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, ts.URL+"/v1/incidents", http.StatusOK, &apiIncs)
+	if apiIncs.Count != len(wantIncs) {
+		t.Errorf("API incidents = %d, batch = %d", apiIncs.Count, len(wantIncs))
+	}
+
+	// 6. The SSE stream saw the same resolved outages (same order, same
+	// epicenters and windows).
+	sse := <-sseDone
+	if len(sse) != len(wantOuts) {
+		t.Fatalf("SSE resolved events = %d, want %d", len(sse), len(wantOuts))
+	}
+	for i, ev := range sse {
+		want := srv.outageView(&wantOuts[i])
+		if ev.Outage == nil || !reflect.DeepEqual(*ev.Outage, want) {
+			t.Errorf("SSE event %d diverges:\n sse:   %+v\n batch: %+v", i, ev.Outage, want)
+		}
+	}
+
+	// 7. Ingestion stats flowed through to /v1/stats.
+	var stats StatsView
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	if stats.Ingest == nil || stats.Ingest.Records != int64(len(res.Records)) {
+		t.Errorf("ingest stats = %+v, want %d records", stats.Ingest, len(res.Records))
+	}
+}

@@ -1,0 +1,258 @@
+// Package server exposes a running detection engine over HTTP: a JSON API
+// for resolved and ongoing outages, classified incidents and runtime
+// statistics, plus a Server-Sent-Events stream that multiplexes the outage
+// event bus (internal/events) to many concurrent clients. API reads never
+// touch engine state: they serve from an immutable snapshot the ingestion
+// goroutine swaps in at each bin barrier (via the engine's BinClosed hook),
+// so a burst of API traffic cannot slow record ingestion, and a stalled
+// SSE client only ever loses its own events (bounded queue, drops counted).
+//
+// Endpoints:
+//
+//	GET /healthz          liveness + readiness
+//	GET /v1/outages       resolved outages (the batch-equivalent output)
+//	GET /v1/outages/open  ongoing outages as of the last closed bin
+//	GET /v1/incidents     classified signals; ?kind=link|as|operator|pop
+//	GET /v1/stats         ingestion, bus and HTTP counters
+//	GET /v1/events        SSE stream; ?kinds=comma,separated filter
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"kepler/internal/colo"
+	"kepler/internal/core"
+	"kepler/internal/events"
+	"kepler/internal/metrics"
+)
+
+// EngineState is the accessor subset of core.Engine (and core.Detector)
+// the snapshot builder reads. All three methods are only safe on the
+// ingestion goroutine between Process calls or inside a BinClosed hook —
+// which is exactly where BuildSnapshot runs.
+type EngineState interface {
+	OpenOutageStatuses() []core.OutageStatus
+	Incidents() []core.Incident
+}
+
+// Snapshot is the immutable read model served by the API. The ingestion
+// goroutine builds a fresh one at each bin barrier and publishes it
+// atomically; handlers only ever read a published snapshot.
+type Snapshot struct {
+	// At is the bin close (or flush instant) the snapshot reflects.
+	At time.Time
+	// Resolved holds every completed outage so far, oldest first.
+	Resolved []core.Outage
+	// Open holds the ongoing outages as of At.
+	Open []core.OutageStatus
+	// Incidents holds every classified signal so far.
+	Incidents []core.Incident
+}
+
+// BuildSnapshot captures the engine's queryable state. resolved is the
+// caller-accumulated completed-outage list (the engine does not retain
+// outages after they are drained); the snapshot aliases it, which is safe
+// because outage accumulation is append-only.
+func BuildSnapshot(at time.Time, eng EngineState, resolved []core.Outage) *Snapshot {
+	return &Snapshot{
+		At:        at,
+		Resolved:  resolved,
+		Open:      eng.OpenOutageStatuses(),
+		Incidents: eng.Incidents(),
+	}
+}
+
+// Options configures a Server.
+type Options struct {
+	// Bus feeds the SSE stream. Required for /v1/events; other endpoints
+	// work without it.
+	Bus *events.Bus
+	// Service receives HTTP/SSE counter updates; shared with the bus so
+	// /v1/stats reports both sides. Optional.
+	Service *metrics.ServiceStats
+	// Ingest supplies live engine ingestion counters for /v1/stats
+	// (atomics only — safe from any goroutine). Optional.
+	Ingest func() metrics.IngestSnapshot
+	// Namer resolves PoP display names (e.g. topology.World.PoPName in
+	// replay mode, where the world is known). Optional.
+	Namer func(colo.PoP) string
+	// SSEBuffer is the per-client event queue capacity (default 256).
+	// When a client stalls past it, its events are dropped and counted.
+	SSEBuffer int
+	// Heartbeat is the SSE keepalive comment interval (default 15s).
+	Heartbeat time.Duration
+}
+
+// Server serves the live API. Use New; the zero value is not usable.
+type Server struct {
+	opts  Options
+	snap  atomic.Pointer[Snapshot]
+	ready atomic.Bool
+	mux   *http.ServeMux
+}
+
+// New builds a server. Publish a first snapshot and SetReady(true) once
+// ingestion starts; until then /healthz reports starting and the v1
+// endpoints serve empty state.
+func New(opts Options) *Server {
+	if opts.SSEBuffer <= 0 {
+		opts.SSEBuffer = 256
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 15 * time.Second
+	}
+	s := &Server{opts: opts}
+	s.snap.Store(&Snapshot{})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/outages", s.handleOutages)
+	s.mux.HandleFunc("GET /v1/outages/open", s.handleOpen)
+	s.mux.HandleFunc("GET /v1/incidents", s.handleIncidents)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	return s
+}
+
+// PublishSnapshot atomically swaps the read model. Called from the
+// ingestion goroutine (BinClosed hook and after the final flush).
+func (s *Server) PublishSnapshot(snap *Snapshot) {
+	if snap != nil {
+		s.snap.Store(snap)
+	}
+}
+
+// Snapshot returns the currently served read model.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// SetReady flips the /healthz readiness signal.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Handler returns the root handler with request accounting applied.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if svc := s.opts.Service; svc != nil {
+			svc.HTTPRequests.Add(1)
+			cw := &countingWriter{ResponseWriter: w}
+			s.mux.ServeHTTP(cw, r)
+			if cw.status >= 400 {
+				svc.HTTPErrors.Add(1)
+			}
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// countingWriter records the response status for error accounting.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (c *countingWriter) WriteHeader(status int) {
+	if c.status == 0 {
+		c.status = status
+	}
+	c.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards flushing so SSE works through the counting wrapper.
+func (c *countingWriter) Flush() {
+	if fl, ok := c.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleOutages(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	outs := make([]OutageView, len(snap.Resolved))
+	for i := range snap.Resolved {
+		outs[i] = s.outageView(&snap.Resolved[i])
+	}
+	writeJSON(w, http.StatusOK, struct {
+		AsOf    time.Time    `json:"as_of"`
+		Count   int          `json:"count"`
+		Outages []OutageView `json:"outages"`
+	}{snap.At, len(outs), outs})
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	outs := make([]OpenOutageView, len(snap.Open))
+	for i := range snap.Open {
+		outs[i] = s.openView(&snap.Open[i])
+	}
+	writeJSON(w, http.StatusOK, struct {
+		AsOf    time.Time        `json:"as_of"`
+		Count   int              `json:"count"`
+		Outages []OpenOutageView `json:"outages"`
+	}{snap.At, len(outs), outs})
+}
+
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	kind := r.URL.Query().Get("kind")
+	if kind != "" {
+		switch kind {
+		case "link", "as", "operator", "pop":
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": "kind must be one of link, as, operator, pop",
+			})
+			return
+		}
+	}
+	incs := make([]IncidentView, 0, len(snap.Incidents))
+	for i := range snap.Incidents {
+		if kind != "" && snap.Incidents[i].Kind.String() != kind {
+			continue
+		}
+		incs = append(incs, s.incidentView(&snap.Incidents[i]))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		AsOf      time.Time      `json:"as_of"`
+		Count     int            `json:"count"`
+		Incidents []IncidentView `json:"incidents"`
+	}{snap.At, len(incs), incs})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	resp := StatsView{
+		Ready:      s.ready.Load(),
+		SnapshotAt: snap.At,
+		OpenCount:  len(snap.Open),
+		Resolved:   len(snap.Resolved),
+		Incidents:  len(snap.Incidents),
+	}
+	if s.opts.Ingest != nil {
+		resp.Ingest = ingestView(s.opts.Ingest())
+	}
+	if s.opts.Bus != nil {
+		st := s.opts.Bus.Stats()
+		resp.Bus = &st
+	}
+	if s.opts.Service != nil {
+		resp.Service = serviceView(s.opts.Service.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"kepler/internal/events"
+)
+
+// handleEvents streams the bus over Server-Sent Events. Each bus event
+// becomes one SSE frame:
+//
+//	id: <bus sequence number>
+//	event: <kind>
+//	data: <EventView JSON>
+//
+// with comment-only keepalive frames at the heartbeat interval. The
+// subscription queue is bounded (Options.SSEBuffer): a client that stops
+// reading blocks only its own writer goroutine, its queue fills, and
+// further events are dropped for it alone — drop totals appear in
+// /v1/stats. ?kinds=outage_resolved,incident filters server-side.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Bus == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "event bus not configured"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": "streaming unsupported"})
+		return
+	}
+
+	var allow map[events.Kind]bool
+	if raw := r.URL.Query().Get("kinds"); raw != "" {
+		allow = make(map[events.Kind]bool)
+		for _, k := range strings.Split(raw, ",") {
+			allow[events.Kind(strings.TrimSpace(k))] = true
+		}
+	}
+
+	sub := s.opts.Bus.Subscribe(s.opts.SSEBuffer)
+	defer sub.Close()
+	if svc := s.opts.Service; svc != nil {
+		svc.SSEConnected.Add(1)
+		svc.SSEActive.Add(1)
+		defer svc.SSEActive.Add(-1)
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// An immediate comment both commits the response headers and lets
+	// clients detect liveness before the first event.
+	fmt.Fprint(w, ": stream open\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(s.opts.Heartbeat)
+	defer heartbeat.Stop()
+
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				// Bus closed: daemon shutdown. End the stream cleanly.
+				fmt.Fprint(w, "event: bye\ndata: {}\n\n")
+				fl.Flush()
+				return
+			}
+			if allow != nil && !allow[ev.Kind] {
+				continue
+			}
+			data, err := json.Marshal(s.eventView(ev))
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
+				return // client went away mid-write
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

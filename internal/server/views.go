@@ -1,0 +1,196 @@
+package server
+
+import (
+	"time"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/core"
+	"kepler/internal/events"
+	"kepler/internal/metrics"
+)
+
+// PoPView is the JSON shape of a PoP reference.
+type PoPView struct {
+	Kind string `json:"kind"` // city | facility | ixp
+	ID   uint32 `json:"id"`
+	Ref  string `json:"ref"` // e.g. "facility:42"
+	Name string `json:"name,omitempty"`
+}
+
+func (s *Server) popView(p colo.PoP) PoPView {
+	v := PoPView{Kind: p.Kind.String(), ID: p.ID, Ref: p.String()}
+	if s.opts.Namer != nil {
+		v.Name = s.opts.Namer(p)
+	}
+	return v
+}
+
+// OutageView is the JSON shape of a resolved outage.
+type OutageView struct {
+	PoP              PoPView   `json:"pop"`
+	SignalPoP        PoPView   `json:"signal_pop"`
+	Start            time.Time `json:"start"`
+	End              time.Time `json:"end"`
+	DurationSeconds  float64   `json:"duration_seconds"`
+	Confirmed        bool      `json:"confirmed"`
+	DataPlaneChecked bool      `json:"data_plane_checked"`
+	AffectedASes     []bgp.ASN `json:"affected_ases"`
+	DivertedPaths    int       `json:"diverted_paths"`
+	Merged           int       `json:"merged"`
+}
+
+func (s *Server) outageView(o *core.Outage) OutageView {
+	return OutageView{
+		PoP:              s.popView(o.PoP),
+		SignalPoP:        s.popView(o.SignalPoP),
+		Start:            o.Start,
+		End:              o.End,
+		DurationSeconds:  o.Duration().Seconds(),
+		Confirmed:        o.Confirmed,
+		DataPlaneChecked: o.DataPlaneChecked,
+		AffectedASes:     o.AffectedASes,
+		DivertedPaths:    o.DivertedPaths,
+		Merged:           o.Merged,
+	}
+}
+
+// OpenOutageView is the JSON shape of an ongoing outage.
+type OpenOutageView struct {
+	PoP           PoPView   `json:"pop"`
+	SignalPoPs    []PoPView `json:"signal_pops"`
+	Start         time.Time `json:"start"`
+	LastSignal    time.Time `json:"last_signal"`
+	Confirmed     bool      `json:"confirmed"`
+	AffectedASes  []bgp.ASN `json:"affected_ases"`
+	WaitingPaths  int       `json:"waiting_paths"`
+	ReturnedPaths int       `json:"returned_paths"`
+	Merged        int       `json:"merged"`
+}
+
+func (s *Server) openView(o *core.OutageStatus) OpenOutageView {
+	sigs := make([]PoPView, len(o.SignalPoPs))
+	for i, p := range o.SignalPoPs {
+		sigs[i] = s.popView(p)
+	}
+	return OpenOutageView{
+		PoP:           s.popView(o.PoP),
+		SignalPoPs:    sigs,
+		Start:         o.Start,
+		LastSignal:    o.LastSignal,
+		Confirmed:     o.Confirmed,
+		AffectedASes:  o.AffectedASes,
+		WaitingPaths:  o.WaitingPaths,
+		ReturnedPaths: o.ReturnedPaths,
+		Merged:        o.Merged,
+	}
+}
+
+// IncidentView is the JSON shape of a classified signal.
+type IncidentView struct {
+	Time         time.Time `json:"time"`
+	Kind         string    `json:"kind"`
+	PoP          PoPView   `json:"pop"`
+	SignalPoP    PoPView   `json:"signal_pop"`
+	CommonAS     bgp.ASN   `json:"common_as,omitempty"`
+	AffectedASes []bgp.ASN `json:"affected_ases"`
+	Links        int       `json:"links"`
+	Paths        int       `json:"paths"`
+}
+
+func (s *Server) incidentView(inc *core.Incident) IncidentView {
+	return IncidentView{
+		Time:         inc.Time,
+		Kind:         inc.Kind.String(),
+		PoP:          s.popView(inc.PoP),
+		SignalPoP:    s.popView(inc.SignalPoP),
+		CommonAS:     inc.CommonAS,
+		AffectedASes: inc.AffectedASes,
+		Links:        inc.Links,
+		Paths:        inc.Paths,
+	}
+}
+
+// IngestView is the JSON shape of the engine's ingestion counters.
+type IngestView struct {
+	Records        int64   `json:"records"`
+	Ops            int64   `json:"ops"`
+	Bins           int64   `json:"bins"`
+	RecordsPerSec  float64 `json:"records_per_sec"`
+	BarrierSeconds float64 `json:"barrier_seconds"`
+	BinLagSeconds  float64 `json:"bin_lag_seconds"`
+	QueueDepths    []int   `json:"queue_depths,omitempty"`
+}
+
+func ingestView(s metrics.IngestSnapshot) *IngestView {
+	return &IngestView{
+		Records:        s.Records,
+		Ops:            s.Ops,
+		Bins:           s.Bins,
+		RecordsPerSec:  s.RecordsPerSec,
+		BarrierSeconds: s.BarrierTime.Seconds(),
+		BinLagSeconds:  s.BinLag.Seconds(),
+		QueueDepths:    s.QueueDepths,
+	}
+}
+
+// ServiceView is the JSON shape of the HTTP/bus counters.
+type ServiceView struct {
+	HTTPRequests    int64 `json:"http_requests"`
+	HTTPErrors      int64 `json:"http_errors"`
+	SSEConnected    int64 `json:"sse_connected"`
+	SSEActive       int64 `json:"sse_active"`
+	EventsPublished int64 `json:"events_published"`
+	EventsDropped   int64 `json:"events_dropped"`
+}
+
+func serviceView(s metrics.ServiceSnapshot) *ServiceView {
+	return &ServiceView{
+		HTTPRequests:    s.HTTPRequests,
+		HTTPErrors:      s.HTTPErrors,
+		SSEConnected:    s.SSEConnected,
+		SSEActive:       s.SSEActive,
+		EventsPublished: s.EventsPublished,
+		EventsDropped:   s.EventsDropped,
+	}
+}
+
+// StatsView is the /v1/stats response.
+type StatsView struct {
+	Ready      bool          `json:"ready"`
+	SnapshotAt time.Time     `json:"snapshot_at"`
+	OpenCount  int           `json:"open_outages"`
+	Resolved   int           `json:"resolved_outages"`
+	Incidents  int           `json:"incidents"`
+	Ingest     *IngestView   `json:"ingest,omitempty"`
+	Bus        *events.Stats `json:"bus,omitempty"`
+	Service    *ServiceView  `json:"service,omitempty"`
+}
+
+// EventView is the SSE data payload: the bus event with its payload
+// rendered through the same views as the REST endpoints.
+type EventView struct {
+	Seq      uint64          `json:"seq"`
+	Time     time.Time       `json:"time"`
+	Kind     string          `json:"kind"`
+	Status   *OpenOutageView `json:"status,omitempty"`
+	Outage   *OutageView     `json:"outage,omitempty"`
+	Incident *IncidentView   `json:"incident,omitempty"`
+}
+
+func (s *Server) eventView(ev events.Event) EventView {
+	v := EventView{Seq: ev.Seq, Time: ev.Time, Kind: string(ev.Kind)}
+	if ev.Status != nil {
+		ov := s.openView(ev.Status)
+		v.Status = &ov
+	}
+	if ev.Outage != nil {
+		ov := s.outageView(ev.Outage)
+		v.Outage = &ov
+	}
+	if ev.Incident != nil {
+		iv := s.incidentView(ev.Incident)
+		v.Incident = &iv
+	}
+	return v
+}

@@ -24,6 +24,23 @@
 //   - Detector — the sequential pipeline (NewDetector), kept as the N=1
 //     compatibility path with zero goroutines.
 //
+// # Live service layer
+//
+// On top of the engine sits a serving subsystem that turns batch replay
+// into a long-running daemon (cmd/keplerd). The engine exposes lifecycle
+// Hooks — outage opened/updated/resolved, incident classified, bin closed
+// — fired synchronously at bin boundaries; internal/events bridges them
+// onto an outage event bus with bounded per-subscriber queues (a stalled
+// consumer loses only its own events, counted, and can never stall a bin
+// close). internal/live supplies streamed record sources: a rate-controlled
+// archive replayer (N× real time or maximum speed) and a synthetic
+// world-driven generator for soak testing. internal/server serves the
+// results over HTTP — /v1/outages, /v1/outages/open, /v1/incidents,
+// /v1/stats, /healthz and an SSE stream at /v1/events — from an immutable
+// state snapshot republished at each bin barrier, so API reads never
+// contend with ingestion. The set of outages reported over the API equals
+// the batch Detector output for the same record stream.
+//
 // The facade re-exports the detection core; richer control lives in the
 // internal packages, which the module's commands and examples exercise:
 //
@@ -32,8 +49,13 @@
 //   - internal/colo        — colocation map construction
 //   - internal/bgpstream   — unified multi-collector record feeds and the
 //     record-to-shard fan-out stage
+//   - internal/live        — streamed sources (archive replayer, synthetic
+//     soak generator) and the engine pump
+//   - internal/events      — the outage/incident event bus
+//   - internal/server      — the HTTP JSON API + SSE stream
 //   - internal/metrics     — evaluation stats plus ingestion counters
-//     (records/sec, shard queue depth, bin lag)
+//     (records/sec, shard queue depth, bin lag) and serving counters
+//     (HTTP requests, SSE clients, bus drops)
 //   - internal/topology, internal/routing, internal/simulate — the
 //     synthetic Internet used for evaluation
 //
@@ -47,6 +69,13 @@
 //	    }
 //	}
 //	outages := eng.Flush(lastRecordTime) // drain open state at stream end
+//
+// The same pipeline as a queryable service:
+//
+//	topogen -seed 1 -days 30 -out archive.mrt   # render a scenario archive
+//	keplerd -seed 1 -archive archive.mrt        # ingest + serve
+//	curl localhost:8080/v1/outages/open         # ongoing outages, JSON
+//	curl -N localhost:8080/v1/events            # live SSE event stream
 package kepler
 
 import (
@@ -74,6 +103,12 @@ type (
 	IncidentKind = core.IncidentKind
 	// DataPlane hooks targeted measurements into validation.
 	DataPlane = core.DataPlane
+	// Hooks receives lifecycle callbacks (outage opened/updated/resolved,
+	// incident classified, bin closed) at bin boundaries — the feed of the
+	// live service layer's event bus.
+	Hooks = core.Hooks
+	// OutageStatus is a point-in-time snapshot of one ongoing outage.
+	OutageStatus = core.OutageStatus
 
 	// Dictionary maps community values to physical PoPs.
 	Dictionary = communities.Dictionary
