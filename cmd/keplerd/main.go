@@ -19,14 +19,28 @@
 // same world seed the archive was generated with, exactly as cmd/kepler
 // does.
 //
+// With -data-dir the daemon keeps its history durable: every lifecycle
+// event is appended to a checksummed write-ahead log (internal/store),
+// compacted periodically into snapshot segments. On boot the directory is
+// recovered — resolved outages and incidents are served immediately, SSE
+// sequence numbers continue where they left off (so Last-Event-ID resume
+// works across restarts), and the source is re-ingested from the start
+// with already-persisted events suppressed, which makes a restart
+// mid-archive equivalent to one uninterrupted run. A data dir is bound to
+// one (source, seed, detection config) tuple; pointing it at a different
+// archive or changing -tfail desynchronizes the replay gate.
+//
 // Endpoints: /healthz, /v1/outages, /v1/outages/open, /v1/incidents,
-// /v1/stats, /v1/events (SSE). Shutdown on SIGINT/SIGTERM is graceful:
+// /v1/stats, /v1/events (SSE). /v1/outages and /v1/incidents paginate
+// with ?after=<id>&limit=<n>. Shutdown on SIGINT/SIGTERM is graceful:
 // the source is drained, the engine flushed (emitting final outage
-// events), subscribers closed, and the HTTP server stopped.
+// events), subscribers closed, the store synced, and the HTTP server
+// stopped.
 //
 // Usage:
 //
 //	keplerd -seed 1 -archive archive.mrt -listen 127.0.0.1:8080
+//	keplerd -seed 1 -archive archive.mrt -data-dir /var/lib/kepler
 //	keplerd -seed 1 -synthetic -speed 600
 package main
 
@@ -40,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -50,6 +65,7 @@ import (
 	"kepler/internal/mrt"
 	"kepler/internal/pipeline"
 	"kepler/internal/server"
+	"kepler/internal/store"
 	"kepler/internal/topology"
 )
 
@@ -65,6 +81,9 @@ func main() {
 		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "path-state shard workers; <= 0 selects one per core")
 		sseBuffer = flag.Int("sse-buffer", 256, "per-client SSE event queue; a client stalled past it loses events")
 		grace     = flag.Duration("shutdown-timeout", 10*time.Second, "graceful HTTP shutdown budget")
+		dataDir   = flag.String("data-dir", "", "durable history directory (WAL + snapshots); empty keeps history in memory only")
+		compactMB = flag.Int64("compact-mb", 8, "WAL size in MiB past which the next bin close compacts into a snapshot segment")
+		ringSize  = flag.Int("resume-ring", 4096, "recent events retained for SSE Last-Event-ID resume")
 	)
 	flag.Parse()
 
@@ -82,6 +101,12 @@ func main() {
 	}
 	if *archive != "" && *synthetic {
 		fatal(fmt.Errorf("-archive and -synthetic are mutually exclusive"))
+	}
+	if *compactMB <= 0 {
+		fatal(fmt.Errorf("-compact-mb must be positive, got %d", *compactMB))
+	}
+	if *ringSize < 0 {
+		fatal(fmt.Errorf("-resume-ring must be non-negative, got %d (0 disables resume)", *ringSize))
 	}
 
 	cfg := topology.DefaultConfig()
@@ -114,21 +139,75 @@ func main() {
 	kcfg.Tfail = *tfail
 	kcfg.ReportUnresolved = *unres
 
-	// Engine → bus → server wiring.
+	// Durable history. The store's sink runs synchronously on the ingest
+	// goroutine. On a shutdown-abort the whole hook chain is muted (see
+	// events.MuteHooks) before the engine's final flush, so the resolution
+	// artifacts of stopping are neither published nor persisted — a
+	// deterministic re-ingestion would not regenerate them, and burning
+	// sequence numbers on them would break SSE resume across the restart.
 	svc := &metrics.ServiceStats{}
-	bus := events.New(svc)
+	var (
+		st         *store.Store
+		storeStats *metrics.StoreStats
+		hist       store.History
+		sinkArmed  atomic.Bool // cleared if an append fails: serve on, in memory
+		aborting   atomic.Bool // set by OnAbort: mute hooks through shutdown
+	)
+	busOpts := []events.Option{events.WithRing(*ringSize)}
+	if *dataDir != "" {
+		storeStats = &metrics.StoreStats{}
+		st, err = store.Open(store.Options{
+			Dir:          *dataDir,
+			CompactBytes: *compactMB << 20,
+			TailEvents:   *ringSize,
+			Metrics:      storeStats,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		hist = st.History()
+		sinkArmed.Store(true)
+		busOpts = append(busOpts,
+			events.WithStartSeq(hist.LastSeq),
+			events.WithSink(func(ev events.Event) {
+				if !sinkArmed.Load() {
+					return
+				}
+				if err := st.Append(ev); err != nil {
+					// Losing durability must not take down detection;
+					// serve on, in-memory, and say so loudly.
+					log.Printf("keplerd: store append failed, persistence disabled: %v", err)
+					sinkArmed.Store(false)
+				}
+			}),
+		)
+		log.Printf("keplerd: recovered %s: %d outages, %d incidents, seq %d (last bin %s)",
+			*dataDir, len(hist.Resolved), len(hist.Incidents), hist.LastSeq,
+			hist.LastBin.Format("2006-01-02 15:04"))
+	}
+
+	// Engine → bus → server wiring.
+	bus := events.New(svc, busOpts...)
+	bus.SeedRing(hist.Tail)
 	eng := stack.NewEngine(kcfg, *shards)
-	srv := server.New(server.Options{
+	srvOpts := server.Options{
 		Bus:       bus,
 		Service:   svc,
 		Ingest:    func() metrics.IngestSnapshot { return eng.Stats() },
 		Namer:     w.PoPName,
 		SSEBuffer: *sseBuffer,
-	})
+	}
+	if storeStats != nil {
+		srvOpts.Store = func() metrics.StoreSnapshot { return storeStats.Snapshot() }
+	}
+	srv := server.New(srvOpts)
 
 	// resolved accumulates on the ingest goroutine only: the hooks run
 	// inside Process/Flush, so snapshot builds observe a consistent slice.
-	var resolved []core.Outage
+	// With a store it starts from the recovered history; the replay gate
+	// below keeps catch-up from appending those outages twice.
+	resolved := hist.Resolved
 	hooks := events.EngineHooks(bus)
 	publishResolved := hooks.OutageResolved
 	hooks.OutageResolved = func(o core.Outage) {
@@ -149,7 +228,20 @@ func main() {
 		publishBin(end)
 		srv.PublishSnapshot(server.BuildSnapshot(end, eng, resolved))
 	}
-	eng.SetHooks(hooks)
+	// Recovery replays the source from the beginning (detection is
+	// deterministic), suppressing the hist.LastSeq callbacks whose events
+	// are already persisted and published; publication, persistence and the
+	// SSE sequence resume exactly where the previous process stopped.
+	finalHooks := events.GateHooks(hooks, hist.LastSeq)
+	if st != nil {
+		finalHooks = events.MuteHooks(finalHooks, aborting.Load)
+		// Serve the recovered history immediately — catch-up publishes its
+		// first live snapshot only after re-ingestion crosses the durable
+		// horizon.
+		srv.PublishSnapshot(server.BuildSnapshotFrom(hist.LastBin, nil, hist.Resolved, hist.Incidents))
+		src = live.OnAbort(src, func() { aborting.Store(true) })
+	}
+	eng.SetHooks(finalHooks)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -196,8 +288,13 @@ func main() {
 	stop()
 
 	// Graceful teardown: flush already ran inside Pump; close subscribers,
-	// stop the HTTP server, stop the shard workers.
+	// sync the store, stop the HTTP server, stop the shard workers.
 	bus.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("keplerd: store close: %v", err)
+		}
+	}
 	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
@@ -207,6 +304,9 @@ func main() {
 	eng.Close()
 	log.Printf("keplerd: ingest %v", eng.Stats())
 	log.Printf("keplerd: service %v", svc.Snapshot())
+	if storeStats != nil {
+		log.Printf("keplerd: store %v", storeStats.Snapshot())
+	}
 	log.Printf("keplerd: %d outages resolved, %d incidents classified; bye",
 		len(resolved), len(eng.Incidents()))
 }

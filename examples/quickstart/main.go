@@ -104,11 +104,18 @@ func main() {
 
 	// 6. The same pipeline runs as a long-lived service: cmd/keplerd wires
 	// a streamed source into this engine and serves results over HTTP while
-	// ingesting. Try it against a generated archive:
+	// ingesting. With -data-dir the history is durable — kill and restart
+	// the daemon and it recovers every outage it had reported, resumes SSE
+	// sequence numbers, and keeps pagination cursors valid:
 	//
 	//	go run ./cmd/topogen -seed 1 -days 30 -out archive.mrt
-	//	go run ./cmd/keplerd -seed 1 -archive archive.mrt &
-	//	curl localhost:8080/v1/outages/open   # ongoing outages as JSON
-	//	curl -N localhost:8080/v1/events      # live SSE event stream
-	fmt.Println("\nnext: run this pipeline as a daemon — see cmd/keplerd (HTTP API + SSE)")
+	//	go run ./cmd/keplerd -seed 1 -archive archive.mrt -data-dir data &
+	//	curl localhost:8080/v1/outages/open                  # ongoing outages as JSON
+	//	curl 'localhost:8080/v1/outages?limit=20'            # resolved history, page 1
+	//	curl 'localhost:8080/v1/outages?after=20&limit=20'   # page 2 (see next_after)
+	//	curl -N localhost:8080/v1/events                     # live SSE event stream
+	//	kill %2 && go run ./cmd/keplerd -seed 1 -archive archive.mrt -data-dir data &
+	//	curl localhost:8080/v1/outages                       # history survived the restart
+	//	curl -N -H 'Last-Event-ID: 3' localhost:8080/v1/events  # replay missed events
+	fmt.Println("\nnext: run this pipeline as a daemon — see cmd/keplerd (HTTP API + SSE, durable -data-dir)")
 }

@@ -70,15 +70,65 @@ type Bus struct {
 	seq    uint64
 	closed bool
 
+	// sink, if set, observes every published event synchronously on the
+	// publisher's goroutine, before fan-out — the durable write path.
+	sink func(Event)
+	// ring retains the most recent published events for Last-Event-ID
+	// resume; nil when retention is disabled.
+	ring *Ring
+
 	published atomic.Int64
 	dropped   atomic.Int64
 	svc       *metrics.ServiceStats // optional mirror
 }
 
+// Option configures a Bus at construction.
+type Option func(*Bus)
+
+// WithStartSeq seeds the publication sequence so the first published event
+// carries seq+1. A daemon recovering a persisted store passes the store's
+// last durable sequence here, making SSE event ids continuous across
+// restarts.
+func WithStartSeq(seq uint64) Option {
+	return func(b *Bus) { b.seq = seq }
+}
+
+// WithSink installs a synchronous observer invoked for every published
+// event, after sequence assignment and before any subscriber delivery. It
+// runs on the publisher's goroutine (the ingestion goroutine), so a store
+// sink sees a gapless, ordered stream and needs no locking of its own — at
+// the cost that a slow sink slows bin closes.
+func WithSink(fn func(Event)) Option {
+	return func(b *Bus) { b.sink = fn }
+}
+
+// WithRing retains the last n published events for replay to reconnecting
+// subscribers (SubscribeFrom). n <= 0 disables retention.
+func WithRing(n int) Option {
+	return func(b *Bus) { b.ring = NewRing(n) }
+}
+
 // New builds a bus. svc, if non-nil, receives publish/drop counter updates
 // alongside the bus's own counters (the server exports it via /v1/stats).
-func New(svc *metrics.ServiceStats) *Bus {
-	return &Bus{subs: make(map[*Subscriber]struct{}), svc: svc}
+func New(svc *metrics.ServiceStats, opts ...Option) *Bus {
+	b := &Bus{subs: make(map[*Subscriber]struct{}), svc: svc}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// SeedRing pre-populates the replay ring with already-sequenced events —
+// the tail a recovered store hands back — so clients that disconnected
+// before a restart can still resume across it. Events must be in ascending
+// sequence order and precede anything published afterwards. Without
+// WithRing this is a no-op.
+func (b *Bus) SeedRing(evs []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ev := range evs {
+		b.ring.Push(ev)
+	}
 }
 
 // Subscribe registers a consumer with the given queue capacity (minimum 1).
@@ -99,6 +149,43 @@ func (b *Bus) Subscribe(buffer int) *Subscriber {
 	}
 	b.subs[s] = struct{}{}
 	return s
+}
+
+// SubscribeFrom registers a consumer that resumes after a previously seen
+// sequence number: events retained in the replay ring with Seq > after are
+// returned as the backlog, and registration happens under the same lock, so
+// the backlog plus the subscription channel together deliver every
+// subsequent event exactly once. complete reports whether the ring still
+// held position after+1; when false the client missed events that have
+// already been evicted (or predate the store horizon) and the backlog
+// starts at the oldest retained event. after=0 resumes from the start of
+// the ring.
+func (b *Bus) SubscribeFrom(after uint64, buffer int) (s *Subscriber, backlog []Event, complete bool) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s = &Subscriber{bus: b, ch: make(chan Event, buffer)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(s.ch)
+		return s, nil, after >= b.seq
+	}
+	complete = true
+	b.ring.Each(func(ev Event) {
+		if ev.Seq <= after {
+			return
+		}
+		if len(backlog) == 0 && ev.Seq != after+1 {
+			complete = false // ring already evicted after+1 .. ev.Seq-1
+		}
+		backlog = append(backlog, ev)
+	})
+	if len(backlog) == 0 && after < b.seq {
+		complete = false // everything since `after` was evicted (or never retained)
+	}
+	b.subs[s] = struct{}{}
+	return s, backlog, complete
 }
 
 func (b *Bus) unsubscribe(s *Subscriber) {
@@ -122,6 +209,10 @@ func (b *Bus) Publish(ev Event) {
 	}
 	b.seq++
 	ev.Seq = b.seq
+	if b.sink != nil {
+		b.sink(ev)
+	}
+	b.ring.Push(ev)
 	b.published.Add(1)
 	if b.svc != nil {
 		b.svc.EventsPublished.Add(1)
@@ -152,6 +243,14 @@ func (b *Bus) Close() {
 		delete(b.subs, s)
 		close(s.ch)
 	}
+}
+
+// Seq returns the sequence number of the most recently published event
+// (or the WithStartSeq seed if nothing has been published yet).
+func (b *Bus) Seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
 }
 
 // Stats is a point-in-time view of the bus.

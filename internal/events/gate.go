@@ -1,0 +1,100 @@
+package events
+
+import (
+	"time"
+
+	"kepler/internal/core"
+)
+
+// GateHooks wraps a hook set so that the first skip lifecycle callbacks are
+// swallowed and everything after passes through unchanged. It is the replay
+// gate of the durable-store recovery path: the detection pipeline is fully
+// deterministic for a given record stream, so a daemon that recovered a
+// store whose last persisted sequence is S re-ingests its source from the
+// beginning — rebuilding baselines and open-outage state exactly — while
+// the gate drops the S callbacks that were already published and persisted
+// before the restart. Publication (and therefore sequence assignment and
+// persistence) resumes at exactly S+1, which is what keeps SSE ids gapless
+// across restarts and the store free of duplicates.
+//
+// The count is exact because EngineHooks publishes exactly one event per
+// callback, in callback order, on a single goroutine.
+// MuteHooks wraps a hook set so every callback is dropped while muted
+// reports true. A store-backed daemon arms this at the moment its source
+// aborts (live.OnAbort): the engine flush that follows a shutdown emits
+// resolution events that are artifacts of stopping, not real detections —
+// publishing them would burn bus sequence numbers that the restarted
+// process reassigns to different (real) events, breaking Last-Event-ID
+// exactly-once across the restart for any client still connected at the
+// kill. Muting keeps the published stream identical to the persisted one,
+// so the sequence numbering is continuous across process lifetimes.
+func MuteHooks(h core.Hooks, muted func() bool) core.Hooks {
+	return core.Hooks{
+		OutageOpened: func(s core.OutageStatus) {
+			if !muted() && h.OutageOpened != nil {
+				h.OutageOpened(s)
+			}
+		},
+		OutageUpdated: func(s core.OutageStatus) {
+			if !muted() && h.OutageUpdated != nil {
+				h.OutageUpdated(s)
+			}
+		},
+		OutageResolved: func(o core.Outage) {
+			if !muted() && h.OutageResolved != nil {
+				h.OutageResolved(o)
+			}
+		},
+		IncidentClassified: func(inc core.Incident) {
+			if !muted() && h.IncidentClassified != nil {
+				h.IncidentClassified(inc)
+			}
+		},
+		BinClosed: func(end time.Time) {
+			if !muted() && h.BinClosed != nil {
+				h.BinClosed(end)
+			}
+		},
+	}
+}
+
+func GateHooks(h core.Hooks, skip uint64) core.Hooks {
+	if skip == 0 {
+		return h
+	}
+	var seen uint64
+	pass := func() bool {
+		if seen < skip {
+			seen++
+			return false
+		}
+		return true
+	}
+	return core.Hooks{
+		OutageOpened: func(s core.OutageStatus) {
+			if pass() && h.OutageOpened != nil {
+				h.OutageOpened(s)
+			}
+		},
+		OutageUpdated: func(s core.OutageStatus) {
+			if pass() && h.OutageUpdated != nil {
+				h.OutageUpdated(s)
+			}
+		},
+		OutageResolved: func(o core.Outage) {
+			if pass() && h.OutageResolved != nil {
+				h.OutageResolved(o)
+			}
+		},
+		IncidentClassified: func(inc core.Incident) {
+			if pass() && h.IncidentClassified != nil {
+				h.IncidentClassified(inc)
+			}
+		},
+		BinClosed: func(end time.Time) {
+			if pass() && h.BinClosed != nil {
+				h.BinClosed(end)
+			}
+		},
+	}
+}

@@ -1,0 +1,236 @@
+package events
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"kepler/internal/core"
+)
+
+func publishN(b *Bus, n int) {
+	for i := 0; i < n; i++ {
+		b.Publish(Event{Time: time.Unix(int64(i), 0).UTC(), Kind: KindBinClosed})
+	}
+}
+
+func seqs(evs []Event) []uint64 {
+	out := make([]uint64, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Seq
+	}
+	return out
+}
+
+func TestSubscribeFromReplaysBacklog(t *testing.T) {
+	b := New(nil, WithRing(16))
+	defer b.Close()
+	publishN(b, 6)
+
+	sub, backlog, complete := b.SubscribeFrom(2, 8)
+	defer sub.Close()
+	if !complete {
+		t.Error("resume within ring reported incomplete")
+	}
+	if want := []uint64{3, 4, 5, 6}; !reflect.DeepEqual(seqs(backlog), want) {
+		t.Fatalf("backlog = %v, want %v", seqs(backlog), want)
+	}
+
+	// Live delivery continues after the backlog with no gap or repeat.
+	publishN(b, 2)
+	if ev := <-sub.Events(); ev.Seq != 7 {
+		t.Errorf("first live event = %d, want 7", ev.Seq)
+	}
+	if ev := <-sub.Events(); ev.Seq != 8 {
+		t.Errorf("second live event = %d, want 8", ev.Seq)
+	}
+}
+
+func TestSubscribeFromCurrentPosition(t *testing.T) {
+	b := New(nil, WithRing(16))
+	defer b.Close()
+	publishN(b, 4)
+	sub, backlog, complete := b.SubscribeFrom(4, 1)
+	defer sub.Close()
+	if len(backlog) != 0 || !complete {
+		t.Errorf("up-to-date resume: backlog %v, complete %v", seqs(backlog), complete)
+	}
+}
+
+func TestSubscribeFromEvictedPosition(t *testing.T) {
+	b := New(nil, WithRing(4))
+	defer b.Close()
+	publishN(b, 10) // ring holds 7..10
+
+	sub, backlog, complete := b.SubscribeFrom(2, 1)
+	defer sub.Close()
+	if complete {
+		t.Error("resume past eviction horizon reported complete")
+	}
+	if want := []uint64{7, 8, 9, 10}; !reflect.DeepEqual(seqs(backlog), want) {
+		t.Errorf("backlog = %v, want %v", seqs(backlog), want)
+	}
+
+	// Everything evicted, nothing retained to return.
+	b2 := New(nil) // no ring at all
+	defer b2.Close()
+	publishN(b2, 3)
+	sub2, backlog2, complete2 := b2.SubscribeFrom(1, 1)
+	defer sub2.Close()
+	if complete2 || len(backlog2) != 0 {
+		t.Errorf("ringless resume: backlog %v, complete %v", seqs(backlog2), complete2)
+	}
+}
+
+func TestStartSeqAndSeedRing(t *testing.T) {
+	// A recovered daemon: 5 events persisted, the last 3 still in the tail.
+	tail := []Event{
+		{Seq: 3, Kind: KindBinClosed},
+		{Seq: 4, Kind: KindBinClosed},
+		{Seq: 5, Kind: KindBinClosed},
+	}
+	b := New(nil, WithStartSeq(5), WithRing(8))
+	defer b.Close()
+	b.SeedRing(tail)
+	if b.Seq() != 5 {
+		t.Fatalf("seeded seq = %d, want 5", b.Seq())
+	}
+
+	// New publications continue the persisted numbering.
+	publishN(b, 1)
+	sub, backlog, complete := b.SubscribeFrom(3, 4)
+	defer sub.Close()
+	if !complete {
+		t.Error("resume across seeded ring boundary reported incomplete")
+	}
+	if want := []uint64{4, 5, 6}; !reflect.DeepEqual(seqs(backlog), want) {
+		t.Errorf("backlog = %v, want %v", seqs(backlog), want)
+	}
+
+	// A client from before the snapshot horizon is told it missed events.
+	sub2, _, complete2 := b.SubscribeFrom(1, 1)
+	defer sub2.Close()
+	if complete2 {
+		t.Error("resume from before the seeded tail reported complete")
+	}
+}
+
+func TestSinkSeesEveryEventInOrder(t *testing.T) {
+	var got []uint64
+	b := New(nil, WithSink(func(ev Event) { got = append(got, ev.Seq) }))
+	defer b.Close()
+	// Sink runs before fan-out: a subscriber that drops must not affect it.
+	sub := b.Subscribe(1)
+	defer sub.Close()
+	publishN(b, 5)
+	if want := []uint64{1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("sink sequence = %v, want %v", got, want)
+	}
+}
+
+func TestSubscribeFromConcurrentWithPublish(t *testing.T) {
+	b := New(nil, WithRing(1<<12))
+	defer b.Close()
+	const prefix, total = 100, 500
+	publishN(b, prefix) // resume positions below this exist before anyone joins
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		publishN(b, total-prefix)
+	}()
+
+	// Subscribers joining mid-stream must each observe a gapless suffix:
+	// backlog then live, exactly once.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(after uint64) {
+			defer wg.Done()
+			sub, backlog, _ := b.SubscribeFrom(after, total)
+			defer sub.Close()
+			last := after
+			for _, ev := range backlog {
+				if ev.Seq != last+1 {
+					t.Errorf("backlog gap: %d after %d", ev.Seq, last)
+					return
+				}
+				last = ev.Seq
+			}
+			for last < total {
+				ev, ok := <-sub.Events()
+				if !ok {
+					t.Errorf("bus closed with subscriber at %d/%d", last, total)
+					return
+				}
+				if ev.Seq != last+1 {
+					t.Errorf("delivery gap: %d after %d", ev.Seq, last)
+					return
+				}
+				last = ev.Seq
+			}
+		}(uint64(i * 10))
+	}
+	wg.Wait()
+}
+
+func TestGateHooksSuppressesPrefix(t *testing.T) {
+	var fired []string
+	rec := func(name string) func() { return func() { fired = append(fired, name) } }
+	h := core.Hooks{
+		OutageOpened:       func(core.OutageStatus) { rec("opened")() },
+		OutageUpdated:      func(core.OutageStatus) { rec("updated")() },
+		OutageResolved:     func(core.Outage) { rec("resolved")() },
+		IncidentClassified: func(core.Incident) { rec("incident")() },
+		BinClosed:          func(time.Time) { rec("bin")() },
+	}
+	g := GateHooks(h, 3)
+
+	// The same callback script a deterministic re-ingestion replays.
+	script := []func(){
+		func() { g.OutageOpened(core.OutageStatus{}) },
+		func() { g.IncidentClassified(core.Incident{}) },
+		func() { g.BinClosed(time.Time{}) },
+		func() { g.OutageUpdated(core.OutageStatus{}) },
+		func() { g.OutageResolved(core.Outage{}) },
+		func() { g.BinClosed(time.Time{}) },
+	}
+	for _, call := range script {
+		call()
+	}
+	if want := []string{"updated", "resolved", "bin"}; !reflect.DeepEqual(fired, want) {
+		t.Errorf("gated callbacks = %v, want %v", fired, want)
+	}
+}
+
+func TestGateHooksZeroSkipPassesThrough(t *testing.T) {
+	n := 0
+	h := core.Hooks{BinClosed: func(time.Time) { n++ }}
+	g := GateHooks(h, 0)
+	g.BinClosed(time.Time{})
+	if n != 1 {
+		t.Errorf("zero-skip gate swallowed a callback")
+	}
+	// And the bridge count matches publications: one event per callback.
+	b := New(nil)
+	defer b.Close()
+	eh := EngineHooks(b)
+	eh.BinClosed(time.Now())
+	eh.OutageResolved(core.Outage{})
+	if got := b.Seq(); got != 2 {
+		t.Errorf("bridge published %d events for 2 callbacks", got)
+	}
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	b := New(nil, WithRing(3))
+	defer b.Close()
+	for i := 0; i < 7; i++ {
+		b.Publish(Event{Kind: Kind(fmt.Sprintf("k%d", i))})
+	}
+	_, backlog, _ := b.SubscribeFrom(0, 1)
+	if want := []uint64{5, 6, 7}; !reflect.DeepEqual(seqs(backlog), want) {
+		t.Errorf("ring retained %v, want %v", seqs(backlog), want)
+	}
+}

@@ -1,0 +1,80 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"kepler/internal/mrt"
+)
+
+func TestOnAbortFiresOnceOnFailure(t *testing.T) {
+	boom := errors.New("collector went away")
+	n := 0
+	src := sourceFunc(func(context.Context) (*mrt.Record, error) {
+		n++
+		if n <= 2 {
+			return &mrt.Record{Time: time.Unix(int64(n), 0)}, nil
+		}
+		return nil, boom
+	})
+	fired := 0
+	wrapped := OnAbort(src, func() { fired++ })
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := wrapped.Next(ctx); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if fired != 0 {
+			t.Fatal("abort hook fired on a healthy record")
+		}
+	}
+	if _, err := wrapped.Next(ctx); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if fired != 1 {
+		t.Fatalf("abort hook fired %d times, want 1", fired)
+	}
+	// Retries keep failing but the hook stays fired-once.
+	wrapped.Next(ctx)
+	if fired != 1 {
+		t.Fatalf("abort hook re-fired on repeated failure: %d", fired)
+	}
+}
+
+func TestOnAbortIgnoresEOF(t *testing.T) {
+	src := sourceFunc(func(context.Context) (*mrt.Record, error) { return nil, io.EOF })
+	fired := false
+	wrapped := OnAbort(src, func() { fired = true })
+	if _, err := wrapped.Next(context.Background()); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+	if fired {
+		t.Fatal("abort hook fired on clean end-of-stream — the flush after EOF is real output and must stay persisted")
+	}
+}
+
+// TestSyntheticCancelMidRender pins the prompt-shutdown fix: cancellation
+// must abort the CPU-heavy window render itself, not just be noticed at the
+// next window boundary.
+func TestSyntheticCancelMidRender(t *testing.T) {
+	w := soakWorld(t)
+	syn := NewSynthetic(w, SyntheticConfig{
+		Seed: 9, Window: 7 * 24 * time.Hour, // the default soak window: a heavy render
+		FacilityOutages: 2, LinkOutages: 3,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // SIGTERM arrived before (or during) the first render
+	if _, err := syn.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next under cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	// The generator survives the abort: a live context picks up rendering.
+	rec, err := syn.Next(context.Background())
+	if err != nil || rec == nil {
+		t.Fatalf("render after aborted render: %v", err)
+	}
+}

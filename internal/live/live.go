@@ -53,6 +53,39 @@ func (a adapted) Next(ctx context.Context) (*mrt.Record, error) {
 	return a.src.Next()
 }
 
+// abortHook wraps a source so fn runs — once, on the consuming goroutine —
+// the moment the source fails with anything other than clean end-of-stream.
+type abortHook struct {
+	src   Source
+	fn    func()
+	fired bool
+}
+
+// OnAbort returns a source that invokes fn when src's Next first returns a
+// non-EOF error (cancellation, source failure), before the error reaches
+// the caller. Pump flushes the engine after any exit, and flush emits
+// resolution events for outages that are still in progress; on clean EOF
+// those are real results (the stream is over), but on a daemon shutdown
+// they are artifacts of stopping. A store-backed daemon therefore hooks
+// OnAbort to mute its lifecycle hooks (events.MuteHooks): since fn runs on
+// the pump goroutine before the flush hooks do, the artifacts are neither
+// persisted nor published, so the durable history and the bus sequence
+// keep only events a deterministic re-ingestion will regenerate — which is
+// what makes restart recovery byte-for-byte equivalent to an uninterrupted
+// run, and Last-Event-ID resume exactly-once across it.
+func OnAbort(src Source, fn func()) Source {
+	return &abortHook{src: src, fn: fn}
+}
+
+func (a *abortHook) Next(ctx context.Context) (*mrt.Record, error) {
+	rec, err := a.src.Next(ctx)
+	if err != nil && !errors.Is(err, io.EOF) && !a.fired {
+		a.fired = true
+		a.fn()
+	}
+	return rec, err
+}
+
 // Replayer paces an archive against the wall clock: record timestamps are
 // mapped onto real time at a configurable speedup, reproducing the arrival
 // process the paper's live deployment saw from its collectors. Speed <= 0

@@ -75,8 +75,10 @@ func NewSynthetic(world *topology.World, cfg SyntheticConfig) *Synthetic {
 }
 
 // render produces the next window. Rendering recomputes routing tables and
-// is CPU-heavy; cancellation is honored between windows, not inside one.
-func (s *Synthetic) render() error {
+// is CPU-heavy, so the context is threaded into the renderer itself: a
+// cancelled daemon aborts mid-render rather than finishing a multi-day
+// window first.
+func (s *Synthetic) render(ctx context.Context) error {
 	start := s.cfg.Start.Add(time.Duration(s.cycle) * s.cfg.Window)
 	end := start.Add(s.cfg.Window)
 	seed := s.cfg.Seed + int64(s.cycle)*1009 // distinct schedule per window
@@ -96,8 +98,12 @@ func (s *Synthetic) render() error {
 	})
 	res, err := simulate.Render(s.world, events, start, end, simulate.RenderConfig{
 		Seed: seed + 2, SessionResets: s.cfg.SessionResets, StickyFraction: 0.05,
+		Ctx: ctx,
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("live: render cycle %d: %w", s.cycle, err)
 	}
 	s.buf = res.Records
@@ -115,7 +121,7 @@ func (s *Synthetic) Next(ctx context.Context) (*mrt.Record, error) {
 		if s.cfg.Cycles > 0 && s.cycle >= s.cfg.Cycles {
 			return nil, io.EOF
 		}
-		if err := s.render(); err != nil {
+		if err := s.render(ctx); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// StoreStats collects the durable outage-history layer's counters
+// (internal/store): WAL append volume, flush/compaction activity, and what
+// recovery found on boot. All fields are atomics — appends happen on the
+// ingestion goroutine while /v1/stats reads concurrently.
+type StoreStats struct {
+	Appends       atomic.Int64 // events appended to the WAL
+	AppendedBytes atomic.Int64 // framed payload bytes written
+	Flushes       atomic.Int64 // buffered-writer flushes (one per bin close)
+	Compactions   atomic.Int64 // WAL compactions into snapshot segments
+
+	RecoveredEvents atomic.Int64 // events replayed from the WAL on open
+	TornTails       atomic.Int64 // torn/corrupt WAL tails truncated on open
+	TruncatedBytes  atomic.Int64 // bytes discarded by tail truncation
+}
+
+// StoreSnapshot is a point-in-time copy of StoreStats.
+type StoreSnapshot struct {
+	Appends         int64
+	AppendedBytes   int64
+	Flushes         int64
+	Compactions     int64
+	RecoveredEvents int64
+	TornTails       int64
+	TruncatedBytes  int64
+}
+
+// Snapshot copies the current counter values.
+func (s *StoreStats) Snapshot() StoreSnapshot {
+	return StoreSnapshot{
+		Appends:         s.Appends.Load(),
+		AppendedBytes:   s.AppendedBytes.Load(),
+		Flushes:         s.Flushes.Load(),
+		Compactions:     s.Compactions.Load(),
+		RecoveredEvents: s.RecoveredEvents.Load(),
+		TornTails:       s.TornTails.Load(),
+		TruncatedBytes:  s.TruncatedBytes.Load(),
+	}
+}
+
+// String renders the snapshot as a single log-friendly line.
+func (s StoreSnapshot) String() string {
+	return fmt.Sprintf("appends=%d bytes=%d flushes=%d compactions=%d recovered=%d torn=%d",
+		s.Appends, s.AppendedBytes, s.Flushes, s.Compactions,
+		s.RecoveredEvents, s.TornTails)
+}

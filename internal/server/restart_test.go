@@ -1,0 +1,371 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kepler/internal/bgpstream"
+	"kepler/internal/colo"
+	"kepler/internal/core"
+	"kepler/internal/events"
+	"kepler/internal/live"
+	"kepler/internal/metrics"
+	"kepler/internal/mrt"
+	"kepler/internal/pipeline"
+	"kepler/internal/simulate"
+	"kepler/internal/store"
+	"kepler/internal/topology"
+)
+
+// cutSource fails with context.Canceled once the stream reaches cutoff —
+// the moment a SIGTERM would interrupt an archive replay, as seen by
+// live.Pump.
+type cutSource struct {
+	src    live.Source
+	cutoff time.Time
+}
+
+func (c *cutSource) Next(ctx context.Context) (*mrt.Record, error) {
+	rec, err := c.src.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !rec.Time.Before(c.cutoff) {
+		return nil, context.Canceled
+	}
+	return rec, nil
+}
+
+// sseCollect drains an SSE stream in the background, recording every event
+// frame's id and payload until the stream ends (bye) or maxEvents arrived.
+type sseCollect struct {
+	ids   []uint64
+	views []EventView
+}
+
+func collectSSE(t *testing.T, url string, lastID uint64, maxEvents int) (*sseCollect, func() *sseCollect) {
+	t.Helper()
+	resp := sseGet(t, url, lastID)
+	br := bufio.NewReader(resp.Body)
+	// Reading the opening comment synchronously guarantees the
+	// subscription is registered before the caller starts publishing.
+	if f, err := readFrame(br); err != nil || !f.comment {
+		t.Fatalf("opening frame = %+v, %v", f, err)
+	}
+	c := &sseCollect{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer resp.Body.Close()
+		for maxEvents <= 0 || len(c.ids) < maxEvents {
+			f, err := readFrame(br)
+			if err != nil || f.event == "bye" {
+				return
+			}
+			if f.comment {
+				continue
+			}
+			id, err := strconv.ParseUint(f.id, 10, 64)
+			if err != nil {
+				t.Errorf("frame id %q: %v", f.id, err)
+				return
+			}
+			var ev EventView
+			if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+				t.Errorf("frame data: %v", err)
+				return
+			}
+			c.ids = append(c.ids, id)
+			c.views = append(c.views, ev)
+		}
+	}()
+	return c, func() *sseCollect { <-done; return c }
+}
+
+// TestRestartEquivalence is the durability contract of the live service: a
+// daemon killed mid-archive and restarted against the same data dir must
+// end up reporting exactly the resolved-outage set of one uninterrupted
+// batch Detector run, and an SSE client that disconnected before the kill
+// and reconnects after it with Last-Event-ID must observe every event
+// exactly once. Run with -race: both phases overlap SSE consumption with
+// ingestion, and the second phase persists while serving.
+func TestRestartEquivalence(t *testing.T) {
+	w, err := topology.Generate(topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := pipeline.Build(w, 77)
+	// The two most trackable facilities, taken down in different halves of
+	// the scenario so both daemon lifetimes contribute outages.
+	var first, second colo.FacilityID
+	bestN, secondN := 0, 0
+	for _, f := range stack.Map.Facilities() {
+		_, n := stack.Map.Trackable(f.ID, stack.Dict.Covers)
+		switch {
+		case n > bestN:
+			second, secondN = first, bestN
+			first, bestN = f.ID, n
+		case n > secondN:
+			second, secondN = f.ID, n
+		}
+	}
+	if first == 0 || second == 0 {
+		t.Fatal("need two trackable facilities")
+	}
+	start := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(14 * 24 * time.Hour)
+	// Two facility outages in different halves of the scenario, plus
+	// link-level background churn in between: detection time is event
+	// driven, so without records between the bursts no bins close and the
+	// first outage's resolution would only finalize at the shutdown flush.
+	evs := []simulate.Event{
+		{Kind: simulate.EvFacility, Facility: first,
+			Start: start.Add(5 * 24 * time.Hour), Duration: 45 * time.Minute},
+		{Kind: simulate.EvFacility, Facility: second,
+			Start: start.Add(10 * 24 * time.Hour), Duration: 40 * time.Minute},
+	}
+	for i := 0; i < 6; i++ {
+		evs = append(evs, simulate.Event{
+			Kind: simulate.EvLink, Link: i,
+			Start:    start.Add(time.Duration(6*24+i*8) * time.Hour),
+			Duration: 20 * time.Minute,
+		})
+	}
+	res, err := simulate.Render(w, evs, start, end, simulate.RenderConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.ReportUnresolved = true
+	wantOuts, wantIncs := stack.Run(res.Records, cfg, nil)
+	if len(wantOuts) < 2 {
+		t.Fatalf("batch reference found %d outages; need activity in both halves", len(wantOuts))
+	}
+
+	dir := t.TempDir()
+	const ringSize = 1 << 14
+
+	// ---- Phase 1: daemon runs until a "SIGTERM" cuts the source mid-archive.
+	stats1 := &metrics.StoreStats{}
+	st1, err := store.Open(store.Options{Dir: dir, TailEvents: ringSize, Metrics: stats1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var armed atomic.Bool
+	armed.Store(true)
+	bus1 := events.New(nil, events.WithRing(ringSize), events.WithSink(func(ev events.Event) {
+		if !armed.Load() {
+			return
+		}
+		if err := st1.Append(ev); err != nil {
+			t.Errorf("phase 1 append: %v", err)
+		}
+	}))
+	eng1 := stack.NewEngine(cfg, 4)
+	srv1 := New(Options{Bus: bus1, Namer: w.PoPName, SSEBuffer: ringSize})
+	var resolved1 []core.Outage
+	hooks1 := events.EngineHooks(bus1)
+	pubRes1 := hooks1.OutageResolved
+	hooks1.OutageResolved = func(o core.Outage) { pubRes1(o); resolved1 = append(resolved1, o) }
+	pubBin1 := hooks1.BinClosed
+	hooks1.BinClosed = func(binEnd time.Time) {
+		pubBin1(binEnd)
+		srv1.PublishSnapshot(BuildSnapshot(binEnd, eng1, resolved1))
+	}
+	// As cmd/keplerd wires it: the abort mutes the hooks, so the engine's
+	// shutdown flush publishes nothing and the bus sequence ends exactly at
+	// the persisted horizon.
+	var aborting atomic.Bool
+	eng1.SetHooks(events.MuteHooks(hooks1, aborting.Load))
+	ts1 := httptest.NewServer(srv1.Handler())
+	srv1.SetReady(true)
+
+	// Two SSE clients: one sees the first few events and drops — the
+	// disconnect everyone hits on a flaky link — and one stays connected
+	// all the way through the kill.
+	const seenBeforeDisconnect = 5
+	_, wait1 := collectSSE(t, ts1.URL+"/v1/events", 0, seenBeforeDisconnect)
+	_, wait1b := collectSSE(t, ts1.URL+"/v1/events", 0, 0)
+
+	// Kill between the two injected outages: the first is resolved and
+	// durable, the second still ahead.
+	cut := &cutSource{src: live.Adapt(bgpstream.NewSliceSource(res.Records)), cutoff: start.Add(8 * 24 * time.Hour)}
+	src1 := live.OnAbort(cut, func() { armed.Store(false); aborting.Store(true) })
+	if _, err := live.Pump(context.Background(), src1, eng1); err != context.Canceled {
+		t.Fatalf("phase 1 pump error = %v, want context.Canceled", err)
+	}
+	bus1.Close()
+	phase1 := *wait1()
+	phase1b := *wait1b()
+	ts1.Close()
+	eng1.Close()
+	// SIGKILL model: st1 is abandoned, never Closed. The last bin-close
+	// flush is the durable horizon; the muted abort-flush kept the bus
+	// sequence and the store in lockstep at that horizon.
+
+	if len(phase1.ids) != seenBeforeDisconnect || phase1.ids[0] != 1 {
+		t.Fatalf("phase 1 client ids = %v", phase1.ids)
+	}
+	lastID := phase1.ids[len(phase1.ids)-1]
+
+	// ---- Phase 2: a new process recovers the dir and re-ingests.
+	stats2 := &metrics.StoreStats{}
+	st2, err := store.Open(store.Options{Dir: dir, TailEvents: ringSize, Metrics: stats2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	hist := st2.History()
+	if stats2.RecoveredEvents.Load() == 0 {
+		t.Fatal("recovery replayed nothing; the phase 1 WAL never made it to disk")
+	}
+	if len(hist.Resolved) == 0 || len(hist.Resolved) >= len(wantOuts) {
+		t.Fatalf("durable history has %d/%d outages; the cut must fall mid-history for this test to bite",
+			len(hist.Resolved), len(wantOuts))
+	}
+	if !reflect.DeepEqual(hist.Resolved, wantOuts[:len(hist.Resolved)]) {
+		t.Fatal("recovered outages are not a prefix of the batch output")
+	}
+	// The stay-connected client saw exactly the persisted prefix: the muted
+	// shutdown flush published nothing past the durable horizon.
+	if n := len(phase1b.ids); n == 0 || phase1b.ids[n-1] != hist.LastSeq {
+		t.Fatalf("stay-connected client last id = %v, want durable horizon %d", phase1b.ids, hist.LastSeq)
+	}
+	for i, id := range phase1b.ids {
+		if id != uint64(i)+1 {
+			t.Fatalf("stay-connected client id %d at position %d in phase 1", id, i)
+		}
+	}
+
+	bus2 := events.New(nil,
+		events.WithStartSeq(hist.LastSeq),
+		events.WithRing(ringSize),
+		events.WithSink(func(ev events.Event) {
+			if err := st2.Append(ev); err != nil {
+				t.Errorf("phase 2 append: %v", err)
+			}
+		}))
+	bus2.SeedRing(hist.Tail)
+	eng2 := stack.NewEngine(cfg, 2) // different shard count: determinism is the contract
+	defer eng2.Close()
+	srv2 := New(Options{Bus: bus2, Namer: w.PoPName, SSEBuffer: ringSize,
+		Store: func() metrics.StoreSnapshot { return stats2.Snapshot() }})
+	resolved2 := hist.Resolved
+	hooks2 := events.EngineHooks(bus2)
+	pubRes2 := hooks2.OutageResolved
+	hooks2.OutageResolved = func(o core.Outage) { pubRes2(o); resolved2 = append(resolved2, o) }
+	pubBin2 := hooks2.BinClosed
+	hooks2.BinClosed = func(binEnd time.Time) {
+		pubBin2(binEnd)
+		srv2.PublishSnapshot(BuildSnapshot(binEnd, eng2, resolved2))
+	}
+	eng2.SetHooks(events.GateHooks(hooks2, hist.LastSeq))
+	srv2.PublishSnapshot(BuildSnapshotFrom(hist.LastBin, nil, hist.Resolved, hist.Incidents))
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	srv2.SetReady(true)
+
+	// The recovered history is queryable before catch-up, with the same
+	// stable ids a pre-restart client paginated by.
+	var bootPage pageResp
+	getJSON(t, ts2.URL+"/v1/outages", 200, &bootPage)
+	if bootPage.Total != len(hist.Resolved) || bootPage.Outages[0].ID != 1 {
+		t.Fatalf("boot snapshot = %+v", bootPage)
+	}
+
+	// Both phase 1 clients reconnect, presenting the standard header: the
+	// early-dropper from where it left off, the stay-connected one from the
+	// durable horizon it observed at the kill.
+	_, wait2 := collectSSE(t, ts2.URL+"/v1/events", lastID, 0)
+	_, wait2b := collectSSE(t, ts2.URL+"/v1/events", hist.LastSeq, 0)
+
+	// Re-ingest the archive from the top; EOF this time, so the final
+	// flush is a real end-of-stream and stays persisted.
+	pres, err := live.Pump(context.Background(), live.Adapt(bgpstream.NewSliceSource(res.Records)), eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.PublishSnapshot(BuildSnapshot(pres.Last, eng2, resolved2))
+	finalSeq := bus2.Seq()
+	bus2.Close()
+	phase2 := *wait2()
+	phase2b := *wait2b()
+
+	// 1. Hook accumulation across the restart equals the batch run.
+	if !reflect.DeepEqual(resolved2, wantOuts) {
+		t.Errorf("restarted daemon resolved %d outages, batch %d; sets diverge",
+			len(resolved2), len(wantOuts))
+	}
+	// 2. So does the durable history itself (and its incident log), i.e.
+	// what yet another restart would recover.
+	final := st2.History()
+	if !reflect.DeepEqual(final.Resolved, wantOuts) {
+		t.Errorf("durable outage history diverges from batch")
+	}
+	if !reflect.DeepEqual(final.Incidents, wantIncs) {
+		t.Errorf("durable incident history diverges from batch (%d vs %d)",
+			len(final.Incidents), len(wantIncs))
+	}
+	if final.LastSeq != finalSeq {
+		t.Errorf("store seq %d != bus seq %d", final.LastSeq, finalSeq)
+	}
+	// 3. The API serves it.
+	var apiOuts struct {
+		Total   int          `json:"total"`
+		Outages []OutageView `json:"outages"`
+	}
+	getJSON(t, ts2.URL+"/v1/outages", 200, &apiOuts)
+	if apiOuts.Total != len(wantOuts) {
+		t.Errorf("API total = %d, want %d", apiOuts.Total, len(wantOuts))
+	}
+	for i := range apiOuts.Outages {
+		if want := srv2.outageView(uint64(i)+1, &wantOuts[i]); !reflect.DeepEqual(apiOuts.Outages[i], want) {
+			t.Errorf("API outage %d diverges after restart", i)
+		}
+	}
+	// 4. Exactly-once across the reconnect: the two connections together
+	// observed the contiguous sequence 1..finalSeq with no gap or repeat.
+	all := append(append([]uint64{}, phase1.ids...), phase2.ids...)
+	if uint64(len(all)) != finalSeq {
+		t.Fatalf("client observed %d events, bus published %d", len(all), finalSeq)
+	}
+	for i, id := range all {
+		if id != uint64(i)+1 {
+			t.Fatalf("event id %d at position %d: duplicate or gap across the reconnect", id, i)
+		}
+	}
+	// Same for the client that stayed connected through the kill: its two
+	// connections cover 1..finalSeq with no overlap and no hole.
+	allB := append(append([]uint64{}, phase1b.ids...), phase2b.ids...)
+	if uint64(len(allB)) != finalSeq {
+		t.Fatalf("stay-connected client observed %d events, bus published %d", len(allB), finalSeq)
+	}
+	for i, id := range allB {
+		if id != uint64(i)+1 {
+			t.Fatalf("stay-connected client id %d at position %d: duplicate or gap across the restart", id, i)
+		}
+	}
+	// 5. And the resolved payloads it saw are the batch outages, in order.
+	var sawResolved []OutageView
+	for _, ev := range append(append([]EventView{}, phase1.views...), phase2.views...) {
+		if ev.Outage != nil {
+			sawResolved = append(sawResolved, *ev.Outage)
+		}
+	}
+	if len(sawResolved) != len(wantOuts) {
+		t.Fatalf("client saw %d resolved events, want %d", len(sawResolved), len(wantOuts))
+	}
+	for i := range sawResolved {
+		if want := srv2.outageView(0, &wantOuts[i]); !reflect.DeepEqual(sawResolved[i], want) {
+			t.Errorf("resolved event %d diverges from batch", i)
+		}
+	}
+}

@@ -10,16 +10,25 @@
 // Endpoints:
 //
 //	GET /healthz          liveness + readiness
-//	GET /v1/outages       resolved outages (the batch-equivalent output)
+//	GET /v1/outages       resolved outages (the batch-equivalent output);
+//	                      cursor pagination via ?after=<id>&limit=<n>
 //	GET /v1/outages/open  ongoing outages as of the last closed bin
-//	GET /v1/incidents     classified signals; ?kind=link|as|operator|pop
-//	GET /v1/stats         ingestion, bus and HTTP counters
-//	GET /v1/events        SSE stream; ?kinds=comma,separated filter
+//	GET /v1/incidents     classified signals; ?kind=link|as|operator|pop,
+//	                      same ?after=/&limit= cursors
+//	GET /v1/stats         ingestion, bus, store and HTTP counters
+//	GET /v1/events        SSE stream; ?kinds=comma,separated filter;
+//	                      Last-Event-ID resumes from the bus replay ring
+//
+// History entries carry stable ascending ids (their position in the
+// resolved/incident sequence, which recovery rebuilds identically), so
+// ?after= cursors remain valid across daemon restarts.
 package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -57,12 +66,15 @@ type Snapshot struct {
 // outages after they are drained); the snapshot aliases it, which is safe
 // because outage accumulation is append-only.
 func BuildSnapshot(at time.Time, eng EngineState, resolved []core.Outage) *Snapshot {
-	return &Snapshot{
-		At:        at,
-		Resolved:  resolved,
-		Open:      eng.OpenOutageStatuses(),
-		Incidents: eng.Incidents(),
-	}
+	return BuildSnapshotFrom(at, eng.OpenOutageStatuses(), resolved, eng.Incidents())
+}
+
+// BuildSnapshotFrom assembles a snapshot from explicit state — the variant
+// a store-backed daemon uses, where the resolved and incident histories are
+// accumulated from persisted events (complete from boot) rather than read
+// off an engine that is still catching up on re-ingested records.
+func BuildSnapshotFrom(at time.Time, open []core.OutageStatus, resolved []core.Outage, incidents []core.Incident) *Snapshot {
+	return &Snapshot{At: at, Resolved: resolved, Open: open, Incidents: incidents}
 }
 
 // Options configures a Server.
@@ -76,6 +88,9 @@ type Options struct {
 	// Ingest supplies live engine ingestion counters for /v1/stats
 	// (atomics only — safe from any goroutine). Optional.
 	Ingest func() metrics.IngestSnapshot
+	// Store supplies durable-history counters (WAL appends, compactions,
+	// recovery) for /v1/stats when the daemon runs with a data dir. Optional.
+	Store func() metrics.StoreSnapshot
 	// Namer resolves PoP display names (e.g. topology.World.PoPName in
 	// replay mode, where the world is known). Optional.
 	Namer func(colo.PoP) string
@@ -182,17 +197,71 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
+// pageParams is a validated pagination cursor: entries with id > after, at
+// most limit of them (0 = unbounded).
+type pageParams struct {
+	after uint64
+	limit int
+}
+
+// parsePage validates ?after= and ?limit=. Malformed cursors are rejected
+// outright — a mistyped cursor silently serving the full multi-month
+// history is exactly the unbounded-response bug pagination exists to fix.
+func parsePage(r *http.Request) (pageParams, error) {
+	var p pageParams
+	q := r.URL.Query()
+	if raw := q.Get("after"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("after must be a non-negative integer id, got %q", raw)
+		}
+		p.after = v
+	}
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			return p, fmt.Errorf("limit must be a positive integer, got %q", raw)
+		}
+		p.limit = v
+	}
+	return p, nil
+}
+
+// window resolves the cursor against an n-entry history with ids 1..n:
+// the first index to serve, how many, and the next_after cursor (non-zero
+// only when entries remain past this page).
+func (p pageParams) window(n int) (start, count int, nextAfter uint64) {
+	if p.after >= uint64(n) {
+		return n, 0, 0
+	}
+	start = int(p.after)
+	count = n - start
+	if p.limit > 0 && count > p.limit {
+		count = p.limit
+		nextAfter = uint64(start + count)
+	}
+	return start, count, nextAfter
+}
+
 func (s *Server) handleOutages(w http.ResponseWriter, r *http.Request) {
+	p, err := parsePage(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
 	snap := s.snap.Load()
-	outs := make([]OutageView, len(snap.Resolved))
-	for i := range snap.Resolved {
-		outs[i] = s.outageView(&snap.Resolved[i])
+	start, count, nextAfter := p.window(len(snap.Resolved))
+	outs := make([]OutageView, count)
+	for i := 0; i < count; i++ {
+		outs[i] = s.outageView(uint64(start+i)+1, &snap.Resolved[start+i])
 	}
 	writeJSON(w, http.StatusOK, struct {
-		AsOf    time.Time    `json:"as_of"`
-		Count   int          `json:"count"`
-		Outages []OutageView `json:"outages"`
-	}{snap.At, len(outs), outs})
+		AsOf      time.Time    `json:"as_of"`
+		Count     int          `json:"count"`
+		Total     int          `json:"total"`
+		NextAfter uint64       `json:"next_after,omitempty"`
+		Outages   []OutageView `json:"outages"`
+	}{snap.At, count, len(snap.Resolved), nextAfter, outs})
 }
 
 func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
@@ -209,6 +278,11 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	p, err := parsePage(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
 	snap := s.snap.Load()
 	kind := r.URL.Query().Get("kind")
 	if kind != "" {
@@ -221,18 +295,28 @@ func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	incs := make([]IncidentView, 0, len(snap.Incidents))
-	for i := range snap.Incidents {
+	// Ids index the unfiltered incident sequence, so cursors stay stable
+	// whether or not a kind filter is applied; the filter selects within
+	// the cursor window.
+	incs := make([]IncidentView, 0, 16)
+	var nextAfter uint64
+	for i := int(min(p.after, uint64(len(snap.Incidents)))); i < len(snap.Incidents); i++ {
 		if kind != "" && snap.Incidents[i].Kind.String() != kind {
 			continue
 		}
-		incs = append(incs, s.incidentView(&snap.Incidents[i]))
+		if p.limit > 0 && len(incs) == p.limit {
+			nextAfter = incs[len(incs)-1].ID
+			break
+		}
+		incs = append(incs, s.incidentView(uint64(i)+1, &snap.Incidents[i]))
 	}
 	writeJSON(w, http.StatusOK, struct {
 		AsOf      time.Time      `json:"as_of"`
 		Count     int            `json:"count"`
+		Total     int            `json:"total"`
+		NextAfter uint64         `json:"next_after,omitempty"`
 		Incidents []IncidentView `json:"incidents"`
-	}{snap.At, len(incs), incs})
+	}{snap.At, len(incs), len(snap.Incidents), nextAfter, incs})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -246,6 +330,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.opts.Ingest != nil {
 		resp.Ingest = ingestView(s.opts.Ingest())
+	}
+	if s.opts.Store != nil {
+		resp.Store = storeView(s.opts.Store())
 	}
 	if s.opts.Bus != nil {
 		st := s.opts.Bus.Stats()

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,6 +23,15 @@ import (
 // reading blocks only its own writer goroutine, its queue fills, and
 // further events are dropped for it alone — drop totals appear in
 // /v1/stats. ?kinds=outage_resolved,incident filters server-side.
+//
+// A reconnecting client sends the standard Last-Event-ID header (every
+// frame's id is the bus sequence number) and first receives the events it
+// missed, replayed from the bus's in-memory ring — which the daemon seeds
+// from the durable store on boot, so resume even works across a restart.
+// Registration and backlog capture are atomic on the bus, making delivery
+// exactly-once; if the requested position has already been evicted from
+// the ring, the replay starts at the oldest retained event after a
+// ": resume incomplete" comment.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Bus == nil {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": "event bus not configured"})
@@ -33,6 +43,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Only an explicit Last-Event-ID resumes from the replay ring; a fresh
+	// client gets live delivery only (a new subscriber owes nothing from
+	// the past, and on a long-running daemon the ring is full of history
+	// it never saw).
+	var lastID uint64
+	resuming := false
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": fmt.Sprintf("Last-Event-ID must be a previously served numeric event id, got %q", raw),
+			})
+			return
+		}
+		lastID, resuming = v, true
+	}
+
 	var allow map[events.Kind]bool
 	if raw := r.URL.Query().Get("kinds"); raw != "" {
 		allow = make(map[events.Kind]bool)
@@ -41,7 +68,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	sub := s.opts.Bus.Subscribe(s.opts.SSEBuffer)
+	var (
+		sub      *events.Subscriber
+		backlog  []events.Event
+		complete = true
+	)
+	if resuming {
+		sub, backlog, complete = s.opts.Bus.SubscribeFrom(lastID, s.opts.SSEBuffer)
+	} else {
+		sub = s.opts.Bus.Subscribe(s.opts.SSEBuffer)
+	}
 	defer sub.Close()
 	if svc := s.opts.Service; svc != nil {
 		svc.SSEConnected.Add(1)
@@ -57,7 +93,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// An immediate comment both commits the response headers and lets
 	// clients detect liveness before the first event.
 	fmt.Fprint(w, ": stream open\n\n")
+	if !complete {
+		fmt.Fprint(w, ": resume incomplete\n\n")
+	}
 	fl.Flush()
+
+	writeEvent := func(ev events.Event) bool {
+		if allow != nil && !allow[ev.Kind] {
+			return true
+		}
+		data, err := json.Marshal(s.eventView(ev))
+		if err != nil {
+			return true
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
+			return false // client went away mid-write
+		}
+		fl.Flush()
+		return true
+	}
+	// Missed events first: everything published after Last-Event-ID was
+	// captured atomically with the subscription, so the transition from
+	// backlog to live delivery neither drops nor repeats an event.
+	for _, ev := range backlog {
+		if !writeEvent(ev) {
+			return
+		}
+	}
 
 	heartbeat := time.NewTicker(s.opts.Heartbeat)
 	defer heartbeat.Stop()
@@ -71,17 +133,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				fl.Flush()
 				return
 			}
-			if allow != nil && !allow[ev.Kind] {
-				continue
+			if !writeEvent(ev) {
+				return
 			}
-			data, err := json.Marshal(s.eventView(ev))
-			if err != nil {
-				continue
-			}
-			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
-				return // client went away mid-write
-			}
-			fl.Flush()
 		case <-heartbeat.C:
 			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
 				return

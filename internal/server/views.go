@@ -26,8 +26,13 @@ func (s *Server) popView(p colo.PoP) PoPView {
 	return v
 }
 
-// OutageView is the JSON shape of a resolved outage.
+// OutageView is the JSON shape of a resolved outage. ID is the outage's
+// 1-based position in the resolved history — stable across restarts
+// (recovery rebuilds the same order) and the ?after= pagination cursor; it
+// is omitted in SSE payloads, where the frame id already carries the bus
+// sequence.
 type OutageView struct {
+	ID               uint64    `json:"id,omitempty"`
 	PoP              PoPView   `json:"pop"`
 	SignalPoP        PoPView   `json:"signal_pop"`
 	Start            time.Time `json:"start"`
@@ -40,8 +45,9 @@ type OutageView struct {
 	Merged           int       `json:"merged"`
 }
 
-func (s *Server) outageView(o *core.Outage) OutageView {
+func (s *Server) outageView(id uint64, o *core.Outage) OutageView {
 	return OutageView{
+		ID:               id,
 		PoP:              s.popView(o.PoP),
 		SignalPoP:        s.popView(o.SignalPoP),
 		Start:            o.Start,
@@ -86,8 +92,11 @@ func (s *Server) openView(o *core.OutageStatus) OpenOutageView {
 	}
 }
 
-// IncidentView is the JSON shape of a classified signal.
+// IncidentView is the JSON shape of a classified signal. ID is the 1-based
+// position in the unfiltered incident history (the pagination cursor),
+// omitted in SSE payloads.
 type IncidentView struct {
+	ID           uint64    `json:"id,omitempty"`
 	Time         time.Time `json:"time"`
 	Kind         string    `json:"kind"`
 	PoP          PoPView   `json:"pop"`
@@ -98,8 +107,9 @@ type IncidentView struct {
 	Paths        int       `json:"paths"`
 }
 
-func (s *Server) incidentView(inc *core.Incident) IncidentView {
+func (s *Server) incidentView(id uint64, inc *core.Incident) IncidentView {
 	return IncidentView{
+		ID:           id,
 		Time:         inc.Time,
 		Kind:         inc.Kind.String(),
 		PoP:          s.popView(inc.PoP),
@@ -155,6 +165,29 @@ func serviceView(s metrics.ServiceSnapshot) *ServiceView {
 	}
 }
 
+// StoreView is the JSON shape of the durable-history counters.
+type StoreView struct {
+	Appends         int64 `json:"appends"`
+	AppendedBytes   int64 `json:"appended_bytes"`
+	Flushes         int64 `json:"flushes"`
+	Compactions     int64 `json:"compactions"`
+	RecoveredEvents int64 `json:"recovered_events"`
+	TornTails       int64 `json:"torn_tails"`
+	TruncatedBytes  int64 `json:"truncated_bytes"`
+}
+
+func storeView(s metrics.StoreSnapshot) *StoreView {
+	return &StoreView{
+		Appends:         s.Appends,
+		AppendedBytes:   s.AppendedBytes,
+		Flushes:         s.Flushes,
+		Compactions:     s.Compactions,
+		RecoveredEvents: s.RecoveredEvents,
+		TornTails:       s.TornTails,
+		TruncatedBytes:  s.TruncatedBytes,
+	}
+}
+
 // StatsView is the /v1/stats response.
 type StatsView struct {
 	Ready      bool          `json:"ready"`
@@ -163,6 +196,7 @@ type StatsView struct {
 	Resolved   int           `json:"resolved_outages"`
 	Incidents  int           `json:"incidents"`
 	Ingest     *IngestView   `json:"ingest,omitempty"`
+	Store      *StoreView    `json:"store,omitempty"`
 	Bus        *events.Stats `json:"bus,omitempty"`
 	Service    *ServiceView  `json:"service,omitempty"`
 }
@@ -185,11 +219,11 @@ func (s *Server) eventView(ev events.Event) EventView {
 		v.Status = &ov
 	}
 	if ev.Outage != nil {
-		ov := s.outageView(ev.Outage)
+		ov := s.outageView(0, ev.Outage)
 		v.Outage = &ov
 	}
 	if ev.Incident != nil {
-		iv := s.incidentView(ev.Incident)
+		iv := s.incidentView(0, ev.Incident)
 		v.Incident = &iv
 	}
 	return v

@@ -9,6 +9,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -264,6 +265,13 @@ type transition struct {
 // RenderConfig tunes archive rendering.
 type RenderConfig struct {
 	Seed int64
+	// Ctx, when non-nil, lets callers abort a render in flight: Render
+	// checks it before each transition and each per-origin route
+	// recomputation (the CPU-heavy inner loop) and returns the context
+	// error. The live soak source depends on this for prompt daemon
+	// shutdown — a 7-day window can take long enough to render that
+	// checking only between windows leaves SIGTERM hanging.
+	Ctx context.Context
 	// RIBDumpInterval inserts full RIB snapshots periodically (0: only an
 	// initial dump at scenario start).
 	RIBDumpInterval time.Duration
@@ -349,6 +357,15 @@ func Render(w *topology.World, events []Event, start, end time.Time, rc RenderCo
 	if end.Before(start) {
 		return nil, fmt.Errorf("simulate: end before start")
 	}
+	aborted := func() error {
+		if rc.Ctx != nil {
+			return rc.Ctx.Err()
+		}
+		return nil
+	}
+	if err := aborted(); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(rc.Seed))
 	eng := routing.New(w)
 
@@ -430,6 +447,9 @@ func Render(w *topology.World, events []Event, start, end time.Time, rc RenderCo
 	mask := routing.NewMask()
 	currentRIB := &routing.RIB{Tables: current}
 	for _, tr := range res.transitions {
+		if err := aborted(); err != nil {
+			return nil, err
+		}
 		touched := make(map[int]bool)
 		if tr.ev.Partial > 0 && (tr.ev.Kind == EvFacility || tr.ev.Kind == EvIXP) {
 			for _, id := range tr.ev.partialLinks {
@@ -461,6 +481,9 @@ func Render(w *topology.World, events []Event, start, end time.Time, rc RenderCo
 		applyTransition(mask, tr)
 
 		for _, o := range origins {
+			if err := aborted(); err != nil {
+				return nil, err
+			}
 			asObj, ok := w.AS(o)
 			if !ok {
 				continue

@@ -1,0 +1,534 @@
+// Package store is the durable history layer of the live service: an
+// append-only write-ahead log of detection lifecycle events (outage
+// opened/updated/resolved, incident classified, bin closed) with periodic
+// compaction into snapshot segments and a crash-tolerant recovery path.
+//
+// The daemon's problem is that its resolved-outage list and incident log
+// otherwise live only in memory: a deploy, crash or OOM erases the
+// detection record of a system whose whole point is reporting multi-hour
+// infrastructure outages observed over months. The store closes that gap
+// without touching the hot path's concurrency story: it is written
+// synchronously from the event bus's sink — the ingestion goroutine, at bin
+// boundaries, the only points where outage state changes — so it needs no
+// locking against the detection engine, and API reads continue to come from
+// the server's immutable snapshot, never from disk.
+//
+// # On-disk layout
+//
+// A data directory holds at most one active snapshot segment and one WAL:
+//
+//	snap-%016x.snap   materialized history as of sequence N (atomic rename)
+//	wal-%016x.log     events with sequence > N, one frame each
+//
+// Every frame is length-prefixed and checksummed:
+//
+//	[4B big-endian payload length][4B CRC32-Castagnoli][JSON payload]
+//
+// The WAL payload is one events.Event; the snapshot payload is the full
+// materialized state (resolved outages, incidents, last bin, event tail).
+// When the WAL grows past Options.CompactBytes the store — at a bin
+// boundary — writes a fresh snapshot segment, rotates to an empty WAL and
+// deletes the superseded files, so disk use is bounded by the history size
+// plus one WAL window rather than by total event volume.
+//
+// # Recovery and the equivalence guarantee
+//
+// Open loads the newest valid snapshot and replays the WAL on top of it,
+// verifying each frame's checksum and sequence contiguity. A torn or
+// corrupt tail — the signature of a crash mid-write — is truncated at the
+// last intact frame and counted, after which appends continue normally.
+// Recovery hands back the materialized history plus the retained event
+// tail, which the daemon uses to seed the server's boot snapshot, the event
+// bus's starting sequence (SSE ids stay gapless across restarts) and its
+// Last-Event-ID replay ring. Because detection is deterministic for a given
+// record stream, a restarted daemon re-ingests its source from the
+// beginning while events.GateHooks suppresses re-publication of the
+// prefix already persisted here — so a restart mid-archive followed by
+// replay of the remainder yields exactly the resolved-outage set of one
+// uninterrupted batch Detector run.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"kepler/internal/core"
+	"kepler/internal/events"
+	"kepler/internal/metrics"
+)
+
+const (
+	frameHeaderSize = 8        // 4B length + 4B CRC32C
+	maxFrameSize    = 64 << 20 // sanity bound against corrupt length words
+	walPrefix       = "wal-"
+	snapPrefix      = "snap-"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the data directory; created if missing. Required.
+	Dir string
+	// CompactBytes is the WAL size past which the next bin boundary
+	// triggers compaction into a snapshot segment (default 8 MiB).
+	CompactBytes int64
+	// TailEvents is how many recent events the store retains in memory and
+	// in snapshot segments for SSE resume across restarts (default 4096).
+	TailEvents int
+	// Metrics receives append/flush/compaction/recovery counters. Optional.
+	Metrics *metrics.StoreStats
+}
+
+func (o *Options) defaults() {
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 8 << 20
+	}
+	if o.TailEvents <= 0 {
+		o.TailEvents = 4096
+	}
+}
+
+// History is the materialized state recovery hands back: everything the
+// daemon needs to resume serving as if it had never stopped.
+type History struct {
+	// LastSeq is the sequence of the newest durable event; the bus resumes
+	// publishing at LastSeq+1 and GateHooks suppresses that many replayed
+	// callbacks.
+	LastSeq uint64
+	// LastBin is the close time of the newest persisted bin.
+	LastBin time.Time
+	// Resolved holds every persisted completed outage, oldest first.
+	Resolved []core.Outage
+	// Incidents holds every persisted classified signal, oldest first.
+	Incidents []core.Incident
+	// Tail is the retained recent-event window (ascending seq), the seed
+	// for the bus's Last-Event-ID replay ring.
+	Tail []events.Event
+}
+
+// Store is a WAL-backed outage history. Append runs on the ingestion
+// goroutine (via the bus sink); History and Stats may be called from
+// anywhere. Use Open; the zero value is not usable.
+type Store struct {
+	opts Options
+	m    *metrics.StoreStats
+
+	mu        sync.Mutex
+	seq       uint64
+	lastBin   time.Time
+	resolved  []core.Outage
+	incidents []core.Incident
+	tail      *events.Ring // retains the last opts.TailEvents events
+
+	f        *os.File
+	bw       *bufio.Writer
+	walBase  uint64
+	walBytes int64
+	closed   bool
+}
+
+// snapState is the snapshot-segment payload.
+type snapState struct {
+	Seq       uint64          `json:"seq"`
+	LastBin   time.Time       `json:"last_bin"`
+	Resolved  []core.Outage   `json:"resolved"`
+	Incidents []core.Incident `json:"incidents"`
+	Tail      []events.Event  `json:"tail"`
+}
+
+// Open opens (or initializes) the store in dir, recovering any persisted
+// history: the newest valid snapshot segment is loaded, the WAL replayed on
+// top with per-frame checksum and sequence verification, and a torn tail
+// truncated. The store is ready for appends on return.
+func Open(opts Options) (*Store, error) {
+	opts.defaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{opts: opts, m: opts.Metrics, tail: events.NewRing(opts.TailEvents)}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// segName renders a segment file name for a base sequence.
+func segName(prefix string, seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", prefix, seq, segExt(prefix))
+}
+
+func segExt(prefix string) string {
+	if prefix == snapPrefix {
+		return ".snap"
+	}
+	return ".log"
+}
+
+// parseSeg extracts the base sequence from a segment file name.
+func parseSeg(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, segExt(prefix)) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), segExt(prefix))
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// recover loads the newest valid snapshot, replays the matching WAL, and
+// leaves the store positioned for appends.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var snaps []uint64
+	for _, e := range entries {
+		if n, ok := parseSeg(e.Name(), snapPrefix); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+
+	// Newest parseable snapshot wins; a corrupt one (torn rename is
+	// prevented by tmp+rename, but disks lie) falls back to the next.
+	for _, n := range snaps {
+		st, err := s.loadSnap(segName(snapPrefix, n))
+		if err != nil {
+			continue
+		}
+		s.seq = st.Seq
+		s.lastBin = st.LastBin
+		s.resolved = st.Resolved
+		s.incidents = st.Incidents
+		for _, ev := range st.Tail {
+			s.tail.Push(ev)
+		}
+		break
+	}
+	s.walBase = s.seq
+
+	if err := s.replayWAL(filepath.Join(s.opts.Dir, segName(walPrefix, s.walBase))); err != nil {
+		return err
+	}
+
+	// Reopen the WAL for appending (creating it on first boot).
+	f, err := os.OpenFile(filepath.Join(s.opts.Dir, segName(walPrefix, s.walBase)),
+		os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	s.walBytes = fi.Size()
+	s.bw = bufio.NewWriter(f)
+	return nil
+}
+
+// loadSnap reads and validates one snapshot segment.
+func (s *Store) loadSnap(name string) (*snapState, error) {
+	b, err := os.ReadFile(filepath.Join(s.opts.Dir, name))
+	if err != nil {
+		return nil, err
+	}
+	payload, n, err := readFrame(b)
+	if err != nil || n != len(b) {
+		return nil, fmt.Errorf("store: snapshot %s invalid", name)
+	}
+	var st snapState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: %w", name, err)
+	}
+	return &st, nil
+}
+
+// replayWAL applies every intact frame of the WAL to the materialized
+// state, truncating the file at the first torn or corrupt frame.
+func (s *Store) replayWAL(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // first boot, or crash between snapshot and rotation
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	off := 0
+	replayed := int64(0)
+	for off < len(b) {
+		payload, n, err := readFrame(b[off:])
+		if err != nil {
+			break // torn tail: truncate from here
+		}
+		var ev events.Event
+		if json.Unmarshal(payload, &ev) != nil || ev.Seq != s.seq+1 {
+			break // undecodable or non-contiguous: treat as corruption
+		}
+		s.apply(ev)
+		off += n
+		replayed++
+	}
+	if s.m != nil {
+		s.m.RecoveredEvents.Add(replayed)
+	}
+	if off < len(b) {
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		if s.m != nil {
+			s.m.TornTails.Add(1)
+			s.m.TruncatedBytes.Add(int64(len(b) - off))
+		}
+	}
+	return nil
+}
+
+// readFrame parses one [len][crc][payload] frame from the head of b,
+// returning the payload and total frame size.
+func readFrame(b []byte) (payload []byte, frameLen int, err error) {
+	if len(b) < frameHeaderSize {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n == 0 || n > maxFrameSize {
+		return nil, 0, fmt.Errorf("store: implausible frame length %d", n)
+	}
+	if len(b) < frameHeaderSize+int(n) {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	payload = b[frameHeaderSize : frameHeaderSize+int(n)]
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(b[4:8]) {
+		return nil, 0, fmt.Errorf("store: frame checksum mismatch")
+	}
+	return payload, frameHeaderSize + int(n), nil
+}
+
+// writeFrame appends one framed payload to w.
+func writeFrame(w io.Writer, payload []byte) (int, error) {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return frameHeaderSize + len(payload), nil
+}
+
+// apply folds one event into the materialized history.
+func (s *Store) apply(ev events.Event) {
+	s.seq = ev.Seq
+	switch ev.Kind {
+	case events.KindOutageResolved:
+		if ev.Outage != nil {
+			s.resolved = append(s.resolved, *ev.Outage)
+		}
+	case events.KindIncident:
+		if ev.Incident != nil {
+			s.incidents = append(s.incidents, *ev.Incident)
+		}
+	case events.KindBinClosed:
+		s.lastBin = ev.Time
+	}
+	s.tail.Push(ev)
+}
+
+// Append durably records one lifecycle event. Events must arrive in
+// sequence order with no gaps (the bus sink guarantees this); a gap is a
+// wiring bug and is rejected. Writes are buffered; the buffer is flushed to
+// the OS at every bin close — the natural consistency point, since hooks
+// only fire at bin boundaries — and fsynced at compaction and Close. A bin
+// close that leaves the WAL over the compaction threshold triggers
+// compaction before returning.
+func (s *Store) Append(ev events.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: append after Close")
+	}
+	if ev.Seq != s.seq+1 {
+		return fmt.Errorf("store: sequence gap: append seq %d after %d", ev.Seq, s.seq)
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	n, err := writeFrame(s.bw, payload)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walBytes += int64(n)
+	if s.m != nil {
+		s.m.Appends.Add(1)
+		s.m.AppendedBytes.Add(int64(n))
+	}
+	s.apply(ev)
+	if ev.Kind == events.KindBinClosed {
+		if err := s.bw.Flush(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if s.m != nil {
+			s.m.Flushes.Add(1)
+		}
+		if s.walBytes >= s.opts.CompactBytes {
+			return s.compact()
+		}
+	}
+	return nil
+}
+
+// compact writes the materialized state into a fresh snapshot segment,
+// rotates to an empty WAL, and deletes the superseded files. Called with
+// the lock held, at a bin boundary.
+func (s *Store) compact() error {
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	st := snapState{
+		Seq:       s.seq,
+		LastBin:   s.lastBin,
+		Resolved:  s.resolved,
+		Incidents: s.incidents,
+		Tail:      s.tail.Events(),
+	}
+	payload, err := json.Marshal(&st)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	snapPath := filepath.Join(s.opts.Dir, segName(snapPrefix, s.seq))
+	tmp := snapPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := writeFrame(f, payload); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(s.opts.Dir)
+
+	// Rotate: new WAL extends the snapshot just written.
+	s.f.Close()
+	nf, err := os.OpenFile(filepath.Join(s.opts.Dir, segName(walPrefix, s.seq)),
+		os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.f = nf
+	s.bw = bufio.NewWriter(nf)
+	s.walBase = s.seq
+	s.walBytes = 0
+	syncDir(s.opts.Dir)
+
+	// Superseded segments: every snapshot below the new one and every WAL
+	// other than the one just rotated in (including orphans from earlier
+	// crashes). Removal failures are harmless (retried next compaction).
+	entries, _ := os.ReadDir(s.opts.Dir)
+	for _, e := range entries {
+		if n, ok := parseSeg(e.Name(), snapPrefix); ok && n < s.seq {
+			os.Remove(filepath.Join(s.opts.Dir, e.Name()))
+		}
+		if n, ok := parseSeg(e.Name(), walPrefix); ok && n != s.seq {
+			os.Remove(filepath.Join(s.opts.Dir, e.Name()))
+		}
+	}
+	if s.m != nil {
+		s.m.Compactions.Add(1)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creations are durable. Best
+// effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// History returns the materialized state: the complete persisted history
+// after Open, and the live history once appends flow. Slices are copies.
+func (s *Store) History() History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return History{
+		LastSeq:   s.seq,
+		LastBin:   s.lastBin,
+		Resolved:  append([]core.Outage(nil), s.resolved...),
+		Incidents: append([]core.Incident(nil), s.incidents...),
+		Tail:      s.tail.Events(),
+	}
+}
+
+// Flush forces buffered frames to the OS without fsync.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.m != nil {
+		s.m.Flushes.Add(1)
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the WAL. Idempotent; the graceful
+// shutdown path of the daemon.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.bw.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.f.Close()
+}

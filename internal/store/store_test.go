@@ -1,0 +1,345 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/core"
+	"kepler/internal/events"
+	"kepler/internal/metrics"
+)
+
+var t0 = time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// mkEvents fabricates a gapless lifecycle sequence: each "bin" carries an
+// opened status, an incident, a resolved outage, and the bin-close marker
+// (which is what flushes the WAL), with distinguishable payloads.
+func mkEvents(startSeq uint64, bins int) []events.Event {
+	var evs []events.Event
+	seq := startSeq
+	next := func(ev events.Event) {
+		seq++
+		ev.Seq = seq
+		evs = append(evs, ev)
+	}
+	for b := 0; b < bins; b++ {
+		bin := t0.Add(time.Duration(b+1) * time.Minute)
+		pop := colo.PoP{Kind: colo.PoPFacility, ID: uint32(b + 1)}
+		next(events.Event{Time: bin, Kind: events.KindOutageOpened, Status: &core.OutageStatus{
+			PoP: pop, Start: bin, LastSignal: bin, WaitingPaths: 10 + b,
+		}})
+		next(events.Event{Time: bin, Kind: events.KindIncident, Incident: &core.Incident{
+			Time: bin, Kind: core.IncidentPoP, PoP: pop,
+			AffectedASes: []bgp.ASN{100, bgp.ASN(200 + b)}, Links: b, Paths: 3 * b,
+		}})
+		next(events.Event{Time: bin, Kind: events.KindOutageResolved, Outage: &core.Outage{
+			PoP: pop, SignalPoP: pop, Start: bin.Add(-10 * time.Minute), End: bin,
+			AffectedASes: []bgp.ASN{100, bgp.ASN(200 + b)}, DivertedPaths: 10 + b,
+		}})
+		next(events.Event{Time: bin, Kind: events.KindBinClosed})
+	}
+	return evs
+}
+
+func appendAll(t *testing.T, s *Store, evs []events.Event) {
+	t.Helper()
+	for _, ev := range evs {
+		if err := s.Append(ev); err != nil {
+			t.Fatalf("append seq %d: %v", ev.Seq, err)
+		}
+	}
+}
+
+func open(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	s := open(t, Options{Dir: t.TempDir()})
+	defer s.Close()
+	h := s.History()
+	if h.LastSeq != 0 || len(h.Resolved) != 0 || len(h.Incidents) != 0 || len(h.Tail) != 0 {
+		t.Fatalf("fresh store not empty: %+v", h)
+	}
+	if err := s.Append(events.Event{Seq: 1, Time: t0, Kind: events.KindBinClosed}); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+}
+
+func TestCloseReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	evs := mkEvents(0, 3)
+	s := open(t, Options{Dir: dir})
+	appendAll(t, s, evs)
+	want := s.History()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want.LastSeq != uint64(len(evs)) || len(want.Resolved) != 3 || len(want.Incidents) != 3 {
+		t.Fatalf("unexpected pre-close history: %+v", want)
+	}
+
+	m := &metrics.StoreStats{}
+	s2 := open(t, Options{Dir: dir, Metrics: m})
+	defer s2.Close()
+	got := s2.History()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered history diverges:\n got:  %+v\n want: %+v", got, want)
+	}
+	if n := m.RecoveredEvents.Load(); n != int64(len(evs)) {
+		t.Errorf("recovered events = %d, want %d", n, len(evs))
+	}
+	if m.TornTails.Load() != 0 {
+		t.Errorf("clean close reported a torn tail")
+	}
+}
+
+// TestKillRecovery is the SIGKILL model: the store is abandoned without
+// Close. Everything up to the last bin close (the last flush point) must
+// survive; events buffered after it are gone, and a fresh store resumes
+// appends at the durable horizon.
+func TestKillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	evs := mkEvents(0, 4)
+	half := evs[:len(evs)/2] // ends exactly on a bin close (4 events per bin)
+	s := open(t, Options{Dir: dir})
+	appendAll(t, s, half)
+	durable := s.History()
+	// Post-flush straggler that never sees a bin close: lost with the
+	// process, like any frame still in the user-space buffer at SIGKILL.
+	straggler := mkEvents(durable.LastSeq, 1)[0]
+	if err := s.Append(straggler); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the *os.File is leaked exactly as a killed process leaks it.
+
+	s2 := open(t, Options{Dir: dir})
+	got := s2.History()
+	if !reflect.DeepEqual(got, durable) {
+		t.Errorf("post-kill history diverges from last flush:\n got:  %+v\n want: %+v", got, durable)
+	}
+
+	// The rest of the stream re-appends cleanly, including the event that
+	// was lost in the buffer, and a final clean reopen sees everything.
+	rest := mkEvents(got.LastSeq, 2)
+	appendAll(t, s2, rest)
+	want := s2.History()
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := open(t, Options{Dir: dir})
+	defer s3.Close()
+	if got := s3.History(); !reflect.DeepEqual(got, want) {
+		t.Errorf("history after kill+resume+reopen diverges")
+	}
+}
+
+func walPath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, walPrefix+"*"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one WAL in %s, got %v (%v)", dir, matches, err)
+	}
+	return matches[0]
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	evs := mkEvents(0, 2)
+	s := open(t, Options{Dir: dir})
+	appendAll(t, s, evs)
+	want := s.History()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn write: half a frame header plus garbage at the tail.
+	wal := walPath(t, dir)
+	intact, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, intact...), 0x00, 0x00, 0x01, 0xfe, 0xca)
+	if err := os.WriteFile(wal, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &metrics.StoreStats{}
+	s2 := open(t, Options{Dir: dir, Metrics: m})
+	defer s2.Close()
+	if got := s2.History(); !reflect.DeepEqual(got, want) {
+		t.Errorf("history after torn tail diverges:\n got:  %+v\n want: %+v", got, want)
+	}
+	if m.TornTails.Load() != 1 {
+		t.Errorf("torn tails = %d, want 1", m.TornTails.Load())
+	}
+	if m.TruncatedBytes.Load() != int64(len(torn)-len(intact)) {
+		t.Errorf("truncated bytes = %d, want %d", m.TruncatedBytes.Load(), len(torn)-len(intact))
+	}
+	// The file itself was repaired, so the next recovery is clean.
+	if b, _ := os.ReadFile(wal); len(b) != len(intact) {
+		t.Errorf("WAL not truncated back to last intact frame: %d bytes, want %d", len(b), len(intact))
+	}
+}
+
+func TestCorruptFrameTruncatesFromThere(t *testing.T) {
+	dir := t.TempDir()
+	evs := mkEvents(0, 3)
+	s := open(t, Options{Dir: dir})
+	appendAll(t, s, evs)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the state a recovery of only the first two bins yields.
+	refDir := t.TempDir()
+	ref := open(t, Options{Dir: refDir})
+	appendAll(t, ref, evs[:8])
+	want := ref.History()
+	ref.Close()
+
+	// Flip one payload byte in the 9th frame (first event of bin 3): its
+	// checksum fails, so recovery must keep bins 1-2 and discard the rest —
+	// a checksum miss means nothing after that point can be trusted.
+	wal := walPath(t, dir)
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for i := 0; i < 8; i++ {
+		_, n, err := readFrame(b[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	b[off+frameHeaderSize+2] ^= 0xff
+	if err := os.WriteFile(wal, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &metrics.StoreStats{}
+	s2 := open(t, Options{Dir: dir, Metrics: m})
+	defer s2.Close()
+	got := s2.History()
+	if got.LastSeq != want.LastSeq || !reflect.DeepEqual(got.Resolved, want.Resolved) {
+		t.Errorf("recovery past corrupt frame: got seq %d, want %d", got.LastSeq, want.LastSeq)
+	}
+	if m.TornTails.Load() != 1 || m.TruncatedBytes.Load() == 0 {
+		t.Errorf("corruption not accounted: torn=%d truncated=%d",
+			m.TornTails.Load(), m.TruncatedBytes.Load())
+	}
+}
+
+func TestSequenceGapRejected(t *testing.T) {
+	s := open(t, Options{Dir: t.TempDir()})
+	defer s.Close()
+	if err := s.Append(events.Event{Seq: 1, Time: t0, Kind: events.KindBinClosed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(events.Event{Seq: 3, Time: t0, Kind: events.KindBinClosed}); err == nil {
+		t.Fatal("append with sequence gap accepted")
+	}
+	if err := s.Append(events.Event{Seq: 2, Time: t0, Kind: events.KindBinClosed}); err != nil {
+		t.Fatalf("contiguous append after rejected gap: %v", err)
+	}
+}
+
+func TestCompactionRotatesAndPreservesHistory(t *testing.T) {
+	dir := t.TempDir()
+	m := &metrics.StoreStats{}
+	// CompactBytes=1: every bin close compacts.
+	s := open(t, Options{Dir: dir, CompactBytes: 1, TailEvents: 6, Metrics: m})
+	evs := mkEvents(0, 5)
+	appendAll(t, s, evs)
+	want := s.History()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Compactions.Load() != 5 {
+		t.Errorf("compactions = %d, want 5", m.Compactions.Load())
+	}
+
+	// Exactly one snapshot and one (empty) WAL remain, both at the head seq.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps, wals int
+	for _, e := range entries {
+		if n, ok := parseSeg(e.Name(), snapPrefix); ok {
+			snaps++
+			if n != want.LastSeq {
+				t.Errorf("stale snapshot segment %s survived compaction", e.Name())
+			}
+		}
+		if n, ok := parseSeg(e.Name(), walPrefix); ok {
+			wals++
+			if n != want.LastSeq {
+				t.Errorf("stale WAL segment %s survived compaction", e.Name())
+			}
+		}
+	}
+	if snaps != 1 || wals != 1 {
+		t.Errorf("segments after compaction: %d snaps, %d wals, want 1+1", snaps, wals)
+	}
+
+	// Recovery from the snapshot alone reproduces the full history,
+	// including the bounded tail window (6 of 20 events).
+	s2 := open(t, Options{Dir: dir, CompactBytes: 1, TailEvents: 6})
+	defer s2.Close()
+	got := s2.History()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-compaction recovery diverges:\n got:  %+v\n want: %+v", got, want)
+	}
+	if len(got.Tail) != 6 || got.Tail[len(got.Tail)-1].Seq != want.LastSeq {
+		t.Errorf("tail window wrong: %d events ending at %d", len(got.Tail), got.Tail[len(got.Tail)-1].Seq)
+	}
+}
+
+// TestCompactionThenAppendsThenKill exercises the full lifecycle: compact,
+// keep appending into the rotated WAL, die without Close, recover — the
+// snapshot plus the rotated WAL's flushed frames must both contribute.
+func TestCompactionThenAppendsThenKill(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, Options{Dir: dir, CompactBytes: 1})
+	first := mkEvents(0, 2)
+	appendAll(t, s, first) // compacts at each bin close
+	more := mkEvents(uint64(len(first)), 3)
+	appendAll(t, s, more)
+	want := s.History()
+	// SIGKILL: no Close.
+
+	s2 := open(t, Options{Dir: dir, CompactBytes: 1 << 30})
+	defer s2.Close()
+	if got := s2.History(); got.LastSeq != want.LastSeq ||
+		!reflect.DeepEqual(got.Resolved, want.Resolved) ||
+		!reflect.DeepEqual(got.Incidents, want.Incidents) {
+		t.Errorf("kill after compaction+appends: got seq %d / %d outages, want seq %d / %d",
+			got.LastSeq, len(got.Resolved), want.LastSeq, len(want.Resolved))
+	}
+}
+
+func TestAppendAfterCloseRejected(t *testing.T) {
+	s := open(t, Options{Dir: t.TempDir()})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(events.Event{Seq: 1, Kind: events.KindBinClosed}); err == nil {
+		t.Fatal("append after Close accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

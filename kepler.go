@@ -41,6 +41,24 @@
 // contend with ingestion. The set of outages reported over the API equals
 // the batch Detector output for the same record stream.
 //
+// # Durable history
+//
+// With a data directory configured (keplerd -data-dir), internal/store
+// makes the detection record survive restarts: every lifecycle event is
+// appended — synchronously, on the ingestion goroutine, at bin boundaries —
+// to a length-prefixed, checksummed write-ahead log, compacted periodically
+// into snapshot segments so disk stays bounded. On boot the store recovers
+// the persisted history (truncating any torn tail left by a crash), the
+// server serves it immediately, and the event bus resumes its sequence
+// numbering where the previous process stopped, so SSE clients reconnecting
+// with Last-Event-ID — even across the restart — replay exactly the events
+// they missed. The daemon then re-ingests its source from the beginning
+// with the already-persisted callback prefix gated off
+// (events.GateHooks): detection is deterministic, so a restart mid-archive
+// yields the same resolved-outage history as one uninterrupted run.
+// /v1/outages and /v1/incidents paginate over that history with stable
+// cursor ids (?after=<id>&limit=<n>).
+//
 // The facade re-exports the detection core; richer control lives in the
 // internal packages, which the module's commands and examples exercise:
 //
@@ -51,11 +69,14 @@
 //     record-to-shard fan-out stage
 //   - internal/live        — streamed sources (archive replayer, synthetic
 //     soak generator) and the engine pump
-//   - internal/events      — the outage/incident event bus
+//   - internal/events      — the outage/incident event bus (with the
+//     Last-Event-ID replay ring and the recovery replay gate)
 //   - internal/server      — the HTTP JSON API + SSE stream
+//   - internal/store       — the WAL-backed durable outage history
 //   - internal/metrics     — evaluation stats plus ingestion counters
-//     (records/sec, shard queue depth, bin lag) and serving counters
-//     (HTTP requests, SSE clients, bus drops)
+//     (records/sec, shard queue depth, bin lag), serving counters
+//     (HTTP requests, SSE clients, bus drops) and store counters
+//     (appends, compactions, recovery)
 //   - internal/topology, internal/routing, internal/simulate — the
 //     synthetic Internet used for evaluation
 //
@@ -72,10 +93,16 @@
 //
 // The same pipeline as a queryable service:
 //
-//	topogen -seed 1 -days 30 -out archive.mrt   # render a scenario archive
-//	keplerd -seed 1 -archive archive.mrt        # ingest + serve
-//	curl localhost:8080/v1/outages/open         # ongoing outages, JSON
-//	curl -N localhost:8080/v1/events            # live SSE event stream
+//	topogen -seed 1 -days 30 -out archive.mrt            # render a scenario archive
+//	keplerd -seed 1 -archive archive.mrt -data-dir data  # ingest + serve, durably
+//	curl localhost:8080/v1/outages/open                  # ongoing outages, JSON
+//	curl 'localhost:8080/v1/outages?limit=50'            # resolved history, first page
+//	curl 'localhost:8080/v1/outages?after=50&limit=50'   # ... next page
+//	curl -N localhost:8080/v1/events                     # live SSE event stream
+//
+// Restarting keplerd against the same -data-dir recovers and keeps serving
+// the accumulated history; `curl -N -H 'Last-Event-ID: 42'
+// localhost:8080/v1/events` replays everything after event 42 first.
 package kepler
 
 import (
