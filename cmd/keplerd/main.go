@@ -27,21 +27,35 @@
 // works across restarts), and the source is re-ingested from the start
 // with already-persisted events suppressed, which makes a restart
 // mid-archive equivalent to one uninterrupted run. A data dir is bound to
-// one (source, seed, detection config) tuple; pointing it at a different
-// archive or changing -tfail desynchronizes the replay gate.
+// one (source, seed, detection config, probe config) tuple; pointing it at
+// a different archive or changing -tfail, -probe-backend or -probe-budget
+// desynchronizes the replay gate — in particular, restarting without the
+// probe backend strands any recovered mid-campaign confirmations forever
+// (the daemon warns and drops them from serving in that case).
 //
-// Endpoints: /healthz, /v1/outages, /v1/outages/open, /v1/incidents,
-// /v1/stats, /v1/events (SSE). /v1/outages and /v1/incidents paginate
-// with ?after=<id>&limit=<n>. Shutdown on SIGINT/SIGTERM is graceful:
-// the source is drained, the engine flushed (emitting final outage
-// events), subscribers closed, the store synced, and the HTTP server
-// stopped.
+// With -probe-backend the daemon grows a data plane: signal groups whose
+// epicenters need corroboration are parked as probe campaigns executed
+// asynchronously by internal/probe against the simulated traceroute
+// substrate of the rendered scenario windows (-synthetic only), under the
+// -probe-budget sliding-window cap. Campaign verdicts promote, refute or
+// expire the parked groups at bin barriers; in-flight campaigns appear at
+// /v1/probes, their counters in /v1/stats, and — with -data-dir — survive a
+// restart: recovery serves the interrupted pendings immediately and the
+// deterministic catch-up re-parks and re-measures them.
+//
+// Endpoints: /healthz, /metrics (Prometheus text exposition), /v1/outages,
+// /v1/outages/open, /v1/incidents, /v1/probes, /v1/stats, /v1/events
+// (SSE). /v1/outages and /v1/incidents paginate with ?after=<id>&limit=<n>.
+// Shutdown on SIGINT/SIGTERM is graceful: the source is drained, the
+// engine flushed (emitting final outage events), subscribers closed, the
+// store synced, and the HTTP server stopped.
 //
 // Usage:
 //
 //	keplerd -seed 1 -archive archive.mrt -listen 127.0.0.1:8080
 //	keplerd -seed 1 -archive archive.mrt -data-dir /var/lib/kepler
 //	keplerd -seed 1 -synthetic -speed 600
+//	keplerd -seed 1 -synthetic -probe-backend sim -probe-budget 512
 package main
 
 import (
@@ -64,6 +78,7 @@ import (
 	"kepler/internal/metrics"
 	"kepler/internal/mrt"
 	"kepler/internal/pipeline"
+	"kepler/internal/probe"
 	"kepler/internal/server"
 	"kepler/internal/store"
 	"kepler/internal/topology"
@@ -84,6 +99,8 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable history directory (WAL + snapshots); empty keeps history in memory only")
 		compactMB = flag.Int64("compact-mb", 8, "WAL size in MiB past which the next bin close compacts into a snapshot segment")
 		ringSize  = flag.Int("resume-ring", 4096, "recent events retained for SSE Last-Event-ID resume")
+		probeBkn  = flag.String("probe-backend", "", "active-measurement backend: sim, sim-fault (latency/loss-injected soak), or empty to disable probing; requires -synthetic")
+		probeBdg  = flag.Int("probe-budget", 256, "probes allowed per sliding one-hour window")
 	)
 	flag.Parse()
 
@@ -108,6 +125,9 @@ func main() {
 	if *ringSize < 0 {
 		fatal(fmt.Errorf("-resume-ring must be non-negative, got %d (0 disables resume)", *ringSize))
 	}
+	if err := validateProbeFlags(*probeBkn, *probeBdg, *synthetic); err != nil {
+		fatal(err)
+	}
 
 	cfg := topology.DefaultConfig()
 	cfg.Seed = *seed
@@ -119,11 +139,49 @@ func main() {
 	log.Printf("keplerd: dictionary %d communities from %d ASes; %d facilities, %d IXPs mapped",
 		stack.Dict.Len(), len(stack.Dict.CoveredASNs()), stack.Map.NumFacilities(), stack.Map.NumIXPs())
 
+	// Active-measurement substrate: the probe scheduler measures against
+	// the simulated traceroute layer of the rendered scenario windows,
+	// installed as the synthetic source rotates them. Per-window platform
+	// budgets are effectively unbounded — the scheduler's sliding window is
+	// the enforced cap.
+	var (
+		probeStats *metrics.ProbeStats
+		wdp        *pipeline.WindowDataPlane
+		sched      *probe.Scheduler
+	)
+	if *probeBkn != probeBackendNone {
+		probeStats = &metrics.ProbeStats{}
+		wdp = stack.NewWindowDataPlane(1 << 30)
+		backend := probe.Backend(probe.OverDataPlane(wdp))
+		if *probeBkn == probeBackendSimFault {
+			backend = &probe.Fault{
+				Inner:    backend,
+				Latency:  2 * time.Second,
+				Jitter:   500 * time.Millisecond,
+				LossRate: 0.05,
+				Seed:     *seed,
+			}
+		}
+		sched = probe.NewScheduler(backend, probe.Config{
+			Workers:  4,
+			Budget:   *probeBdg,
+			Window:   time.Hour,
+			Cooldown: 5 * time.Minute,
+			Metrics:  probeStats,
+		})
+		defer sched.Close()
+		log.Printf("keplerd: probe scheduler on (%s backend, budget %d/h)", *probeBkn, *probeBdg)
+	}
+
 	// Source.
 	var src live.Source
 	switch {
 	case *synthetic:
-		src = live.NewSynthetic(w, live.SyntheticConfig{Seed: *seed + 100})
+		scfg := live.SyntheticConfig{Seed: *seed + 100}
+		if wdp != nil {
+			scfg.OnWindow = wdp.Install
+		}
+		src = live.NewSynthetic(w, scfg)
 		log.Printf("keplerd: synthetic soak source (endless rolling windows)")
 	default:
 		f, err := os.Open(*archive)
@@ -191,6 +249,9 @@ func main() {
 	bus := events.New(svc, busOpts...)
 	bus.SeedRing(hist.Tail)
 	eng := stack.NewEngine(kcfg, *shards)
+	if sched != nil {
+		eng.SetProber(sched)
+	}
 	srvOpts := server.Options{
 		Bus:       bus,
 		Service:   svc,
@@ -201,6 +262,9 @@ func main() {
 	if storeStats != nil {
 		srvOpts.Store = func() metrics.StoreSnapshot { return storeStats.Snapshot() }
 	}
+	if probeStats != nil {
+		srvOpts.Probe = func() metrics.ProbeSnapshot { return probeStats.Snapshot() }
+	}
 	srv := server.New(srvOpts)
 
 	// resolved accumulates on the ingest goroutine only: the hooks run
@@ -208,6 +272,32 @@ func main() {
 	// With a store it starts from the recovered history; the replay gate
 	// below keeps catch-up from appending those outages twice.
 	resolved := hist.Resolved
+	// recentOutcomes is the bounded probe-resolution log /v1/probes serves;
+	// like resolved it only mutates on the ingest goroutine. It is seeded
+	// from the recovered event tail so a restarted daemon shows the
+	// resolutions that preceded the restart, not an empty log (the gate
+	// suppresses their re-emission during catch-up).
+	var recentOutcomes []core.ProbeOutcome
+	const recentOutcomeCap = 64
+	if sched != nil {
+		for _, ev := range hist.Tail {
+			if (ev.Kind == events.KindProbeConfirmed || ev.Kind == events.KindProbeExpired) && ev.Probe != nil {
+				recentOutcomes = append(recentOutcomes, *ev.Probe)
+			}
+		}
+		if len(recentOutcomes) > recentOutcomeCap {
+			recentOutcomes = recentOutcomes[len(recentOutcomes)-recentOutcomeCap:]
+		}
+	}
+	buildSnap := func(end time.Time) *server.Snapshot {
+		snap := server.BuildSnapshot(end, eng, resolved)
+		if sched != nil {
+			snap.Pending = eng.PendingConfirmations()
+			snap.ProbeOutcomes = append([]core.ProbeOutcome(nil), recentOutcomes...)
+			probeStats.Pending.Store(int64(len(snap.Pending)))
+		}
+		return snap
+	}
 	hooks := events.EngineHooks(bus)
 	publishResolved := hooks.OutageResolved
 	hooks.OutageResolved = func(o core.Outage) {
@@ -223,10 +313,42 @@ func main() {
 		publishOpened(s)
 		log.Printf("keplerd: outage opened at %s %q (%d paths diverted)", s.PoP, w.PoPName(s.PoP), s.WaitingPaths)
 	}
+	if sched != nil {
+		noteOutcome := func(o core.ProbeOutcome) {
+			recentOutcomes = append(recentOutcomes, o)
+			if len(recentOutcomes) > recentOutcomeCap {
+				recentOutcomes = recentOutcomes[len(recentOutcomes)-recentOutcomeCap:]
+			}
+		}
+		publishProbeConfirmed := hooks.ProbeConfirmed
+		hooks.ProbeConfirmed = func(o core.ProbeOutcome) {
+			publishProbeConfirmed(o)
+			noteOutcome(o)
+			switch {
+			case o.Located:
+				probeStats.Promoted.Add(1)
+				log.Printf("keplerd: probe campaign %d located %s %q (confirmed=%v)",
+					o.Pending.ID, o.Epicenter, w.PoPName(o.Epicenter), o.Confirmed)
+			case o.Pending.Epicenter.IsValid():
+				// A confirmation campaign the data plane contradicted: a
+				// suppressed false positive, not a localization failure.
+				probeStats.Refuted.Add(1)
+			default:
+				probeStats.Unlocated.Add(1)
+			}
+		}
+		publishProbeExpired := hooks.ProbeExpired
+		hooks.ProbeExpired = func(o core.ProbeOutcome) {
+			publishProbeExpired(o)
+			noteOutcome(o)
+			probeStats.Expired.Add(1)
+			log.Printf("keplerd: probe campaign %d expired unanswered (signal %s)", o.Pending.ID, o.Pending.SignalPoP)
+		}
+	}
 	publishBin := hooks.BinClosed
 	hooks.BinClosed = func(end time.Time) {
 		publishBin(end)
-		srv.PublishSnapshot(server.BuildSnapshot(end, eng, resolved))
+		srv.PublishSnapshot(buildSnap(end))
 	}
 	// Recovery replays the source from the beginning (detection is
 	// deterministic), suppressing the hist.LastSeq callbacks whose events
@@ -237,8 +359,23 @@ func main() {
 		finalHooks = events.MuteHooks(finalHooks, aborting.Load)
 		// Serve the recovered history immediately — catch-up publishes its
 		// first live snapshot only after re-ingestion crosses the durable
-		// horizon.
-		srv.PublishSnapshot(server.BuildSnapshotFrom(hist.LastBin, nil, hist.Resolved, hist.Incidents))
+		// horizon. Probe campaigns that were mid-flight at the previous
+		// shutdown surface right away; the deterministic catch-up re-parks
+		// and re-measures them behind the gate.
+		bootSnap := server.BuildSnapshotFrom(hist.LastBin, nil, hist.Resolved, hist.Incidents)
+		switch {
+		case len(hist.PendingProbes) > 0 && sched == nil:
+			// The data dir was written by a probing run but this one has no
+			// backend: the recovered campaigns can never resolve, and the
+			// probe-free catch-up will not reproduce the persisted event
+			// sequence. Warn loudly rather than serve stuck state.
+			log.Printf("keplerd: WARNING: %d recovered mid-campaign confirmations dropped — this run has no -probe-backend, and replaying a probing run's data dir without one desynchronizes the replay gate", len(hist.PendingProbes))
+		case len(hist.PendingProbes) > 0:
+			bootSnap.Pending = hist.PendingProbes
+			probeStats.Pending.Store(int64(len(hist.PendingProbes)))
+			log.Printf("keplerd: recovered %d mid-campaign probe confirmations", len(hist.PendingProbes))
+		}
+		srv.PublishSnapshot(bootSnap)
 		src = live.OnAbort(src, func() { aborting.Store(true) })
 	}
 	eng.SetHooks(finalHooks)
@@ -268,7 +405,7 @@ func main() {
 	pumpDone := make(chan outcome, 1)
 	go func() {
 		res, err := live.Pump(ctx, src, eng)
-		srv.PublishSnapshot(server.BuildSnapshot(res.Last, eng, resolved))
+		srv.PublishSnapshot(buildSnap(res.Last))
 		pumpDone <- outcome{res, err}
 	}()
 
@@ -306,6 +443,9 @@ func main() {
 	log.Printf("keplerd: service %v", svc.Snapshot())
 	if storeStats != nil {
 		log.Printf("keplerd: store %v", storeStats.Snapshot())
+	}
+	if probeStats != nil {
+		log.Printf("keplerd: probes %v", probeStats.Snapshot())
 	}
 	log.Printf("keplerd: %d outages resolved, %d incidents classified; bye",
 		len(resolved), len(eng.Incidents()))

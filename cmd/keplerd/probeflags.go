@@ -1,0 +1,29 @@
+package main
+
+import "fmt"
+
+// Probe backend names accepted by -probe-backend.
+const (
+	probeBackendNone     = ""
+	probeBackendSim      = "sim"
+	probeBackendSimFault = "sim-fault"
+)
+
+// validateProbeFlags checks the active-measurement flags before any world
+// generation happens, mirroring the descriptive style of the other flag
+// validations: the error names the flag, the rejected value and the rule.
+func validateProbeFlags(backend string, budget int, synthetic bool) error {
+	switch backend {
+	case probeBackendNone, probeBackendSim, probeBackendSimFault:
+	default:
+		return fmt.Errorf("-probe-backend must be one of %q, %q or empty, got %q",
+			probeBackendSim, probeBackendSimFault, backend)
+	}
+	if budget <= 0 {
+		return fmt.Errorf("-probe-budget must be positive, got %d (it caps probes per sliding window; disable probing by leaving -probe-backend empty)", budget)
+	}
+	if backend != probeBackendNone && !synthetic {
+		return fmt.Errorf("-probe-backend %q requires -synthetic: the simulated measurement substrate is rebuilt from the rendered scenario windows, which an archive replay does not carry", backend)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateProbeFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		backend   string
+		budget    int
+		synthetic bool
+		wantErr   string // substring; empty means valid
+	}{
+		{name: "disabled", backend: "", budget: 256, synthetic: false},
+		{name: "sim with synthetic", backend: "sim", budget: 256, synthetic: true},
+		{name: "sim-fault with synthetic", backend: "sim-fault", budget: 1, synthetic: true},
+		{name: "unknown backend", backend: "atlas", budget: 256, synthetic: true,
+			wantErr: `-probe-backend must be one of "sim", "sim-fault" or empty, got "atlas"`},
+		{name: "zero budget", backend: "sim", budget: 0, synthetic: true,
+			wantErr: "-probe-budget must be positive, got 0"},
+		{name: "negative budget", backend: "", budget: -5, synthetic: false,
+			wantErr: "-probe-budget must be positive, got -5"},
+		{name: "sim without synthetic", backend: "sim", budget: 256, synthetic: false,
+			wantErr: `-probe-backend "sim" requires -synthetic`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateProbeFlags(tc.backend, tc.budget, tc.synthetic)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

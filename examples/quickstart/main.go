@@ -14,6 +14,7 @@ import (
 	"kepler"
 	"kepler/internal/colo"
 	"kepler/internal/pipeline"
+	"kepler/internal/probe"
 	"kepler/internal/simulate"
 	"kepler/internal/topology"
 )
@@ -102,11 +103,40 @@ func main() {
 		fmt.Println("no outages detected — unexpected; try a different seed")
 	}
 
-	// 6. The same pipeline runs as a long-lived service: cmd/keplerd wires
+	// 6. The same validation also runs asynchronously: wire a probe
+	// scheduler instead of the inline data plane and a suspected epicenter
+	// parks as a probe campaign — deduplicated, prioritized (facility >
+	// IXP > city), budgeted, measured concurrently — whose verdict
+	// promotes, refutes or expires it at the next bin barrier. With an
+	// unbounded budget the located outages are identical to the inline
+	// path; unlike it, a bin close never blocks on a measurement platform.
+	// (No cooldown cache here: exact parity with the inline path means
+	// re-measuring, exactly as openOutageFor would.)
+	sched := probe.NewScheduler(
+		probe.OverDataPlane(stack.NewSimDataPlane(res, 50000)),
+		probe.Config{Workers: 4},
+	)
+	defer sched.Close()
+	async := kepler.NewEngine(kepler.DefaultConfig(), stack.Dict, stack.Map, stack.Orgs, runtime.GOMAXPROCS(0))
+	defer async.Close()
+	async.SetProber(sched)
+	var asyncOutages []kepler.Outage
+	for _, rec := range res.Records {
+		asyncOutages = append(asyncOutages, async.Process(rec)...)
+	}
+	asyncOutages = append(asyncOutages, async.Flush(end)...)
+	fmt.Printf("\nasync probe scheduler located %d outage(s) — same set as the inline data plane (%d)\n",
+		len(asyncOutages), len(outages))
+
+	// 7. The same pipeline runs as a long-lived service: cmd/keplerd wires
 	// a streamed source into this engine and serves results over HTTP while
 	// ingesting. With -data-dir the history is durable — kill and restart
 	// the daemon and it recovers every outage it had reported, resumes SSE
-	// sequence numbers, and keeps pagination cursors valid:
+	// sequence numbers, keeps pagination cursors valid, and re-parks any
+	// probe campaign that was mid-flight. With -probe-backend the daemon
+	// runs this section's scheduler live (-synthetic mode), exposing
+	// campaigns at /v1/probes and counters at /v1/stats and /metrics
+	// (Prometheus text format):
 	//
 	//	go run ./cmd/topogen -seed 1 -days 30 -out archive.mrt
 	//	go run ./cmd/keplerd -seed 1 -archive archive.mrt -data-dir data &
@@ -114,8 +144,11 @@ func main() {
 	//	curl 'localhost:8080/v1/outages?limit=20'            # resolved history, page 1
 	//	curl 'localhost:8080/v1/outages?after=20&limit=20'   # page 2 (see next_after)
 	//	curl -N localhost:8080/v1/events                     # live SSE event stream
+	//	curl localhost:8080/metrics                          # Prometheus exposition
 	//	kill %2 && go run ./cmd/keplerd -seed 1 -archive archive.mrt -data-dir data &
 	//	curl localhost:8080/v1/outages                       # history survived the restart
 	//	curl -N -H 'Last-Event-ID: 3' localhost:8080/v1/events  # replay missed events
-	fmt.Println("\nnext: run this pipeline as a daemon — see cmd/keplerd (HTTP API + SSE, durable -data-dir)")
+	//	go run ./cmd/keplerd -seed 1 -synthetic -probe-backend sim -data-dir pdata &
+	//	curl localhost:8080/v1/probes                        # in-flight campaigns + verdicts
+	fmt.Println("\nnext: run this pipeline as a daemon — see cmd/keplerd (HTTP API + SSE, durable -data-dir, -probe-backend)")
 }

@@ -76,8 +76,16 @@ func New(cfg Config, dict *communities.Dictionary, cmap *colo.Map, orgs *as2org.
 	}
 }
 
-// SetDataPlane wires the targeted-measurement backend.
+// SetDataPlane wires the synchronous targeted-measurement backend.
 func (d *Detector) SetDataPlane(dp DataPlane) { d.inv.dp = dp }
+
+// SetProber wires the asynchronous probe scheduler (see Engine.SetProber).
+// Mutually exclusive with SetDataPlane.
+func (d *Detector) SetProber(p Prober) { d.inv.prober = p }
+
+// PendingConfirmations snapshots the signal groups parked behind probe
+// campaigns, ascending by campaign id.
+func (d *Detector) PendingConfirmations() []PendingConfirmation { return d.inv.pendingStatuses() }
 
 // SetHooks installs lifecycle callbacks (see Hooks). It must be called
 // before the first Process.
@@ -113,6 +121,7 @@ func (d *Detector) closeBin(end time.Time) {
 // returning all remaining completed outages.
 func (d *Detector) Flush(asOf time.Time) []Outage {
 	d.clock.advance(asOf.Add(d.cfg.BinInterval), d.closeBin)
+	d.inv.finishProbes(asOf)
 	d.inv.tracker.closeAll(asOf)
 	d.inv.tracker.drainCooling(d.inv)
 	return d.inv.drainCompleted()

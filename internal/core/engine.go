@@ -182,9 +182,20 @@ func NewEngine(cfg Config, dict *communities.Dictionary, cmap *colo.Map, orgs *a
 // Shards returns the number of shard workers.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// SetDataPlane wires the targeted-measurement backend. It must be called
-// before the first Process.
+// SetDataPlane wires the synchronous targeted-measurement backend. It must
+// be called before the first Process.
 func (e *Engine) SetDataPlane(dp DataPlane) { e.inv.dp = dp }
+
+// SetProber wires the asynchronous probe scheduler: epicenter confirmation
+// becomes a deferred campaign whose verdict is collected at a later bin
+// barrier (see Prober and PendingConfirmation). Mutually exclusive with
+// SetDataPlane; it must be called before the first Process.
+func (e *Engine) SetProber(p Prober) { e.inv.prober = p }
+
+// PendingConfirmations snapshots the signal groups parked behind probe
+// campaigns, ascending by campaign id. Only valid between Process calls or
+// inside a BinClosed hook.
+func (e *Engine) PendingConfirmations() []PendingConfirmation { return e.inv.pendingStatuses() }
 
 // SetHooks installs lifecycle callbacks (see Hooks). It must be called
 // before the first Process.
@@ -215,8 +226,8 @@ func (e *Engine) Process(rec *mrt.Record) []Outage {
 // tick outage tracking, redistribute restoration watches, and release the
 // shards (which then drop their diverted paths from the stable baseline).
 func (e *Engine) closeBin(end time.Time) {
-	if !e.opsSinceBarrier && e.inv.tracker.idle() {
-		return // nothing processed, nothing tracked: the bin close is a no-op
+	if !e.opsSinceBarrier && e.inv.tracker.idle() && !e.inv.hasPending() {
+		return // nothing processed, tracked or parked: the bin close is a no-op
 	}
 	t0 := time.Now()
 	b := &binBarrier{end: end, resume: make(chan struct{})}
@@ -292,6 +303,7 @@ func (e *Engine) Flush(asOf time.Time) []Outage {
 		return e.inv.drainCompleted()
 	}
 	e.clock.advance(asOf.Add(e.cfg.BinInterval), e.closeBin)
+	e.inv.finishProbes(asOf)
 	e.inv.tracker.closeAll(asOf)
 	e.inv.tracker.drainCooling(e.inv)
 	return e.inv.drainCompleted()

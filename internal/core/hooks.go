@@ -34,6 +34,17 @@ type Hooks struct {
 	// accessors (OpenOutageStatuses, Incidents, Stats) are safe to call
 	// from inside the callback; servers use it to refresh read snapshots.
 	BinClosed func(end time.Time)
+	// ProbeRequested fires when a signal group is parked pending an
+	// asynchronous probe campaign (SetProber mode only).
+	ProbeRequested func(PendingConfirmation)
+	// ProbeConfirmed fires when a campaign verdict resolves a pending
+	// confirmation — promoted to a located outage (Located), suppressed as
+	// a data-plane-contradicted false positive, or resolved unlocated. It
+	// fires before the OutageOpened/OutageUpdated callback of a promotion.
+	ProbeConfirmed func(ProbeOutcome)
+	// ProbeExpired fires when a pending confirmation outlives its TTL
+	// without a verdict and is dropped.
+	ProbeExpired func(ProbeOutcome)
 }
 
 // OutageStatus is a point-in-time snapshot of one open (ongoing) outage,

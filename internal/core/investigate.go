@@ -17,6 +17,10 @@ type popGroup struct {
 	nears   map[bgp.ASN]bool
 	fars    map[bgp.ASN]bool
 	paths   int
+	// probeCands is the disambiguation candidate set recorded by
+	// resolveByProbe in asynchronous-prober mode: openOutageFor parks the
+	// group as a campaign over these instead of probing inline.
+	probeCands []colo.PoP
 }
 
 func buildGroup(pop colo.PoP, signals []signal) *popGroup {
@@ -503,11 +507,22 @@ func (inv *investigator) investigate(at time.Time, signals []signal) {
 func (inv *investigator) openOutageFor(at time.Time, epicenter colo.PoP, g *popGroup) {
 	confirmed, checked := false, false
 	if !epicenter.IsValid() {
-		if inv.cfg.ReportUnresolved && inv.dp == nil {
+		if inv.prober != nil && len(g.probeCands) > 0 {
+			// Asynchronous mode: disambiguation deferred to a campaign over
+			// the recorded candidates; the group parks until the verdict.
+			inv.park(at, colo.PoP{}, g.probeCands, g)
+			return
+		}
+		if inv.cfg.ReportUnresolved && inv.dp == nil && inv.prober == nil {
 			epicenter = g.pop
 		} else {
 			return
 		}
+	} else if inv.prober != nil {
+		// Asynchronous mode: the epicenter is known but unvalidated; park a
+		// single-target confirmation campaign instead of probing inline.
+		inv.park(at, epicenter, []colo.PoP{epicenter}, g)
+		return
 	}
 	if inv.dp != nil {
 		c, hasData := inv.dp.Confirm(epicenter, at)
@@ -619,21 +634,35 @@ func (inv *investigator) probeCandidates(at time.Time, cands []colo.PoP) colo.Po
 
 // affectedFractionWithFarAt computes diverted/stable over the group's
 // signal PoP, restricted to paths whose far end is colocated at facility f.
+// Each diverted (path, link) pair counts once: a path that oscillates away
+// from the PoP several times within one bin records a divert event per
+// departure, and double-counting those would inflate the affected fraction
+// past the stable baseline it is compared against.
 func (inv *investigator) affectedFractionWithFarAt(g *popGroup, f colo.FacilityID) (float64, int) {
 	stableTotal, divertedTotal := 0, 0
-	for near, set := range inv.view.stableAt(g.pop) {
+	for _, set := range inv.view.stableAt(g.pop) {
 		for _, ends := range set {
 			if ends.far != 0 && inv.cmap.AtFacility(ends.far, f) {
 				stableTotal++
 			}
 		}
-		_ = near
 	}
+	type pathLink struct {
+		key  PathKey
+		ends popEnd
+	}
+	seen := make(map[pathLink]bool, g.paths)
 	for _, s := range g.signals {
 		for _, r := range s.diverted {
-			if r.ends.far != 0 && inv.cmap.AtFacility(r.ends.far, f) {
-				divertedTotal++
+			if r.ends.far == 0 || !inv.cmap.AtFacility(r.ends.far, f) {
+				continue
 			}
+			pl := pathLink{key: r.key, ends: r.ends}
+			if seen[pl] {
+				continue
+			}
+			seen[pl] = true
+			divertedTotal++
 		}
 	}
 	if stableTotal == 0 {
@@ -723,7 +752,7 @@ func (inv *investigator) disambiguateFacility(g *popGroup, at time.Time) colo.Po
 			probes = append(probes, colo.FacilityPoP(fid))
 		}
 	}
-	return inv.probeCandidates(at, probes)
+	return inv.resolveByProbe(at, g, probes)
 }
 
 // membershipFraction is the share of the affected ASes for which member
@@ -883,7 +912,7 @@ func (inv *investigator) refineIXP(g *popGroup, at time.Time) colo.PoP {
 			cands = append(cands, colo.FacilityPoP(fid))
 		}
 	}
-	return inv.probeCandidates(at, cands)
+	return inv.resolveByProbe(at, g, cands)
 }
 
 // farConsistency is the fraction of diverted far ends satisfying member.
@@ -985,7 +1014,7 @@ func (inv *investigator) refineCity(g *popGroup, at time.Time) colo.PoP {
 	if len(probes) > maxProbes {
 		probes = probes[:maxProbes]
 	}
-	return inv.probeCandidates(at, probes)
+	return inv.resolveByProbe(at, g, probes)
 }
 
 func intersectIXPs(a, b []colo.IXPID) []colo.IXPID {

@@ -37,6 +37,12 @@ type investigator struct {
 	view  stateView
 	hooks Hooks
 
+	// prober, when set, replaces the synchronous dp with deferred probe
+	// campaigns; pending holds the parked signal groups awaiting verdicts.
+	prober   Prober
+	pending  map[uint64]*pendingConfirmation
+	probeSeq uint64
+
 	incidents []Incident
 	tracker   *outageTracker
 	completed []Outage
@@ -48,6 +54,7 @@ func newInvestigator(cfg Config, cmap *colo.Map, orgs *as2org.Table, view stateV
 		cmap:    cmap,
 		orgs:    orgs,
 		view:    view,
+		pending: make(map[uint64]*pendingConfirmation),
 		tracker: newOutageTracker(cfg),
 	}
 }
@@ -143,14 +150,42 @@ func (inv *investigator) runBin(binEnd time.Time, diverted map[colo.PoP]map[bgp.
 // them, and the investigator's view of the shards is only defined up to
 // this function's return.
 func (inv *investigator) closeBinOver(end time.Time, shards []*pathShard, diverted map[colo.PoP]map[bgp.ASN][]divertRec, shardOf func(PathKey) int) {
+	// Returns first, split by watch origin: events routed through a parked
+	// campaign's sentinel PoP reconcile onto the pending (so the verdict
+	// collection that follows promotes with the parked interval's returns
+	// already counted), the rest onto the tracker as before.
 	var evs []returnEvent
 	for _, s := range shards {
 		evs = append(evs, s.takeReturns()...)
 	}
+	if len(inv.pending) > 0 {
+		pendEvs := evs[:0:0]
+		trackEvs := evs[:0]
+		for _, ev := range evs {
+			if ev.epicenter.Kind == colo.PoPInvalid {
+				pendEvs = append(pendEvs, ev)
+			} else {
+				trackEvs = append(trackEvs, ev)
+			}
+		}
+		inv.applyPendingReturns(pendEvs)
+		evs = trackEvs
+	}
+	// Probe verdicts: campaigns parked at earlier bin closes promote into
+	// (or drop out of) the tracker before this bin's own signals are
+	// investigated, so their restoration watches ship with this barrier's
+	// watch sets.
+	inv.collectProbes(end)
 	inv.tracker.applyReturns(evs)
 	inv.runBin(end, diverted)
 	inv.tracker.tick(end, inv)
 	sets := inv.tracker.watchSets(len(shards), shardOf)
+	if len(inv.pending) > 0 {
+		pendSets := inv.pendingWatchSets(len(shards), shardOf)
+		for i := range sets {
+			sets[i] = append(sets[i], pendSets[i]...)
+		}
+	}
 	for i, s := range shards {
 		s.watches = sets[i]
 	}

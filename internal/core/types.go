@@ -54,6 +54,11 @@ type Config struct {
 	// reports a location it could not corroborate, but operators running
 	// without measurement infrastructure may prefer recall over precision.
 	ReportUnresolved bool
+	// ProbeTTL bounds how long a signal group parked behind an asynchronous
+	// probe campaign (SetProber) waits for its verdict before expiring
+	// unreported. Zero selects 10 minutes. Irrelevant to the synchronous
+	// DataPlane path.
+	ProbeTTL time.Duration
 	// DisablePerASGrouping reverts to thresholding the aggregate path
 	// fraction per PoP instead of per near-end AS. The paper introduces
 	// per-AS grouping because aggregate fractions are "biased by ASes that
@@ -74,6 +79,7 @@ func DefaultConfig() Config {
 		OscillationGap:       12 * time.Hour,
 		MinInvestigationASes: 3,
 		MinDisjointEnds:      3,
+		ProbeTTL:             defaultProbeTTL,
 	}
 }
 

@@ -27,6 +27,9 @@ const (
 	KindOutageResolved Kind = "outage_resolved"
 	KindIncident       Kind = "incident"
 	KindBinClosed      Kind = "bin_closed"
+	KindProbeRequested Kind = "probe_requested"
+	KindProbeConfirmed Kind = "probe_confirmed"
+	KindProbeExpired   Kind = "probe_expired"
 )
 
 // Event is one bus message. Exactly one of the payload pointers is non-nil,
@@ -36,9 +39,11 @@ type Event struct {
 	Seq      uint64
 	Time     time.Time
 	Kind     Kind
-	Status   *core.OutageStatus // opened / updated
-	Outage   *core.Outage       // resolved
-	Incident *core.Incident     // incident
+	Status   *core.OutageStatus        // opened / updated
+	Outage   *core.Outage              // resolved
+	Incident *core.Incident            // incident
+	Pending  *core.PendingConfirmation // probe_requested
+	Probe    *core.ProbeOutcome        // probe_confirmed / probe_expired
 }
 
 // Subscriber is one bounded-queue consumer registration.
@@ -292,6 +297,15 @@ func EngineHooks(b *Bus) core.Hooks {
 		},
 		BinClosed: func(end time.Time) {
 			b.Publish(Event{Time: end, Kind: KindBinClosed})
+		},
+		ProbeRequested: func(p core.PendingConfirmation) {
+			b.Publish(Event{Time: p.At, Kind: KindProbeRequested, Pending: &p})
+		},
+		ProbeConfirmed: func(o core.ProbeOutcome) {
+			b.Publish(Event{Time: o.Pending.At, Kind: KindProbeConfirmed, Probe: &o})
+		},
+		ProbeExpired: func(o core.ProbeOutcome) {
+			b.Publish(Event{Time: o.Pending.At, Kind: KindProbeExpired, Probe: &o})
 		},
 	}
 }

@@ -55,6 +55,21 @@ func MuteHooks(h core.Hooks, muted func() bool) core.Hooks {
 				h.BinClosed(end)
 			}
 		},
+		ProbeRequested: func(p core.PendingConfirmation) {
+			if !muted() && h.ProbeRequested != nil {
+				h.ProbeRequested(p)
+			}
+		},
+		ProbeConfirmed: func(o core.ProbeOutcome) {
+			if !muted() && h.ProbeConfirmed != nil {
+				h.ProbeConfirmed(o)
+			}
+		},
+		ProbeExpired: func(o core.ProbeOutcome) {
+			if !muted() && h.ProbeExpired != nil {
+				h.ProbeExpired(o)
+			}
+		},
 	}
 }
 
@@ -94,6 +109,21 @@ func GateHooks(h core.Hooks, skip uint64) core.Hooks {
 		BinClosed: func(end time.Time) {
 			if pass() && h.BinClosed != nil {
 				h.BinClosed(end)
+			}
+		},
+		ProbeRequested: func(p core.PendingConfirmation) {
+			if pass() && h.ProbeRequested != nil {
+				h.ProbeRequested(p)
+			}
+		},
+		ProbeConfirmed: func(o core.ProbeOutcome) {
+			if pass() && h.ProbeConfirmed != nil {
+				h.ProbeConfirmed(o)
+			}
+		},
+		ProbeExpired: func(o core.ProbeOutcome) {
+			if pass() && h.ProbeExpired != nil {
+				h.ProbeExpired(o)
 			}
 		},
 	}

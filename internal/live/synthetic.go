@@ -32,6 +32,12 @@ type SyntheticConfig struct {
 	PartialFraction float64
 	// SessionResets per window injects collector feed noise (default 2).
 	SessionResets int
+
+	// OnWindow, if set, observes every rendered window (result plus its
+	// stream-time bounds) before its records are streamed. It runs on the
+	// consuming goroutine; a daemon uses it to rebuild the simulated
+	// data-plane substrate its probe backend measures against.
+	OnWindow func(res *simulate.Result, start, end time.Time)
 }
 
 func (c *SyntheticConfig) defaults() {
@@ -105,6 +111,9 @@ func (s *Synthetic) render(ctx context.Context) error {
 			return ctx.Err()
 		}
 		return fmt.Errorf("live: render cycle %d: %w", s.cycle, err)
+	}
+	if s.cfg.OnWindow != nil {
+		s.cfg.OnWindow(res, start, end)
 	}
 	s.buf = res.Records
 	s.pos = 0

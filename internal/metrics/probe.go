@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ProbeStats collects the active-measurement subsystem's counters
+// (internal/probe plus the core pending-confirmation layer): campaign and
+// target volume, how much work the scheduler's dedup/cache/budget layers
+// absorbed, and how parked confirmations ultimately resolved. All fields
+// are atomics — the scheduler's workers, the ingestion goroutine's hooks
+// and /v1/stats readers update and read them concurrently.
+type ProbeStats struct {
+	Campaigns atomic.Int64 // probe campaigns submitted
+	Targets   atomic.Int64 // candidate targets across campaigns
+	Executed  atomic.Int64 // probes actually run against the backend
+	CacheHits atomic.Int64 // targets answered from the verdict cache
+	Deduped   atomic.Int64 // targets folded into an in-flight probe
+	Denied    atomic.Int64 // probes denied by the measurement budget
+	Collected atomic.Int64 // completed verdicts delivered to the engine
+
+	Promoted  atomic.Int64 // pendings promoted to located outages
+	Refuted   atomic.Int64 // confirmations contradicted by the data plane (suppressed false positives)
+	Unlocated atomic.Int64 // disambiguation verdicts that failed to pin an epicenter
+	Expired   atomic.Int64 // pendings that outlived their TTL
+	Pending   atomic.Int64 // currently parked confirmations (gauge)
+}
+
+// ProbeSnapshot is a point-in-time copy of ProbeStats.
+type ProbeSnapshot struct {
+	Campaigns int64
+	Targets   int64
+	Executed  int64
+	CacheHits int64
+	Deduped   int64
+	Denied    int64
+	Collected int64
+	Promoted  int64
+	Refuted   int64
+	Unlocated int64
+	Expired   int64
+	Pending   int64
+}
+
+// Snapshot copies the current counter values.
+func (s *ProbeStats) Snapshot() ProbeSnapshot {
+	return ProbeSnapshot{
+		Campaigns: s.Campaigns.Load(),
+		Targets:   s.Targets.Load(),
+		Executed:  s.Executed.Load(),
+		CacheHits: s.CacheHits.Load(),
+		Deduped:   s.Deduped.Load(),
+		Denied:    s.Denied.Load(),
+		Collected: s.Collected.Load(),
+		Promoted:  s.Promoted.Load(),
+		Refuted:   s.Refuted.Load(),
+		Unlocated: s.Unlocated.Load(),
+		Expired:   s.Expired.Load(),
+		Pending:   s.Pending.Load(),
+	}
+}
+
+// String renders the snapshot as a single log-friendly line.
+func (s ProbeSnapshot) String() string {
+	return fmt.Sprintf("campaigns=%d targets=%d executed=%d cached=%d deduped=%d denied=%d promoted=%d refuted=%d unlocated=%d expired=%d pending=%d",
+		s.Campaigns, s.Targets, s.Executed, s.CacheHits, s.Deduped, s.Denied,
+		s.Promoted, s.Refuted, s.Unlocated, s.Expired, s.Pending)
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestProbeStatsSnapshot(t *testing.T) {
+	s := &ProbeStats{}
+	s.Campaigns.Add(3)
+	s.Targets.Add(7)
+	s.Executed.Add(5)
+	s.CacheHits.Add(1)
+	s.Deduped.Add(1)
+	s.Denied.Add(2)
+	s.Collected.Add(3)
+	s.Promoted.Add(2)
+	s.Unlocated.Add(1)
+	s.Expired.Add(1)
+	s.Pending.Store(4)
+
+	snap := s.Snapshot()
+	want := ProbeSnapshot{
+		Campaigns: 3, Targets: 7, Executed: 5, CacheHits: 1, Deduped: 1,
+		Denied: 2, Collected: 3, Promoted: 2, Unlocated: 1, Expired: 1, Pending: 4,
+	}
+	if snap != want {
+		t.Fatalf("snapshot = %+v, want %+v", snap, want)
+	}
+	line := snap.String()
+	for _, frag := range []string{"campaigns=3", "denied=2", "promoted=2", "pending=4"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("String() missing %q: %s", frag, line)
+		}
+	}
+}
+
+func TestProbeStatsConcurrent(t *testing.T) {
+	s := &ProbeStats{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Executed.Add(1)
+				_ = s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Executed.Load(); got != 8000 {
+		t.Fatalf("executed = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+
+	"kepler/internal/colo"
+	"kepler/internal/simulate"
+)
+
+// keepWindows is how many rendered windows the rolling data plane retains:
+// probe campaigns lag their signal bin by at least one barrier, so a query
+// can land in the window just rotated out; anything older than two windows
+// is stale archive the platform no longer covers.
+const keepWindows = 2
+
+// WindowDataPlane is a core.DataPlane over a rolling sequence of rendered
+// scenario windows — the shape a probe backend needs when the daemon's
+// source is the endless Synthetic generator rather than one batch render.
+// Install hands it each freshly rendered window (live.SyntheticConfig's
+// OnWindow hook); Confirm routes each query to the window containing the
+// queried instant and answers no-data outside the retained horizon.
+//
+// Install runs on the ingest goroutine while Confirm runs on probe worker
+// goroutines; the window list is mutex-guarded. The per-window SimDataPlane
+// itself is not safe for concurrent use — callers serialize Confirm (the
+// probe scheduler's OverDataPlane adapter does).
+type WindowDataPlane struct {
+	stack  *Stack
+	budget int
+
+	mu   sync.Mutex
+	wins []simWindow // oldest first, at most keepWindows
+}
+
+type simWindow struct {
+	start, end time.Time
+	dp         *SimDataPlane
+}
+
+// NewWindowDataPlane builds a rolling data plane; budget is the traceroute
+// platform budget granted to each window's substrate.
+func (s *Stack) NewWindowDataPlane(budget int) *WindowDataPlane {
+	return &WindowDataPlane{stack: s, budget: budget}
+}
+
+// Install registers a rendered window, evicting the oldest beyond the
+// retention horizon. Its signature matches live.SyntheticConfig.OnWindow.
+func (w *WindowDataPlane) Install(res *simulate.Result, start, end time.Time) {
+	dp := w.stack.NewSimDataPlane(res, w.budget)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.wins = append(w.wins, simWindow{start: start, end: end, dp: dp})
+	if len(w.wins) > keepWindows {
+		w.wins = w.wins[len(w.wins)-keepWindows:]
+	}
+}
+
+// Confirm implements core.DataPlane.
+func (w *WindowDataPlane) Confirm(pop colo.PoP, at time.Time) (bool, bool) {
+	w.mu.Lock()
+	var dp *SimDataPlane
+	for _, win := range w.wins {
+		if !at.Before(win.start) && at.Before(win.end) {
+			dp = win.dp
+			break
+		}
+	}
+	w.mu.Unlock()
+	if dp == nil {
+		return false, false // outside the retained archive: unmeasurable
+	}
+	return dp.Confirm(pop, at)
+}

@@ -1,0 +1,101 @@
+package probe
+
+import (
+	"sync"
+	"time"
+
+	"kepler/internal/colo"
+)
+
+// Verdict is one scripted measurement outcome.
+type Verdict struct {
+	Confirmed bool
+	HasData   bool
+}
+
+// Replay is the replayed-archive backend: it serves verdicts recorded from
+// an earlier run (or scripted by a test) instead of measuring. Targets with
+// no recorded verdict answer no-data, like a platform with no vantage
+// toward them. Safe for concurrent use.
+type Replay struct {
+	mu       sync.Mutex
+	verdicts map[colo.PoP]Verdict
+	queries  int
+}
+
+// NewReplay builds a replay backend over a verdict table. The map is
+// copied.
+func NewReplay(verdicts map[colo.PoP]Verdict) *Replay {
+	m := make(map[colo.PoP]Verdict, len(verdicts))
+	for k, v := range verdicts {
+		m[k] = v
+	}
+	return &Replay{verdicts: m}
+}
+
+// Record adds or replaces one recorded verdict.
+func (r *Replay) Record(pop colo.PoP, v Verdict) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.verdicts[pop] = v
+}
+
+// Queries returns how many probes the backend has served.
+func (r *Replay) Queries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queries
+}
+
+// Probe implements Backend.
+func (r *Replay) Probe(pop colo.PoP, _ time.Time) (bool, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries++
+	v, ok := r.verdicts[pop]
+	if !ok {
+		return false, false
+	}
+	return v.Confirmed, v.HasData
+}
+
+// Fault wraps a backend with latency and loss injection for soak testing:
+// every probe sleeps Latency plus a deterministic jitter, and a LossRate
+// fraction of probes answer no-data without reaching the inner backend.
+// Loss and jitter derive from a hash of (target, at, seed) rather than a
+// shared random stream, so the injected faults are a pure function of the
+// probe — identical across runs and indifferent to worker interleaving,
+// which keeps a fault-injected daemon replayable by the store's recovery
+// gate.
+type Fault struct {
+	Inner    Backend
+	Latency  time.Duration // base per-probe delay
+	Jitter   time.Duration // max additional deterministic delay
+	LossRate float64       // fraction of probes lost, in [0,1]
+	Seed     int64
+}
+
+// hash mixes the probe identity into a 64-bit value (splitmix64).
+func (f *Fault) hash(pop colo.PoP, at time.Time) uint64 {
+	x := uint64(f.Seed) ^ uint64(at.Unix())<<20 ^ uint64(pop.ID)<<2 ^ uint64(pop.Kind)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Probe implements Backend.
+func (f *Fault) Probe(pop colo.PoP, at time.Time) (bool, bool) {
+	h := f.hash(pop, at)
+	delay := f.Latency
+	if f.Jitter > 0 {
+		delay += time.Duration(h % uint64(f.Jitter))
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if f.LossRate > 0 && float64(h%1000)/1000 < f.LossRate {
+		return false, false
+	}
+	return f.Inner.Probe(pop, at)
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders the daemon's atomic counters in the Prometheus
+// text exposition format (version 0.0.4) so a standard scraper can watch a
+// keplerd fleet without any client library: one hand-rolled writer over
+// the same lock-free snapshots /v1/stats serves. Counters that track
+// monotonically increasing totals are typed counter; point-in-time values
+// (queue depths, open outages, pending campaigns) are gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	wr := func(name, typ, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+
+	snap := s.snap.Load()
+	ready := 0.0
+	if s.ready.Load() {
+		ready = 1
+	}
+	wr("kepler_ready", "gauge", "Whether ingestion has started.", ready)
+	wr("kepler_open_outages", "gauge", "Ongoing outages as of the last closed bin.", float64(len(snap.Open)))
+	wr("kepler_resolved_outages_total", "counter", "Completed outages recorded.", float64(len(snap.Resolved)))
+	wr("kepler_incidents_total", "counter", "Classified outage signals recorded.", float64(len(snap.Incidents)))
+
+	if s.opts.Ingest != nil {
+		ing := s.opts.Ingest()
+		wr("kepler_ingest_records_total", "counter", "MRT records consumed.", float64(ing.Records))
+		wr("kepler_ingest_ops_total", "counter", "Route ops dispatched to shards.", float64(ing.Ops))
+		wr("kepler_ingest_bins_total", "counter", "Bin barriers executed.", float64(ing.Bins))
+		wr("kepler_ingest_records_per_second", "gauge", "Wall-clock ingestion rate.", ing.RecordsPerSec)
+		wr("kepler_ingest_barrier_seconds_total", "counter", "Cumulative wall time inside bin barriers.", ing.BarrierTime.Seconds())
+		depth := 0
+		for _, d := range ing.QueueDepths {
+			depth += d
+		}
+		wr("kepler_ingest_queue_depth", "gauge", "Dispatched-but-unprocessed op batches across shards.", float64(depth))
+	}
+	if s.opts.Service != nil {
+		svc := s.opts.Service.Snapshot()
+		wr("kepler_http_requests_total", "counter", "API requests served.", float64(svc.HTTPRequests))
+		wr("kepler_http_errors_total", "counter", "Requests answered with a 4xx/5xx status.", float64(svc.HTTPErrors))
+		wr("kepler_sse_connected_total", "counter", "SSE streams opened over the process lifetime.", float64(svc.SSEConnected))
+		wr("kepler_sse_active", "gauge", "Currently connected SSE streams.", float64(svc.SSEActive))
+		wr("kepler_events_published_total", "counter", "Events fanned out by the bus.", float64(svc.EventsPublished))
+		wr("kepler_events_dropped_total", "counter", "Per-subscriber deliveries lost to full queues.", float64(svc.EventsDropped))
+	}
+	if s.opts.Store != nil {
+		st := s.opts.Store()
+		wr("kepler_store_appends_total", "counter", "Events appended to the WAL.", float64(st.Appends))
+		wr("kepler_store_appended_bytes_total", "counter", "Framed payload bytes written to the WAL.", float64(st.AppendedBytes))
+		wr("kepler_store_flushes_total", "counter", "Buffered-writer flushes.", float64(st.Flushes))
+		wr("kepler_store_compactions_total", "counter", "WAL compactions into snapshot segments.", float64(st.Compactions))
+		wr("kepler_store_recovered_events_total", "counter", "Events replayed from the WAL on open.", float64(st.RecoveredEvents))
+		wr("kepler_store_torn_tails_total", "counter", "Torn or corrupt WAL tails truncated on open.", float64(st.TornTails))
+		wr("kepler_store_truncated_bytes_total", "counter", "Bytes discarded by tail truncation.", float64(st.TruncatedBytes))
+	}
+	if s.opts.Probe != nil {
+		pb := s.opts.Probe()
+		wr("kepler_probe_campaigns_total", "counter", "Probe campaigns submitted.", float64(pb.Campaigns))
+		wr("kepler_probe_targets_total", "counter", "Candidate targets across campaigns.", float64(pb.Targets))
+		wr("kepler_probe_executed_total", "counter", "Probes run against the measurement backend.", float64(pb.Executed))
+		wr("kepler_probe_cache_hits_total", "counter", "Targets answered from the verdict cache.", float64(pb.CacheHits))
+		wr("kepler_probe_deduped_total", "counter", "Targets folded into an in-flight probe.", float64(pb.Deduped))
+		wr("kepler_probe_denied_total", "counter", "Probes denied by the measurement budget.", float64(pb.Denied))
+		wr("kepler_probe_collected_total", "counter", "Completed verdicts delivered to the engine.", float64(pb.Collected))
+		wr("kepler_probe_promoted_total", "counter", "Pending confirmations promoted to located outages.", float64(pb.Promoted))
+		wr("kepler_probe_refuted_total", "counter", "Confirmations contradicted by the data plane (suppressed false positives).", float64(pb.Refuted))
+		wr("kepler_probe_unlocated_total", "counter", "Disambiguation verdicts that failed to pin an epicenter.", float64(pb.Unlocated))
+		wr("kepler_probe_expired_total", "counter", "Pending confirmations that outlived their TTL.", float64(pb.Expired))
+		wr("kepler_probe_pending", "gauge", "Currently parked confirmations.", float64(pb.Pending))
+	}
+	if s.opts.Bus != nil {
+		bs := s.opts.Bus.Stats()
+		wr("kepler_bus_subscribers", "gauge", "Registered event-bus subscribers.", float64(bs.Subscribers))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

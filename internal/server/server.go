@@ -59,6 +59,12 @@ type Snapshot struct {
 	Open []core.OutageStatus
 	// Incidents holds every classified signal so far.
 	Incidents []core.Incident
+	// Pending holds the signal groups parked behind in-flight probe
+	// campaigns as of At (asynchronous-prober deployments only).
+	Pending []core.PendingConfirmation
+	// ProbeOutcomes holds recent campaign resolutions, oldest first,
+	// bounded by the caller.
+	ProbeOutcomes []core.ProbeOutcome
 }
 
 // BuildSnapshot captures the engine's queryable state. resolved is the
@@ -91,6 +97,10 @@ type Options struct {
 	// Store supplies durable-history counters (WAL appends, compactions,
 	// recovery) for /v1/stats when the daemon runs with a data dir. Optional.
 	Store func() metrics.StoreSnapshot
+	// Probe supplies active-measurement counters (campaigns, budget
+	// denials, promotions) for /v1/stats and /metrics when the daemon runs
+	// an asynchronous prober. Optional.
+	Probe func() metrics.ProbeSnapshot
 	// Namer resolves PoP display names (e.g. topology.World.PoPName in
 	// replay mode, where the world is known). Optional.
 	Namer func(colo.PoP) string
@@ -127,7 +137,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/outages/open", s.handleOpen)
 	s.mux.HandleFunc("GET /v1/incidents", s.handleIncidents)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/probes", s.handleProbes)
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -319,6 +331,27 @@ func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
 	}{snap.At, len(incs), len(snap.Incidents), nextAfter, incs})
 }
 
+// handleProbes serves the active-measurement view: campaigns currently in
+// flight (parked signal groups awaiting verdicts) and recent resolutions,
+// from the same immutable snapshot as every other read.
+func (s *Server) handleProbes(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	pend := make([]PendingProbeView, len(snap.Pending))
+	for i := range snap.Pending {
+		pend[i] = s.pendingView(&snap.Pending[i])
+	}
+	recent := make([]ProbeOutcomeView, len(snap.ProbeOutcomes))
+	for i := range snap.ProbeOutcomes {
+		recent[i] = s.probeOutcomeView(&snap.ProbeOutcomes[i])
+	}
+	writeJSON(w, http.StatusOK, struct {
+		AsOf    time.Time          `json:"as_of"`
+		Count   int                `json:"count"`
+		Pending []PendingProbeView `json:"pending"`
+		Recent  []ProbeOutcomeView `json:"recent"`
+	}{snap.At, len(pend), pend, recent})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	resp := StatsView{
@@ -333,6 +366,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.opts.Store != nil {
 		resp.Store = storeView(s.opts.Store())
+	}
+	if s.opts.Probe != nil {
+		resp.Probe = probeStatsView(s.opts.Probe())
 	}
 	if s.opts.Bus != nil {
 		st := s.opts.Bus.Stats()

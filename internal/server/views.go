@@ -188,28 +188,123 @@ func storeView(s metrics.StoreSnapshot) *StoreView {
 	}
 }
 
+// PendingProbeView is the JSON shape of one in-flight probe campaign: a
+// signal group parked pending data-plane corroboration.
+type PendingProbeView struct {
+	ID           uint64    `json:"id"`
+	At           time.Time `json:"at"`
+	Deadline     time.Time `json:"deadline"`
+	SignalPoP    PoPView   `json:"signal_pop"`
+	Epicenter    *PoPView  `json:"epicenter,omitempty"` // absent when disambiguating
+	Candidates   []PoPView `json:"candidates"`
+	AffectedASes []bgp.ASN `json:"affected_ases"`
+	Paths        int       `json:"paths"`
+}
+
+func (s *Server) pendingView(p *core.PendingConfirmation) PendingProbeView {
+	cands := make([]PoPView, len(p.Candidates))
+	for i, c := range p.Candidates {
+		cands[i] = s.popView(c)
+	}
+	v := PendingProbeView{
+		ID:           p.ID,
+		At:           p.At,
+		Deadline:     p.Deadline,
+		SignalPoP:    s.popView(p.SignalPoP),
+		Candidates:   cands,
+		AffectedASes: p.AffectedASes,
+		Paths:        p.Paths,
+	}
+	if p.Epicenter.IsValid() {
+		e := s.popView(p.Epicenter)
+		v.Epicenter = &e
+	}
+	return v
+}
+
+// ProbeOutcomeView is the JSON shape of one resolved campaign.
+type ProbeOutcomeView struct {
+	Pending   PendingProbeView `json:"pending"`
+	Located   bool             `json:"located"`
+	Epicenter *PoPView         `json:"epicenter,omitempty"`
+	Confirmed bool             `json:"confirmed"`
+	Checked   bool             `json:"checked"`
+	Expired   bool             `json:"expired"`
+}
+
+func (s *Server) probeOutcomeView(o *core.ProbeOutcome) ProbeOutcomeView {
+	v := ProbeOutcomeView{
+		Pending:   s.pendingView(&o.Pending),
+		Located:   o.Located,
+		Confirmed: o.Confirmed,
+		Checked:   o.Checked,
+		Expired:   o.Expired,
+	}
+	if o.Epicenter.IsValid() {
+		e := s.popView(o.Epicenter)
+		v.Epicenter = &e
+	}
+	return v
+}
+
+// ProbeStatsView is the JSON shape of the active-measurement counters.
+type ProbeStatsView struct {
+	Campaigns int64 `json:"campaigns"`
+	Targets   int64 `json:"targets"`
+	Executed  int64 `json:"executed"`
+	CacheHits int64 `json:"cache_hits"`
+	Deduped   int64 `json:"deduped"`
+	Denied    int64 `json:"denied"`
+	Collected int64 `json:"collected"`
+	Promoted  int64 `json:"promoted"`
+	Refuted   int64 `json:"refuted"`
+	Unlocated int64 `json:"unlocated"`
+	Expired   int64 `json:"expired"`
+	Pending   int64 `json:"pending"`
+}
+
+func probeStatsView(s metrics.ProbeSnapshot) *ProbeStatsView {
+	return &ProbeStatsView{
+		Campaigns: s.Campaigns,
+		Targets:   s.Targets,
+		Executed:  s.Executed,
+		CacheHits: s.CacheHits,
+		Deduped:   s.Deduped,
+		Denied:    s.Denied,
+		Collected: s.Collected,
+		Promoted:  s.Promoted,
+		Refuted:   s.Refuted,
+		Unlocated: s.Unlocated,
+		Expired:   s.Expired,
+		Pending:   s.Pending,
+	}
+}
+
 // StatsView is the /v1/stats response.
 type StatsView struct {
-	Ready      bool          `json:"ready"`
-	SnapshotAt time.Time     `json:"snapshot_at"`
-	OpenCount  int           `json:"open_outages"`
-	Resolved   int           `json:"resolved_outages"`
-	Incidents  int           `json:"incidents"`
-	Ingest     *IngestView   `json:"ingest,omitempty"`
-	Store      *StoreView    `json:"store,omitempty"`
-	Bus        *events.Stats `json:"bus,omitempty"`
-	Service    *ServiceView  `json:"service,omitempty"`
+	Ready      bool            `json:"ready"`
+	SnapshotAt time.Time       `json:"snapshot_at"`
+	OpenCount  int             `json:"open_outages"`
+	Resolved   int             `json:"resolved_outages"`
+	Incidents  int             `json:"incidents"`
+	Ingest     *IngestView     `json:"ingest,omitempty"`
+	Store      *StoreView      `json:"store,omitempty"`
+	Probe      *ProbeStatsView `json:"probe,omitempty"`
+	Bus        *events.Stats   `json:"bus,omitempty"`
+	Service    *ServiceView    `json:"service,omitempty"`
 }
 
 // EventView is the SSE data payload: the bus event with its payload
 // rendered through the same views as the REST endpoints.
 type EventView struct {
-	Seq      uint64          `json:"seq"`
-	Time     time.Time       `json:"time"`
-	Kind     string          `json:"kind"`
-	Status   *OpenOutageView `json:"status,omitempty"`
-	Outage   *OutageView     `json:"outage,omitempty"`
-	Incident *IncidentView   `json:"incident,omitempty"`
+	Seq      uint64            `json:"seq"`
+	Time     time.Time         `json:"time"`
+	Kind     string            `json:"kind"`
+	Status   *OpenOutageView   `json:"status,omitempty"`
+	Outage   *OutageView       `json:"outage,omitempty"`
+	Incident *IncidentView     `json:"incident,omitempty"`
+	Pending  *PendingProbeView `json:"pending,omitempty"`
+	Probe    *ProbeOutcomeView `json:"probe,omitempty"`
 }
 
 func (s *Server) eventView(ev events.Event) EventView {
@@ -225,6 +320,14 @@ func (s *Server) eventView(ev events.Event) EventView {
 	if ev.Incident != nil {
 		iv := s.incidentView(0, ev.Incident)
 		v.Incident = &iv
+	}
+	if ev.Pending != nil {
+		pv := s.pendingView(ev.Pending)
+		v.Pending = &pv
+	}
+	if ev.Probe != nil {
+		pv := s.probeOutcomeView(ev.Probe)
+		v.Probe = &pv
 	}
 	return v
 }

@@ -113,6 +113,11 @@ type History struct {
 	Resolved []core.Outage
 	// Incidents holds every persisted classified signal, oldest first.
 	Incidents []core.Incident
+	// PendingProbes holds the probe campaigns that were requested but had
+	// neither confirmed nor expired when the process stopped, ascending by
+	// campaign id — the mid-campaign state a restarted daemon serves
+	// immediately and re-parks during catch-up re-ingestion.
+	PendingProbes []core.PendingConfirmation
 	// Tail is the retained recent-event window (ascending seq), the seed
 	// for the bus's Last-Event-ID replay ring.
 	Tail []events.Event
@@ -130,7 +135,8 @@ type Store struct {
 	lastBin   time.Time
 	resolved  []core.Outage
 	incidents []core.Incident
-	tail      *events.Ring // retains the last opts.TailEvents events
+	pending   map[uint64]core.PendingConfirmation // open probe campaigns
+	tail      *events.Ring                        // retains the last opts.TailEvents events
 
 	f        *os.File
 	bw       *bufio.Writer
@@ -141,11 +147,12 @@ type Store struct {
 
 // snapState is the snapshot-segment payload.
 type snapState struct {
-	Seq       uint64          `json:"seq"`
-	LastBin   time.Time       `json:"last_bin"`
-	Resolved  []core.Outage   `json:"resolved"`
-	Incidents []core.Incident `json:"incidents"`
-	Tail      []events.Event  `json:"tail"`
+	Seq       uint64                     `json:"seq"`
+	LastBin   time.Time                  `json:"last_bin"`
+	Resolved  []core.Outage              `json:"resolved"`
+	Incidents []core.Incident            `json:"incidents"`
+	Pending   []core.PendingConfirmation `json:"pending_probes,omitempty"`
+	Tail      []events.Event             `json:"tail"`
 }
 
 // Open opens (or initializes) the store in dir, recovering any persisted
@@ -160,7 +167,12 @@ func Open(opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{opts: opts, m: opts.Metrics, tail: events.NewRing(opts.TailEvents)}
+	s := &Store{
+		opts:    opts,
+		m:       opts.Metrics,
+		pending: make(map[uint64]core.PendingConfirmation),
+		tail:    events.NewRing(opts.TailEvents),
+	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -218,6 +230,9 @@ func (s *Store) recover() error {
 		s.lastBin = st.LastBin
 		s.resolved = st.Resolved
 		s.incidents = st.Incidents
+		for _, p := range st.Pending {
+			s.pending[p.ID] = p
+		}
 		for _, ev := range st.Tail {
 			s.tail.Push(ev)
 		}
@@ -351,6 +366,14 @@ func (s *Store) apply(ev events.Event) {
 		}
 	case events.KindBinClosed:
 		s.lastBin = ev.Time
+	case events.KindProbeRequested:
+		if ev.Pending != nil {
+			s.pending[ev.Pending.ID] = *ev.Pending
+		}
+	case events.KindProbeConfirmed, events.KindProbeExpired:
+		if ev.Probe != nil {
+			delete(s.pending, ev.Probe.Pending.ID)
+		}
 	}
 	s.tail.Push(ev)
 }
@@ -415,6 +438,7 @@ func (s *Store) compact() error {
 		LastBin:   s.lastBin,
 		Resolved:  s.resolved,
 		Incidents: s.incidents,
+		Pending:   s.pendingSorted(),
 		Tail:      s.tail.Events(),
 	}
 	payload, err := json.Marshal(&st)
@@ -483,17 +507,32 @@ func syncDir(dir string) {
 	}
 }
 
+// pendingSorted returns the open probe campaigns ascending by id. Called
+// with the lock held.
+func (s *Store) pendingSorted() []core.PendingConfirmation {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	out := make([]core.PendingConfirmation, 0, len(s.pending))
+	for _, p := range s.pending {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // History returns the materialized state: the complete persisted history
 // after Open, and the live history once appends flow. Slices are copies.
 func (s *Store) History() History {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return History{
-		LastSeq:   s.seq,
-		LastBin:   s.lastBin,
-		Resolved:  append([]core.Outage(nil), s.resolved...),
-		Incidents: append([]core.Incident(nil), s.incidents...),
-		Tail:      s.tail.Events(),
+		LastSeq:       s.seq,
+		LastBin:       s.lastBin,
+		Resolved:      append([]core.Outage(nil), s.resolved...),
+		Incidents:     append([]core.Incident(nil), s.incidents...),
+		PendingProbes: s.pendingSorted(),
+		Tail:          s.tail.Events(),
 	}
 }
 

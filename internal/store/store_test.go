@@ -343,3 +343,72 @@ func TestAppendAfterCloseRejected(t *testing.T) {
 		t.Fatalf("second Close: %v", err)
 	}
 }
+
+// TestPendingProbeRecovery pins the mid-campaign restart contract: probe
+// campaigns that were requested but neither confirmed nor expired when the
+// process stopped come back from recovery (WAL replay and snapshot segment
+// alike) as History.PendingProbes, while settled campaigns do not.
+func TestPendingProbeRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, Options{Dir: dir})
+
+	pend := func(id uint64) *core.PendingConfirmation {
+		return &core.PendingConfirmation{
+			ID: id, At: t0.Add(time.Duration(id) * time.Minute),
+			Deadline:  t0.Add(time.Duration(id)*time.Minute + 10*time.Minute),
+			SignalPoP: colo.FacilityPoP(colo.FacilityID(id)),
+			Epicenter: colo.FacilityPoP(colo.FacilityID(id)),
+			Candidates: []colo.PoP{
+				colo.FacilityPoP(colo.FacilityID(id)),
+			},
+			AffectedASes: []bgp.ASN{100, 200},
+			Paths:        12,
+		}
+	}
+	evs := []events.Event{
+		{Seq: 1, Time: t0, Kind: events.KindProbeRequested, Pending: pend(1)},
+		{Seq: 2, Time: t0, Kind: events.KindProbeRequested, Pending: pend(2)},
+		{Seq: 3, Time: t0, Kind: events.KindProbeConfirmed, Probe: &core.ProbeOutcome{
+			Pending: *pend(1), Located: true, Epicenter: colo.FacilityPoP(1), Confirmed: true, Checked: true,
+		}},
+		{Seq: 4, Time: t0, Kind: events.KindProbeRequested, Pending: pend(3)},
+		{Seq: 5, Time: t0, Kind: events.KindProbeExpired, Probe: &core.ProbeOutcome{
+			Pending: *pend(3), Expired: true,
+		}},
+		{Seq: 6, Time: t0.Add(time.Minute), Kind: events.KindBinClosed},
+	}
+	appendAll(t, s, evs)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL-only recovery: campaign 2 is the lone survivor.
+	s = open(t, Options{Dir: dir})
+	hist := s.History()
+	if len(hist.PendingProbes) != 1 || hist.PendingProbes[0].ID != 2 {
+		t.Fatalf("recovered pending = %+v, want campaign 2 only", hist.PendingProbes)
+	}
+	if !reflect.DeepEqual(hist.PendingProbes[0], *pend(2)) {
+		t.Fatalf("pending payload drifted:\n got  %+v\n want %+v", hist.PendingProbes[0], *pend(2))
+	}
+
+	// Force a compaction so the pending state must survive the snapshot
+	// segment too, then reopen again.
+	s.opts.CompactBytes = 1
+	appendAll(t, s, []events.Event{
+		{Seq: 7, Time: t0.Add(2 * time.Minute), Kind: events.KindBinClosed},
+	})
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) == 0 {
+		t.Fatal("compaction never produced a snapshot segment")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = open(t, Options{Dir: dir})
+	defer s.Close()
+	hist = s.History()
+	if len(hist.PendingProbes) != 1 || hist.PendingProbes[0].ID != 2 {
+		t.Fatalf("pending lost across compaction: %+v", hist.PendingProbes)
+	}
+}

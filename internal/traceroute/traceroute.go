@@ -324,3 +324,90 @@ func (a *Archive) StablePairs(n int) []StablePair {
 	}
 	return out
 }
+
+// WindowedPlatform is a measurement platform whose credits renew per
+// archive week: public platforms grant budgets per epoch rather than one
+// lifetime pool, so Kepler's opportunistic archive consumption rotates the
+// budget window together with the weekly dump (Section 4.4). Rotate resets
+// the in-window spend; TotalUsed survives rotations for accounting.
+type WindowedPlatform struct {
+	// PerWeek is the number of credits granted each window.
+	PerWeek int
+	// Used is the spend within the current window.
+	Used int
+	// TotalUsed is the lifetime spend across all windows.
+	TotalUsed int
+	// Weeks counts completed rotations.
+	Weeks int
+}
+
+// Rotate starts a new weekly window, restoring the full budget.
+func (p *WindowedPlatform) Rotate() {
+	p.Weeks++
+	p.Used = 0
+}
+
+// Trace runs one measurement against the current window's budget.
+func (p *WindowedPlatform) Trace(tr *Tracer, table *routing.Table, src bgp.ASN) (*Trace, error) {
+	if p.Used >= p.PerWeek {
+		return nil, ErrBudget
+	}
+	p.Used++
+	p.TotalUsed++
+	t, ok := tr.Trace(table, src)
+	if !ok {
+		return nil, fmt.Errorf("traceroute: %v has no route to %v", src, table.Origin)
+	}
+	return t, nil
+}
+
+// PathCache memoizes the stable baseline subpaths derived from the weekly
+// archive — the PathCache approach of Section 4.4. Refresh rebuilds the
+// cache from the archive's most recent dumps after each rotation: pairs
+// whose infrastructure sequence stayed identical across the stability
+// depth enter (or refresh), and previously cached pairs that went unstable
+// in the new week are evicted, so a stale baseline can never validate a
+// post-outage measurement.
+type PathCache struct {
+	depth   int
+	week    int
+	entries map[pairKey]StablePair
+}
+
+// NewPathCache builds a cache requiring stability across depth dumps.
+func NewPathCache(depth int) *PathCache {
+	if depth < 1 {
+		depth = 1
+	}
+	return &PathCache{depth: depth, entries: make(map[pairKey]StablePair)}
+}
+
+// Refresh rebuilds the cache from the archive's last depth weeks, evicting
+// every pair no longer stable. It returns the number of evicted entries.
+func (c *PathCache) Refresh(a *Archive) int {
+	fresh := make(map[pairKey]StablePair)
+	for _, sp := range a.StablePairs(c.depth) {
+		fresh[pairKey{src: sp.Src, dst: sp.Dst}] = sp
+	}
+	evicted := 0
+	for k := range c.entries {
+		if _, still := fresh[k]; !still {
+			evicted++
+		}
+	}
+	c.entries = fresh
+	c.week = a.Weeks()
+	return evicted
+}
+
+// Get returns the cached stable pair for (src, dst).
+func (c *PathCache) Get(src, dst bgp.ASN) (StablePair, bool) {
+	sp, ok := c.entries[pairKey{src: src, dst: dst}]
+	return sp, ok
+}
+
+// Len returns the number of cached stable pairs.
+func (c *PathCache) Len() int { return len(c.entries) }
+
+// Week returns the archive week the cache was last refreshed against.
+func (c *PathCache) Week() int { return c.week }

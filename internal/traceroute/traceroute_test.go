@@ -283,3 +283,148 @@ func TestRTTIncreasesOnReroute(t *testing.T) {
 		t.Errorf("mean RTT dropped after outages: %.1f -> %.1f over %d pairs", sumBefore/float64(n), sumAfter/float64(n), n)
 	}
 }
+
+// TestWindowedPlatformBudgetResetAcrossRotation pins the weekly budget
+// contract: the per-window spend exhausts, a rotation restores the full
+// budget, and the lifetime counter keeps accumulating across windows.
+func TestWindowedPlatformBudgetResetAcrossRotation(t *testing.T) {
+	w, eng := world(t)
+	tr := NewTracer(eng)
+	table := eng.ComputeOrigin(w.ASes[0].ASN, nil)
+	src := w.Collectors[0].Peers[0]
+
+	p := &WindowedPlatform{PerWeek: 2}
+	for i := 0; i < 2; i++ {
+		if _, err := p.Trace(tr, table, src); err != nil {
+			t.Fatalf("trace %d failed: %v", i, err)
+		}
+	}
+	if _, err := p.Trace(tr, table, src); err != ErrBudget {
+		t.Fatalf("expected ErrBudget inside the window, got %v", err)
+	}
+
+	// Week boundary: the archive rotates, the budget window resets.
+	p.Rotate()
+	if p.Used != 0 || p.Weeks != 1 {
+		t.Fatalf("rotation did not reset the window: used=%d weeks=%d", p.Used, p.Weeks)
+	}
+	if _, err := p.Trace(tr, table, src); err != nil {
+		t.Fatalf("post-rotation trace failed: %v", err)
+	}
+	if p.TotalUsed != 3 {
+		t.Fatalf("TotalUsed = %d, want 3 (lifetime spend survives rotation)", p.TotalUsed)
+	}
+
+	// Several idle rotations never inflate the per-window budget.
+	p.Rotate()
+	p.Rotate()
+	spent := 0
+	for {
+		if _, err := p.Trace(tr, table, src); err == ErrBudget {
+			break
+		}
+		spent++
+		if spent > 10 {
+			t.Fatal("budget never exhausted after idle rotations")
+		}
+	}
+	if spent != 2 {
+		t.Fatalf("window grants %d credits after idle rotations, want 2", spent)
+	}
+}
+
+// TestPathCacheEvictionAcrossRotation pins the stale-baseline eviction:
+// pairs that stay stable across the new week's dump survive a Refresh,
+// pairs whose infrastructure changed are evicted, and a recovered week
+// readmits them.
+func TestPathCacheEvictionAcrossRotation(t *testing.T) {
+	w, eng := world(t)
+	tr := NewTracer(eng)
+
+	var fac colo.FacilityID
+	for _, f := range w.Map.Facilities() {
+		if len(f.Members) > 5 {
+			fac = f.ID
+			break
+		}
+	}
+	if fac == 0 {
+		t.Skip("no populated facility")
+	}
+	var srcs, dsts []bgp.ASN
+	for _, c := range w.Collectors {
+		srcs = append(srcs, c.Peers...)
+	}
+	for i := 0; i < 10; i++ {
+		dsts = append(dsts, w.ASes[i*7%len(w.ASes)].ASN)
+	}
+	collect := func(mask *routing.Mask) []*Trace {
+		var out []*Trace
+		for _, d := range dsts {
+			table := eng.ComputeOrigin(d, mask)
+			for _, s := range srcs {
+				if s == d {
+					continue
+				}
+				if trace, ok := tr.Trace(table, s); ok {
+					out = append(out, trace)
+				}
+			}
+		}
+		return out
+	}
+
+	a := &Archive{}
+	for i := 0; i < 3; i++ {
+		a.AddWeek(collect(nil))
+	}
+	cache := NewPathCache(3)
+	if evicted := cache.Refresh(a); evicted != 0 {
+		t.Fatalf("first refresh evicted %d entries from an empty cache", evicted)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("no stable pairs cached across identical weeks")
+	}
+	before := cache.Len()
+
+	// Find a cached pair whose path crosses the facility we will fail.
+	var vicSrc, vicDst bgp.ASN
+	for _, d := range dsts {
+		for _, s := range srcs {
+			if sp, ok := cache.Get(s, d); ok && sp.Last.CrossesFacility(fac) {
+				vicSrc, vicDst = s, d
+			}
+		}
+	}
+	if vicSrc == 0 {
+		t.Skip("no cached pair crosses the chosen facility")
+	}
+
+	// Week boundary under a facility failure: the affected pair's
+	// infrastructure key changes, so the rotation must evict it.
+	mask := routing.NewMask()
+	mask.FailFacility(fac)
+	a.AddWeek(collect(mask))
+	evicted := cache.Refresh(a)
+	if evicted == 0 {
+		t.Fatal("disrupted week evicted nothing")
+	}
+	if cache.Week() != 4 {
+		t.Fatalf("cache week = %d, want 4", cache.Week())
+	}
+	if _, ok := cache.Get(vicSrc, vicDst); ok {
+		t.Fatalf("pair %v->%v survived the rotation despite crossing failed facility %d", vicSrc, vicDst, fac)
+	}
+	if cache.Len() >= before {
+		t.Fatalf("cache grew across a disruption: %d -> %d", before, cache.Len())
+	}
+
+	// Recovery: three healthy weeks readmit the pair.
+	for i := 0; i < 3; i++ {
+		a.AddWeek(collect(nil))
+	}
+	cache.Refresh(a)
+	if _, ok := cache.Get(vicSrc, vicDst); !ok {
+		t.Fatalf("pair %v->%v not readmitted after recovery", vicSrc, vicDst)
+	}
+}

@@ -59,10 +59,38 @@
 // /v1/outages and /v1/incidents paginate over that history with stable
 // cursor ids (?after=<id>&limit=<n>).
 //
+// # Active measurement
+//
+// The paper's pipeline falls back to targeted traceroutes when the control
+// plane cannot pin an epicenter (Section 4.3) and validates inferences
+// against the data plane (Section 4.4). Two integration shapes exist. The
+// synchronous DataPlane interface answers Confirm inline at bin close —
+// the batch pipeline's mode. The asynchronous Prober (Engine.SetProber,
+// internal/probe) instead parks the signal group as a pending
+// confirmation and submits a probe campaign: the scheduler deduplicates
+// targets against in-flight probes and a cooldown-guarded LRU verdict
+// cache, orders execution by localization specificity (facility > IXP >
+// city, newest signal first), enforces a sliding-window measurement
+// budget (denied probes resolve as no-data, the exhausted-platform
+// contract), and delivers verdicts at the next bin barrier, where the
+// parked group is promoted to a located outage, suppressed as a
+// data-plane-contradicted false positive, resolved unlocated, or expired
+// after Config.ProbeTTL. With an unbounded budget and an instant backend
+// the async path locates exactly the outages the synchronous path does —
+// pinned by an equivalence test — while a slow measurement platform can
+// no longer stall record ingestion. Campaign lifecycle surfaces through
+// three more Hooks (probe requested/confirmed/expired), persists through
+// the store WAL (a restarted keplerd recovers mid-flight campaigns), and
+// serves at /v1/probes; keplerd enables it with -probe-backend and
+// -probe-budget, and exports every counter at the Prometheus-format
+// /metrics endpoint.
+//
 // The facade re-exports the detection core; richer control lives in the
 // internal packages, which the module's commands and examples exercise:
 //
 //   - internal/core        — the detection pipeline (this package's types)
+//   - internal/probe       — the asynchronous probe scheduler (campaign
+//     dedup, priorities, budgets, verdict cache, backends)
 //   - internal/communities — community dictionary + documentation miner
 //   - internal/colo        — colocation map construction
 //   - internal/bgpstream   — unified multi-collector record feeds and the
@@ -128,8 +156,22 @@ type (
 	Incident = core.Incident
 	// IncidentKind is the signal classification granularity.
 	IncidentKind = core.IncidentKind
-	// DataPlane hooks targeted measurements into validation.
+	// DataPlane hooks targeted measurements into validation synchronously.
 	DataPlane = core.DataPlane
+	// Prober is the asynchronous measurement interface: probe campaigns
+	// submitted at bin close, verdicts collected at later bin barriers
+	// (implemented by internal/probe.Scheduler).
+	Prober = core.Prober
+	// ProbeRequest is one submitted probe campaign.
+	ProbeRequest = core.ProbeRequest
+	// ProbeResult is the measured outcome for one campaign candidate.
+	ProbeResult = core.ProbeResult
+	// ProbeVerdict is one completed campaign's per-candidate results.
+	ProbeVerdict = core.ProbeVerdict
+	// PendingConfirmation is a signal group parked awaiting its verdict.
+	PendingConfirmation = core.PendingConfirmation
+	// ProbeOutcome reports how a pending confirmation resolved.
+	ProbeOutcome = core.ProbeOutcome
 	// Hooks receives lifecycle callbacks (outage opened/updated/resolved,
 	// incident classified, bin closed) at bin boundaries — the feed of the
 	// live service layer's event bus.
