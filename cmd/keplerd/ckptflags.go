@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// validateCheckpointFlags checks the engine-checkpoint flags before any
+// world generation happens, in the descriptive style of probeflags.go.
+//
+// -checkpoint-interval is stream time, not wall time: bins advance with
+// the record stream, so a 60x replay checkpoints 60x more often on the
+// wall clock. Checkpoints only exist with -data-dir (they ride the durable
+// store's directory); without one the interval is accepted and ignored.
+// The interval interacts with -compact-mb only in disk terms: checkpoint
+// segments rotate on their own (newest two generations are kept) and WAL
+// compaction never touches them, so disk stays bounded by history size +
+// one WAL window + two checkpoints regardless of either setting.
+func validateCheckpointFlags(interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("-checkpoint-interval must be positive, got %v (stream time between engine checkpoints; restart recovery re-ingests at most one interval of records)", interval)
+	}
+	return nil
+}

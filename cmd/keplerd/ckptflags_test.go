@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateCheckpointFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		interval time.Duration
+		wantErr  string // substring; empty means valid
+	}{
+		{name: "default", interval: 15 * time.Minute},
+		{name: "one bin", interval: time.Minute},
+		{name: "zero", interval: 0,
+			wantErr: "-checkpoint-interval must be positive, got 0s"},
+		{name: "negative", interval: -time.Hour,
+			wantErr: "-checkpoint-interval must be positive, got -1h0m0s"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateCheckpointFlags(tc.interval)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -21,17 +21,25 @@
 //
 // With -data-dir the daemon keeps its history durable: every lifecycle
 // event is appended to a checksummed write-ahead log (internal/store),
-// compacted periodically into snapshot segments. On boot the directory is
-// recovered — resolved outages and incidents are served immediately, SSE
-// sequence numbers continue where they left off (so Last-Event-ID resume
-// works across restarts), and the source is re-ingested from the start
-// with already-persisted events suppressed, which makes a restart
-// mid-archive equivalent to one uninterrupted run. A data dir is bound to
-// one (source, seed, detection config, probe config) tuple; pointing it at
-// a different archive or changing -tfail, -probe-backend or -probe-budget
-// desynchronizes the replay gate — in particular, restarting without the
-// probe backend strands any recovered mid-campaign confirmations forever
-// (the daemon warns and drops them from serving in that case).
+// compacted periodically into snapshot segments, and the engine's full
+// detection state is checkpointed beside it every -checkpoint-interval of
+// stream time. On boot the directory is recovered — resolved outages and
+// incidents are served immediately, SSE sequence numbers continue where
+// they left off (so Last-Event-ID resume works across restarts), the
+// engine restores the newest valid checkpoint (corrupt or incompatible
+// checkpoints fall back to the older generation, then to record zero),
+// and the source is re-ingested from the checkpoint's record cursor with
+// already-persisted events suppressed — a restart mid-archive is
+// equivalent to one uninterrupted run, and the catch-up cost is bounded
+// by one checkpoint interval rather than the stream length
+// (store.resume_records in /v1/stats reports the resume offset). A data
+// dir is bound to one (source, seed, detection config, probe config)
+// tuple; pointing it at a different archive or changing -tfail,
+// -probe-backend or -probe-budget desynchronizes the replay gate — in
+// particular, restarting without the probe backend strands any recovered
+// mid-campaign confirmations forever (the daemon warns and drops them
+// from serving in that case, and refuses checkpoints that carry parked
+// campaigns).
 //
 // With -probe-backend the daemon grows a data plane: signal groups whose
 // epicenters need corroboration are parked as probe campaigns executed
@@ -98,6 +106,7 @@ func main() {
 		grace     = flag.Duration("shutdown-timeout", 10*time.Second, "graceful HTTP shutdown budget")
 		dataDir   = flag.String("data-dir", "", "durable history directory (WAL + snapshots); empty keeps history in memory only")
 		compactMB = flag.Int64("compact-mb", 8, "WAL size in MiB past which the next bin close compacts into a snapshot segment")
+		ckptIv    = flag.Duration("checkpoint-interval", 15*time.Minute, "stream time between engine state checkpoints (with -data-dir); restart recovery re-ingests at most this much of the stream. Checkpoint segments rotate independently of -compact-mb")
 		ringSize  = flag.Int("resume-ring", 4096, "recent events retained for SSE Last-Event-ID resume")
 		probeBkn  = flag.String("probe-backend", "", "active-measurement backend: sim, sim-fault (latency/loss-injected soak), or empty to disable probing; requires -synthetic")
 		probeBdg  = flag.Int("probe-budget", 256, "probes allowed per sliding one-hour window")
@@ -121,6 +130,9 @@ func main() {
 	}
 	if *compactMB <= 0 {
 		fatal(fmt.Errorf("-compact-mb must be positive, got %d", *compactMB))
+	}
+	if err := validateCheckpointFlags(*ckptIv); err != nil {
+		fatal(err)
 	}
 	if *ringSize < 0 {
 		fatal(fmt.Errorf("-resume-ring must be non-negative, got %d (0 disables resume)", *ringSize))
@@ -173,15 +185,17 @@ func main() {
 		log.Printf("keplerd: probe scheduler on (%s backend, budget %d/h)", *probeBkn, *probeBdg)
 	}
 
-	// Source.
-	var src live.Source
+	// Source. Both sources are Resumable; the Tracked wrapper remembers the
+	// cursor of the in-flight record so checkpoints taken inside BinClosed
+	// hooks (mid-Process) can record the exact resume position.
+	var tracked *live.Tracked
 	switch {
 	case *synthetic:
 		scfg := live.SyntheticConfig{Seed: *seed + 100}
 		if wdp != nil {
 			scfg.OnWindow = wdp.Install
 		}
-		src = live.NewSynthetic(w, scfg)
+		tracked = live.Track(live.NewSynthetic(w, scfg))
 		log.Printf("keplerd: synthetic soak source (endless rolling windows)")
 	default:
 		f, err := os.Open(*archive)
@@ -189,9 +203,10 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		src = live.NewReplayer(mrt.NewReader(f), *speed)
+		tracked = live.Track(live.NewReplayer(mrt.NewReader(f), *speed))
 		log.Printf("keplerd: replaying %s at %s", *archive, speedName(*speed))
 	}
+	var src live.Source = tracked
 
 	kcfg := core.DefaultConfig()
 	kcfg.Tfail = *tfail
@@ -210,6 +225,8 @@ func main() {
 		hist       store.History
 		sinkArmed  atomic.Bool // cleared if an append fails: serve on, in memory
 		aborting   atomic.Bool // set by OnAbort: mute hooks through shutdown
+		resume     *store.Checkpoint
+		engCkpt    *core.Checkpoint
 	)
 	busOpts := []events.Option{events.WithRing(*ringSize)}
 	if *dataDir != "" {
@@ -243,6 +260,29 @@ func main() {
 		log.Printf("keplerd: recovered %s: %d outages, %d incidents, seq %d (last bin %s)",
 			*dataDir, len(hist.Resolved), len(hist.Incidents), hist.LastSeq,
 			hist.LastBin.Format("2006-01-02 15:04"))
+
+		// Newest usable engine checkpoint: structurally valid (CRC-framed),
+		// version-compatible, not ahead of the durable event horizon (a
+		// machine crash can persist a checkpoint whose WAL pages were lost),
+		// and runnable in this configuration. Anything else falls back —
+		// older checkpoint, then full re-ingest — never a partial restore.
+		resume = st.LoadCheckpoint(func(c *store.Checkpoint) error {
+			if c.EventSeq > hist.LastSeq {
+				return fmt.Errorf("checkpoint seq %d ahead of durable horizon %d", c.EventSeq, hist.LastSeq)
+			}
+			ec, err := core.DecodeCheckpoint(c.Engine)
+			if err != nil {
+				return err
+			}
+			if ec.Records != c.Records {
+				return fmt.Errorf("checkpoint envelope at record %d but engine state at %d", c.Records, ec.Records)
+			}
+			if len(ec.Pending) > 0 && sched == nil {
+				return fmt.Errorf("checkpoint carries %d pending probe campaigns but this run has no -probe-backend", len(ec.Pending))
+			}
+			engCkpt = ec
+			return nil
+		})
 	}
 
 	// Engine → bus → server wiring.
@@ -251,6 +291,39 @@ func main() {
 	eng := stack.NewEngine(kcfg, *shards)
 	if sched != nil {
 		eng.SetProber(sched)
+	}
+
+	// Checkpointed recovery: restore the engine to the checkpoint barrier
+	// and seek the source to its record cursor, so catch-up re-ingests only
+	// the suffix since the checkpoint instead of the whole stream. The
+	// replay gate below then skips only the events published between the
+	// checkpoint and the durable horizon.
+	gateSkip := hist.LastSeq
+	if engCkpt != nil {
+		if err := eng.RestoreFrom(engCkpt); err != nil {
+			// Should be unreachable (LoadCheckpoint pre-validated); rebuild
+			// the engine rather than risk a partial restore.
+			log.Printf("keplerd: checkpoint restore failed, re-ingesting from record zero: %v", err)
+			eng.Close()
+			eng = stack.NewEngine(kcfg, *shards)
+			if sched != nil {
+				eng.SetProber(sched)
+			}
+			resume, engCkpt = nil, nil
+		}
+	}
+	if resume != nil {
+		cur := live.Cursor{Records: resume.Records, Window: resume.Window, WindowPos: resume.WindowPos}
+		if err := tracked.Seek(context.Background(), cur); err != nil {
+			fatal(fmt.Errorf("checkpoint resume: %w (a data dir is bound to one source; restore the original archive or clear the ckpt-* segments)", err))
+		}
+		gateSkip = hist.LastSeq - resume.EventSeq
+		storeStats.ResumeSeq.Store(int64(resume.EventSeq))
+		storeStats.ResumeRecords.Store(int64(resume.Records))
+		log.Printf("keplerd: resuming from checkpoint: record %d, bin %s, event seq %d (catch-up replays %d events)",
+			resume.Records, resume.BinEnd.Format("2006-01-02 15:04"), resume.EventSeq, gateSkip)
+	} else if st != nil {
+		log.Printf("keplerd: no usable checkpoint; re-ingesting from record zero")
 	}
 	srvOpts := server.Options{
 		Bus:       bus,
@@ -345,16 +418,64 @@ func main() {
 			log.Printf("keplerd: probe campaign %d expired unanswered (signal %s)", o.Pending.ID, o.Pending.SignalPoP)
 		}
 	}
+	// saveCheckpoint runs inside gated BinClosed hooks: the engine is at a
+	// bin barrier, every event up to here has been appended to the WAL (the
+	// bus sink runs first in the chain), and the tracked source knows the
+	// in-flight record's cursor. Failures only cost recovery freshness, so
+	// they log and move on.
+	var lastCkptBin time.Time
+	if resume != nil {
+		lastCkptBin = resume.BinEnd
+	}
+	saveCheckpoint := func(end time.Time) {
+		c, err := eng.Checkpoint()
+		if err != nil {
+			log.Printf("keplerd: checkpoint skipped: %v", err)
+			return
+		}
+		enc, err := c.Encode()
+		if err != nil {
+			log.Printf("keplerd: checkpoint encode failed: %v", err)
+			return
+		}
+		cur := tracked.Cursor() // position after the in-flight record
+		switch c.Records {
+		case cur.Records - 1:
+			// Mid-Process: the in-flight record is not in the checkpoint, so
+			// recovery must re-read it.
+			cur = tracked.LastCursor()
+		case cur.Records:
+			// Flush-time barrier: everything consumed is included.
+		default:
+			log.Printf("keplerd: checkpoint skipped: engine at record %d but source cursor at %d", c.Records, cur.Records)
+			return
+		}
+		if err := st.SaveCheckpoint(&store.Checkpoint{
+			EventSeq:  bus.Seq(),
+			Records:   c.Records,
+			Window:    cur.Window,
+			WindowPos: cur.WindowPos,
+			BinEnd:    end,
+			Engine:    enc,
+		}); err != nil {
+			log.Printf("keplerd: checkpoint save failed: %v", err)
+		}
+	}
 	publishBin := hooks.BinClosed
 	hooks.BinClosed = func(end time.Time) {
 		publishBin(end)
 		srv.PublishSnapshot(buildSnap(end))
+		if st != nil && (lastCkptBin.IsZero() || end.Sub(lastCkptBin) >= *ckptIv) {
+			saveCheckpoint(end)
+			lastCkptBin = end
+		}
 	}
-	// Recovery replays the source from the beginning (detection is
-	// deterministic), suppressing the hist.LastSeq callbacks whose events
-	// are already persisted and published; publication, persistence and the
-	// SSE sequence resume exactly where the previous process stopped.
-	finalHooks := events.GateHooks(hooks, hist.LastSeq)
+	// Recovery replays the source from the checkpoint cursor (or record
+	// zero without one; detection is deterministic), suppressing the
+	// gateSkip callbacks whose events are already persisted and published;
+	// publication, persistence and the SSE sequence resume exactly where
+	// the previous process stopped.
+	finalHooks := events.GateHooks(hooks, gateSkip)
 	if st != nil {
 		finalHooks = events.MuteHooks(finalHooks, aborting.Load)
 		// Serve the recovered history immediately — catch-up publishes its

@@ -133,22 +133,27 @@ func main() {
 	// ingesting. With -data-dir the history is durable — kill and restart
 	// the daemon and it recovers every outage it had reported, resumes SSE
 	// sequence numbers, keeps pagination cursors valid, and re-parks any
-	// probe campaign that was mid-flight. With -probe-backend the daemon
+	// probe campaign that was mid-flight. The engine also checkpoints its
+	// full detection state every -checkpoint-interval of stream time, so a
+	// restart resumes from the newest checkpoint and re-ingests at most one
+	// interval of records instead of the whole archive (watch
+	// store.resume_records in /v1/stats). With -probe-backend the daemon
 	// runs this section's scheduler live (-synthetic mode), exposing
 	// campaigns at /v1/probes and counters at /v1/stats and /metrics
 	// (Prometheus text format):
 	//
 	//	go run ./cmd/topogen -seed 1 -days 30 -out archive.mrt
-	//	go run ./cmd/keplerd -seed 1 -archive archive.mrt -data-dir data &
+	//	go run ./cmd/keplerd -seed 1 -archive archive.mrt -data-dir data -checkpoint-interval 15m &
 	//	curl localhost:8080/v1/outages/open                  # ongoing outages as JSON
 	//	curl 'localhost:8080/v1/outages?limit=20'            # resolved history, page 1
 	//	curl 'localhost:8080/v1/outages?after=20&limit=20'   # page 2 (see next_after)
 	//	curl -N localhost:8080/v1/events                     # live SSE event stream
 	//	curl localhost:8080/metrics                          # Prometheus exposition
-	//	kill %2 && go run ./cmd/keplerd -seed 1 -archive archive.mrt -data-dir data &
-	//	curl localhost:8080/v1/outages                       # history survived the restart
+	//	kill -9 %2 && go run ./cmd/keplerd -seed 1 -archive archive.mrt -data-dir data &
+	//	curl localhost:8080/v1/outages                       # history survived the kill
+	//	curl localhost:8080/v1/stats                         # store.resume_records: suffix-only catch-up
 	//	curl -N -H 'Last-Event-ID: 3' localhost:8080/v1/events  # replay missed events
 	//	go run ./cmd/keplerd -seed 1 -synthetic -probe-backend sim -data-dir pdata &
 	//	curl localhost:8080/v1/probes                        # in-flight campaigns + verdicts
-	fmt.Println("\nnext: run this pipeline as a daemon — see cmd/keplerd (HTTP API + SSE, durable -data-dir, -probe-backend)")
+	fmt.Println("\nnext: run this pipeline as a daemon — see cmd/keplerd (HTTP API + SSE, durable -data-dir with checkpointed restarts, -probe-backend)")
 }

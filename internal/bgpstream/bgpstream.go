@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"kepler/internal/bgp"
@@ -284,6 +285,58 @@ func (t *SessionTracker) Observe(r *mrt.Record) {
 			delete(t.down, key)
 		}
 	}
+}
+
+// SessionEntry is the serialized state of one tracked collector session.
+type SessionEntry struct {
+	Collector string           `json:"collector"`
+	PeerAS    bgp.ASN          `json:"peer_as"`
+	State     mrt.SessionState `json:"state"`
+	// DownSince is the start of the session's open gap; zero when up.
+	DownSince time.Time `json:"down_since,omitempty"`
+}
+
+// SessionCheckpoint is the tracker's full serializable state: per-session
+// status plus the closed feed gaps observed so far.
+type SessionCheckpoint struct {
+	Sessions []SessionEntry `json:"sessions,omitempty"`
+	Gaps     []Gap          `json:"gaps,omitempty"`
+}
+
+// Checkpoint snapshots the tracker deterministically: sessions sorted by
+// (collector, peer), gaps in observation order.
+func (t *SessionTracker) Checkpoint() SessionCheckpoint {
+	c := SessionCheckpoint{}
+	for key, st := range t.state {
+		e := SessionEntry{Collector: key.Collector, PeerAS: key.PeerAS, State: st}
+		if start, down := t.down[key]; down {
+			e.DownSince = start
+		}
+		c.Sessions = append(c.Sessions, e)
+	}
+	sort.Slice(c.Sessions, func(i, j int) bool {
+		if c.Sessions[i].Collector != c.Sessions[j].Collector {
+			return c.Sessions[i].Collector < c.Sessions[j].Collector
+		}
+		return c.Sessions[i].PeerAS < c.Sessions[j].PeerAS
+	})
+	c.Gaps = append(c.Gaps, t.gaps...)
+	return c
+}
+
+// Restore replaces the tracker's state with a checkpoint. Must be called
+// before any Observe.
+func (t *SessionTracker) Restore(c SessionCheckpoint) {
+	t.state = make(map[SessionKey]mrt.SessionState, len(c.Sessions))
+	t.down = make(map[SessionKey]time.Time)
+	for _, e := range c.Sessions {
+		key := SessionKey{Collector: e.Collector, PeerAS: e.PeerAS}
+		t.state[key] = e.State
+		if !e.DownSince.IsZero() {
+			t.down[key] = e.DownSince
+		}
+	}
+	t.gaps = append([]Gap(nil), c.Gaps...)
 }
 
 // IsDown reports whether the session was down at the given instant.

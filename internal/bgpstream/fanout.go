@@ -82,6 +82,9 @@ type Fanout struct {
 	n       int
 	seq     uint64
 	pending [][]RouteOp
+	// spare holds one recycled op slab per shard, adopted by the next Take
+	// so batch dispatch reuses capacity instead of allocating per batch.
+	spare   [][]RouteOp
 	tracker *SessionTracker
 }
 
@@ -90,8 +93,15 @@ func NewFanout(n int) *Fanout {
 	if n < 1 {
 		n = 1
 	}
-	return &Fanout{n: n, pending: make([][]RouteOp, n), tracker: NewSessionTracker()}
+	return &Fanout{n: n, pending: make([][]RouteOp, n), spare: make([][]RouteOp, n), tracker: NewSessionTracker()}
 }
+
+// Seq returns the sequence number of the most recently emitted op.
+func (f *Fanout) Seq() uint64 { return f.seq }
+
+// RestoreSeq seeds the op sequence counter — the checkpoint-recovery hook
+// that keeps post-restore op numbering identical to an uninterrupted run.
+func (f *Fanout) RestoreSeq(seq uint64) { f.seq = seq }
 
 // Shards returns the shard count.
 func (f *Fanout) Shards() int { return f.n }
@@ -150,18 +160,28 @@ func (f *Fanout) Add(rec *mrt.Record) int {
 // Pending returns the number of ops queued for shard i.
 func (f *Fanout) Pending(i int) int { return len(f.pending[i]) }
 
-// Take hands shard i's pending ops to the caller and resets the queue.
+// Take hands shard i's pending ops to the caller and resets the queue,
+// adopting a previously recycled slab (if any) as the new accumulation
+// buffer so steady-state dispatch stops allocating.
 func (f *Fanout) Take(i int) []RouteOp {
 	ops := f.pending[i]
-	f.pending[i] = nil
+	f.pending[i] = f.spare[i]
+	f.spare[i] = nil
 	return ops
 }
 
-// Recycle returns a fully consumed Take buffer to shard i for reuse.
-// Only synchronous consumers (which drain ops before the next Add) may
-// recycle; it is a no-op if new ops were queued in the meantime.
+// Recycle returns a fully consumed Take buffer to shard i for reuse. The
+// caller must guarantee the ops have been completely applied: the slab is
+// reused by a later Add, overwriting its entries. If the accumulation
+// buffer is empty the slab is adopted immediately; otherwise it is parked
+// as the shard's spare and adopted by the next Take.
 func (f *Fanout) Recycle(i int, ops []RouteOp) {
-	if len(f.pending[i]) == 0 {
-		f.pending[i] = ops[:0]
+	if ops == nil {
+		return
 	}
+	if f.pending[i] == nil {
+		f.pending[i] = ops[:0]
+		return
+	}
+	f.spare[i] = ops[:0]
 }

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"kepler/internal/bgp"
+	"kepler/internal/bgpstream"
+	"kepler/internal/colo"
+)
+
+// CheckpointVersion is the encoding version DecodeCheckpoint accepts. Any
+// change to the checkpoint schema or to the semantics of a serialized field
+// must bump it: restoring a checkpoint written by different detection code
+// would silently desynchronize the replay gate, so a version mismatch is a
+// hard decode error and recovery falls back to an older checkpoint or a
+// full re-ingest.
+const CheckpointVersion = 1
+
+// Checkpoint is the complete serializable detection state of an Engine (or
+// Detector) at a bin barrier: the per-path monitoring tables, the stable
+// baseline, collector session state, the investigator's incident log and
+// outage tracker, and any probe campaigns parked as pending confirmations.
+//
+// The encoding is deterministic — every map is flattened into a sorted
+// slice — so for one record stream the checkpoint bytes are identical
+// regardless of shard count, and a checkpoint can be restored into an
+// engine with any shard count. Restoring a checkpoint taken after record N
+// and re-ingesting records N+1.. reproduces byte-for-byte the state and
+// lifecycle-hook sequence of an uninterrupted run.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// BinStart is the bin clock position: the start of the bin the next
+	// record falls into (the closing bin's end when captured at a barrier).
+	BinStart time.Time `json:"bin_start"`
+	// Records counts the source records whose effects this checkpoint
+	// includes; recovery resumes ingestion at record offset Records.
+	Records uint64 `json:"records"`
+	// OpSeq is the fan-out's global route-op sequence counter.
+	OpSeq uint64 `json:"op_seq"`
+	// ProbeSeq is the investigator's campaign-id counter.
+	ProbeSeq uint64 `json:"probe_seq"`
+
+	Sessions bgpstream.SessionCheckpoint `json:"sessions"`
+
+	Paths  []PathCheckpoint   `json:"paths,omitempty"`
+	Stable []StableCheckpoint `json:"stable,omitempty"`
+
+	Incidents []Incident `json:"incidents,omitempty"`
+	// Completed are outages emitted but not yet drained by the caller.
+	Completed []Outage                 `json:"completed,omitempty"`
+	Open      []OpenOutageCheckpoint   `json:"open,omitempty"`
+	Cooling   []Outage                 `json:"cooling,omitempty"`
+	Pending   []PendingProbeCheckpoint `json:"pending,omitempty"`
+}
+
+// PathKeyCheckpoint is the serialized form of one monitored path key.
+type PathKeyCheckpoint struct {
+	Peer   bgp.ASN      `json:"peer"`
+	Prefix netip.Prefix `json:"prefix"`
+}
+
+func ckptKey(k PathKey) PathKeyCheckpoint   { return PathKeyCheckpoint{Peer: k.Peer, Prefix: k.Prefix} }
+func (k PathKeyCheckpoint) unpack() PathKey { return PathKey{Peer: k.Peer, Prefix: k.Prefix} }
+
+func keyLess(a, b PathKey) bool {
+	if a.Peer != b.Peer {
+		return a.Peer < b.Peer
+	}
+	if c := a.Prefix.Addr().Compare(b.Prefix.Addr()); c != 0 {
+		return c < 0
+	}
+	return a.Prefix.Bits() < b.Prefix.Bits()
+}
+
+func popLess(a, b colo.PoP) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.ID < b.ID
+}
+
+func sortKeySet(set map[PathKey]bool) []PathKeyCheckpoint {
+	keys := make([]PathKey, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	out := make([]PathKeyCheckpoint, len(keys))
+	for i, k := range keys {
+		out[i] = ckptKey(k)
+	}
+	return out
+}
+
+// TagCheckpoint is one currently tagged PoP of a path with its hop ends and
+// the instant the tag became continuous (the stability clock).
+type TagCheckpoint struct {
+	PoP   colo.PoP  `json:"pop"`
+	Near  bgp.ASN   `json:"near"`
+	Far   bgp.ASN   `json:"far"`
+	Since time.Time `json:"since"`
+}
+
+// PathCheckpoint is the full monitoring state of one path.
+type PathCheckpoint struct {
+	Key  PathKeyCheckpoint `json:"key"`
+	Path bgp.Path          `json:"path,omitempty"`
+	Tags []TagCheckpoint   `json:"tags,omitempty"`
+}
+
+// StableCheckpoint is one stable-baseline membership: key is stable at PoP
+// under the near-end AS grouping, with the recorded hop ends.
+type StableCheckpoint struct {
+	PoP  colo.PoP          `json:"pop"`
+	Near bgp.ASN           `json:"near"`
+	Far  bgp.ASN           `json:"far"`
+	Key  PathKeyCheckpoint `json:"key"`
+}
+
+// OpenOutageCheckpoint is the tracker state of one ongoing outage.
+type OpenOutageCheckpoint struct {
+	Epicenter  colo.PoP            `json:"epicenter"`
+	SignalPoPs []colo.PoP          `json:"signal_pops"`
+	Start      time.Time           `json:"start"`
+	LastSignal time.Time           `json:"last_signal"`
+	Waiting    []PathKeyCheckpoint `json:"waiting,omitempty"`
+	Returned   []PathKeyCheckpoint `json:"returned,omitempty"`
+	LastReturn time.Time           `json:"last_return,omitempty"`
+	Affected   []bgp.ASN           `json:"affected,omitempty"`
+	Confirmed  bool                `json:"confirmed,omitempty"`
+	DPChecked  bool                `json:"dp_checked,omitempty"`
+	Merged     int                 `json:"merged,omitempty"`
+}
+
+// DivertRecCheckpoint is the detached divert record of a parked group:
+// path key and link ends, exactly what promotion rebuilds the tracker-facing
+// group from.
+type DivertRecCheckpoint struct {
+	Key  PathKeyCheckpoint `json:"key"`
+	Near bgp.ASN           `json:"near"`
+	Far  bgp.ASN           `json:"far"`
+}
+
+// PendingProbeCheckpoint is one parked signal group awaiting its campaign
+// verdict. Restore re-parks it and re-submits the campaign to the prober.
+type PendingProbeCheckpoint struct {
+	ID         uint64                `json:"id"`
+	At         time.Time             `json:"at"`
+	Deadline   time.Time             `json:"deadline"`
+	Epicenter  colo.PoP              `json:"epicenter"`
+	Candidates []colo.PoP            `json:"candidates,omitempty"`
+	SignalPoP  colo.PoP              `json:"signal_pop"`
+	Recs       []DivertRecCheckpoint `json:"recs,omitempty"`
+	Affected   []bgp.ASN             `json:"affected,omitempty"`
+	Paths      int                   `json:"paths"`
+	Waiting    []PathKeyCheckpoint   `json:"waiting,omitempty"`
+	Returned   []PathKeyCheckpoint   `json:"returned,omitempty"`
+	LastReturn time.Time             `json:"last_return,omitempty"`
+}
+
+// Encode renders the checkpoint as its canonical byte encoding. Because
+// every collection is sorted at capture, encoding the same detection state
+// always yields the same bytes.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeCheckpoint parses an encoded checkpoint, rejecting unknown
+// versions: a checkpoint written by a different encoding must never be
+// half-restored.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, this build reads %d", c.Version, CheckpointVersion)
+	}
+	return &c, nil
+}
+
+// captureCheckpoint assembles a checkpoint from quiesced pipeline state.
+// The caller guarantees exclusive access to every shard (bin barrier, or a
+// pipeline with no ops since its last barrier).
+func captureCheckpoint(binStart time.Time, records uint64, fan *bgpstream.Fanout, shards []*pathShard, inv *investigator) *Checkpoint {
+	c := &Checkpoint{
+		Version:  CheckpointVersion,
+		BinStart: binStart,
+		Records:  records,
+		OpSeq:    fan.Seq(),
+		ProbeSeq: inv.probeSeq,
+		Sessions: fan.Tracker().Checkpoint(),
+	}
+
+	// Per-path monitoring state, merged across shards and globally sorted:
+	// the encoding is shard-count independent.
+	for _, s := range shards {
+		for key, st := range s.paths {
+			p := PathCheckpoint{Key: ckptKey(key), Path: st.path}
+			for pop, ends := range st.tags {
+				p.Tags = append(p.Tags, TagCheckpoint{PoP: pop, Near: ends.near, Far: ends.far, Since: st.since[pop]})
+			}
+			sort.Slice(p.Tags, func(i, j int) bool { return popLess(p.Tags[i].PoP, p.Tags[j].PoP) })
+			c.Paths = append(c.Paths, p)
+		}
+		for pop, byNear := range s.stable {
+			for near, set := range byNear {
+				for key, ends := range set {
+					c.Stable = append(c.Stable, StableCheckpoint{PoP: pop, Near: near, Far: ends.far, Key: ckptKey(key)})
+				}
+			}
+		}
+	}
+	sort.Slice(c.Paths, func(i, j int) bool { return keyLess(c.Paths[i].Key.unpack(), c.Paths[j].Key.unpack()) })
+	sort.Slice(c.Stable, func(i, j int) bool {
+		a, b := &c.Stable[i], &c.Stable[j]
+		if a.PoP != b.PoP {
+			return popLess(a.PoP, b.PoP)
+		}
+		if a.Near != b.Near {
+			return a.Near < b.Near
+		}
+		return keyLess(a.Key.unpack(), b.Key.unpack())
+	})
+
+	// Investigator state: the incident log, undrained completions, the
+	// outage tracker, and parked probe campaigns.
+	c.Incidents = append([]Incident(nil), inv.incidents...)
+	c.Completed = append([]Outage(nil), inv.completed...)
+	c.Cooling = append([]Outage(nil), inv.tracker.cooling...)
+	epis := make([]colo.PoP, 0, len(inv.tracker.opened))
+	for pop := range inv.tracker.opened {
+		epis = append(epis, pop)
+	}
+	sort.Slice(epis, func(i, j int) bool { return popLess(epis[i], epis[j]) })
+	for _, pop := range epis {
+		o := inv.tracker.opened[pop]
+		sigs := make([]colo.PoP, 0, len(o.signalPops))
+		for p := range o.signalPops {
+			sigs = append(sigs, p)
+		}
+		sort.Slice(sigs, func(i, j int) bool { return popLess(sigs[i], sigs[j]) })
+		affected := make([]bgp.ASN, 0, len(o.affected))
+		for a := range o.affected {
+			affected = append(affected, a)
+		}
+		sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+		c.Open = append(c.Open, OpenOutageCheckpoint{
+			Epicenter:  o.epicenter,
+			SignalPoPs: sigs,
+			Start:      o.start,
+			LastSignal: o.lastSignal,
+			Waiting:    sortKeySet(o.waiting),
+			Returned:   sortKeySet(o.returned),
+			LastReturn: o.lastReturn,
+			Affected:   affected,
+			Confirmed:  o.confirmed,
+			DPChecked:  o.dpChecked,
+			Merged:     o.merged,
+		})
+	}
+	for _, id := range inv.pendingIDs() {
+		p := inv.pending[id]
+		pc := PendingProbeCheckpoint{
+			ID:         p.id,
+			At:         p.at,
+			Deadline:   p.deadline,
+			Epicenter:  p.epicenter,
+			Candidates: append([]colo.PoP(nil), p.candidates...),
+			SignalPoP:  p.signalPop,
+			Affected:   append([]bgp.ASN(nil), p.affected...),
+			Paths:      p.paths,
+			Waiting:    sortKeySet(p.waiting),
+			Returned:   sortKeySet(p.returned),
+			LastReturn: p.lastReturn,
+		}
+		for _, r := range p.recs {
+			pc.Recs = append(pc.Recs, DivertRecCheckpoint{Key: ckptKey(r.key), Near: r.ends.near, Far: r.ends.far})
+		}
+		c.Pending = append(c.Pending, pc)
+	}
+	return c
+}
+
+// restoreCheckpoint loads a checkpoint into a fresh pipeline: paths and
+// stable-baseline entries are re-partitioned across the shards by shardOf
+// (nil assigns everything to shard 0), derived indexes and promotion queues
+// are rebuilt, the tracker and pending campaigns are reinstated, campaigns
+// are re-submitted to the prober, and restoration watch sets are pushed to
+// the shards exactly as the last pre-checkpoint barrier left them.
+func restoreCheckpoint(c *Checkpoint, cfg Config, shards []*pathShard, inv *investigator, shardOf func(PathKey) int) error {
+	if c.Version != CheckpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, this build reads %d", c.Version, CheckpointVersion)
+	}
+	if len(c.Pending) > 0 && inv.prober == nil {
+		return fmt.Errorf("core: checkpoint carries %d pending probe campaigns but no prober is wired (SetProber before RestoreFrom)", len(c.Pending))
+	}
+	at := func(key PathKey) *pathShard {
+		if shardOf == nil {
+			return shards[0]
+		}
+		return shards[shardOf(key)]
+	}
+
+	for _, p := range c.Paths {
+		key := p.Key.unpack()
+		s := at(key)
+		st := &pathState{
+			tags:  make(map[colo.PoP]popEnd, len(p.Tags)),
+			since: make(map[colo.PoP]time.Time, len(p.Tags)),
+			path:  append(bgp.Path(nil), p.Path...),
+		}
+		for _, tag := range p.Tags {
+			st.tags[tag.PoP] = popEnd{near: tag.Near, far: tag.Far}
+			st.since[tag.PoP] = tag.Since
+			// Promotions are derivable: a tag promotes once it has survived
+			// the stability window from Since. Entries already promoted pop
+			// as idempotent re-insertions.
+			s.promos = append(s.promos, promo{due: tag.Since.Add(cfg.StableWindow), key: key, pop: tag.PoP, since: tag.Since})
+		}
+		s.paths[key] = st
+		if s.pathsOfPeer[key.Peer] == nil {
+			s.pathsOfPeer[key.Peer] = make(map[PathKey]bool)
+		}
+		s.pathsOfPeer[key.Peer][key] = true
+		s.countPath(st.path, +1)
+	}
+	for _, s := range shards {
+		heap.Init(&s.promos)
+	}
+	for _, e := range c.Stable {
+		key := e.Key.unpack()
+		s := at(key)
+		byNear := s.stable[e.PoP]
+		if byNear == nil {
+			byNear = make(map[bgp.ASN]map[PathKey]popEnd)
+			s.stable[e.PoP] = byNear
+		}
+		set := byNear[e.Near]
+		if set == nil {
+			set = make(map[PathKey]popEnd)
+			byNear[e.Near] = set
+		}
+		set[key] = popEnd{near: e.Near, far: e.Far}
+	}
+
+	inv.incidents = append([]Incident(nil), c.Incidents...)
+	inv.completed = append([]Outage(nil), c.Completed...)
+	inv.tracker.cooling = append([]Outage(nil), c.Cooling...)
+	for _, oc := range c.Open {
+		o := &openOutage{
+			epicenter:  oc.Epicenter,
+			signalPops: make(map[colo.PoP]bool, len(oc.SignalPoPs)),
+			start:      oc.Start,
+			lastSignal: oc.LastSignal,
+			waiting:    make(map[PathKey]bool, len(oc.Waiting)),
+			returned:   make(map[PathKey]bool, len(oc.Returned)),
+			lastReturn: oc.LastReturn,
+			affected:   make(map[bgp.ASN]bool, len(oc.Affected)),
+			confirmed:  oc.Confirmed,
+			dpChecked:  oc.DPChecked,
+			merged:     oc.Merged,
+		}
+		for _, p := range oc.SignalPoPs {
+			o.signalPops[p] = true
+		}
+		for _, k := range oc.Waiting {
+			o.waiting[k.unpack()] = true
+		}
+		for _, k := range oc.Returned {
+			o.returned[k.unpack()] = true
+		}
+		for _, a := range oc.Affected {
+			o.affected[a] = true
+		}
+		inv.tracker.opened[oc.Epicenter] = o
+	}
+	inv.probeSeq = c.ProbeSeq
+	for _, pc := range c.Pending {
+		p := &pendingConfirmation{
+			id:         pc.ID,
+			at:         pc.At,
+			deadline:   pc.Deadline,
+			epicenter:  pc.Epicenter,
+			candidates: append([]colo.PoP(nil), pc.Candidates...),
+			signalPop:  pc.SignalPoP,
+			affected:   append([]bgp.ASN(nil), pc.Affected...),
+			paths:      pc.Paths,
+			waiting:    make(map[PathKey]bool, len(pc.Waiting)),
+			returned:   make(map[PathKey]bool, len(pc.Returned)),
+			lastReturn: pc.LastReturn,
+		}
+		for _, r := range pc.Recs {
+			p.recs = append(p.recs, divertRec{key: r.Key.unpack(), ends: popEnd{near: r.Near, far: r.Far}})
+		}
+		for _, k := range pc.Waiting {
+			p.waiting[k.unpack()] = true
+		}
+		for _, k := range pc.Returned {
+			p.returned[k.unpack()] = true
+		}
+		inv.pending[p.id] = p
+	}
+	// Re-submit the interrupted campaigns in park order: the previous
+	// process's prober died with its in-flight measurements, so the restored
+	// one measures them afresh; a deterministic prober delivers the same
+	// verdicts at the next bin close that the uninterrupted run collected.
+	// No ProbeRequested hook fires — the event was already published and
+	// persisted before the checkpoint.
+	for _, id := range inv.pendingIDs() {
+		p := inv.pending[id]
+		inv.prober.Submit(ProbeRequest{
+			ID:         p.id,
+			At:         p.at,
+			SignalPoP:  p.signalPop,
+			Epicenter:  p.epicenter,
+			Candidates: append([]colo.PoP(nil), p.candidates...),
+		})
+	}
+
+	// Reinstate the restoration watch sets the last barrier distributed.
+	sets := inv.tracker.watchSets(len(shards), shardOf)
+	if len(inv.pending) > 0 {
+		pendSets := inv.pendingWatchSets(len(shards), shardOf)
+		for i := range sets {
+			sets[i] = append(sets[i], pendSets[i]...)
+		}
+	}
+	for i, s := range shards {
+		s.watches = sets[i]
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"kepler/internal/as2org"
@@ -53,6 +54,15 @@ type Detector struct {
 	clock binClock
 	// shards is the one-element slice handed to closeBinOver.
 	shards []*pathShard
+
+	// Checkpoint bookkeeping, mirroring Engine: seen counts processed
+	// records over the pipeline's life, opsSinceBarrier marks mid-bin
+	// per-path state, inBarrier/barrierEnd scope the bin-close window.
+	seen            uint64
+	inProcess       bool
+	inBarrier       bool
+	barrierEnd      time.Time
+	opsSinceBarrier bool
 }
 
 // shardView backs the investigator's state view with the single shard's
@@ -98,15 +108,19 @@ func (d *Detector) Process(rec *mrt.Record) []Outage {
 	// Promotions need no explicit run here: apply promotes up to each
 	// op's time, and op-less records leave no observable window before
 	// the next op or bin close does it.
+	d.seen++
+	d.inProcess = true
 	d.clock.advance(rec.Time, d.closeBin)
 
 	if d.fan.Add(rec) > 0 {
+		d.opsSinceBarrier = true
 		ops := d.fan.Take(0)
 		for i := range ops {
 			d.sh.apply(&ops[i])
 		}
 		d.fan.Recycle(0, ops)
 	}
+	d.inProcess = false
 	return d.inv.drainCompleted()
 }
 
@@ -114,7 +128,11 @@ func (d *Detector) Process(rec *mrt.Record) []Outage {
 // bin-close sequence over the single shard.
 func (d *Detector) closeBin(end time.Time) {
 	d.sh.runPromotions(end)
+	d.inBarrier = true
+	d.barrierEnd = end
 	d.inv.closeBinOver(end, d.shards, d.sh.diverted, nil)
+	d.inBarrier = false
+	d.opsSinceBarrier = false
 }
 
 // Flush closes the current bin and any open outages as of the given time,
@@ -125,6 +143,40 @@ func (d *Detector) Flush(asOf time.Time) []Outage {
 	d.inv.tracker.closeAll(asOf)
 	d.inv.tracker.drainCooling(d.inv)
 	return d.inv.drainCompleted()
+}
+
+// Checkpoint captures the detector's complete detection state, with
+// identical semantics (and identical bytes, for the same record stream) to
+// Engine.Checkpoint: valid from inside a BinClosed hook or between Process
+// calls while no route ops have applied since the last bin close.
+func (d *Detector) Checkpoint() (*Checkpoint, error) {
+	records := d.seen
+	if d.inProcess {
+		records--
+	}
+	if d.inBarrier {
+		return captureCheckpoint(d.barrierEnd, records, d.fan, d.shards, d.inv), nil
+	}
+	if d.opsSinceBarrier {
+		return nil, fmt.Errorf("core: Checkpoint outside a bin barrier with ops in flight; checkpoint from a BinClosed hook")
+	}
+	return captureCheckpoint(d.clock.start, records, d.fan, d.shards, d.inv), nil
+}
+
+// RestoreFrom loads a checkpoint produced by any Engine or Detector; see
+// Engine.RestoreFrom. It must be called before the first Process.
+func (d *Detector) RestoreFrom(c *Checkpoint) error {
+	if d.seen != 0 || !d.clock.start.IsZero() {
+		return fmt.Errorf("core: RestoreFrom must precede the first Process")
+	}
+	if err := restoreCheckpoint(c, d.cfg, d.shards, d.inv, nil); err != nil {
+		return err
+	}
+	d.clock.start = c.BinStart
+	d.fan.RestoreSeq(c.OpSeq)
+	d.fan.Tracker().Restore(c.Sessions)
+	d.seen = c.Records
+	return nil
 }
 
 // Incidents returns every classified signal so far.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -38,10 +39,13 @@ type binBarrier struct {
 	resume chan struct{}
 }
 
-// engineShard couples a path-state shard with its worker goroutine.
+// engineShard couples a path-state shard with its worker goroutine. free
+// carries fully consumed op slabs back to the dispatcher for reuse, so
+// steady-state batching stops allocating a fresh slice per batch.
 type engineShard struct {
 	ps   *pathShard
 	in   chan shardMsg
+	free chan []bgpstream.RouteOp
 	done chan struct{}
 }
 
@@ -50,6 +54,14 @@ func (s *engineShard) run() {
 	for msg := range s.in {
 		for i := range msg.ops {
 			s.ps.apply(&msg.ops[i])
+		}
+		if msg.ops != nil {
+			// Hand the consumed slab back without ever blocking; a full
+			// free queue just lets this one go to the GC.
+			select {
+			case s.free <- msg.ops[:0]:
+			default:
+			}
 		}
 		if b := msg.barrier; b != nil {
 			s.ps.runPromotions(b.end)
@@ -140,6 +152,17 @@ type Engine struct {
 	opsSinceBarrier bool
 	stats           metrics.IngestStats
 
+	// seen counts records fed to Process over the pipeline's whole life
+	// (seeded by RestoreFrom); inProcess marks that a Process call is on
+	// the stack, so a checkpoint taken from inside a BinClosed hook knows
+	// the in-flight record's effects are not yet included. inBarrier and
+	// barrierEnd scope the bin-barrier window in which shard state may be
+	// read directly.
+	seen       uint64
+	inProcess  bool
+	inBarrier  bool
+	barrierEnd time.Time
+
 	// lifecycle serializes Flush against Close so a daemon's shutdown path
 	// can race the two safely; closeOnce makes Close idempotent. Process
 	// remains single-goroutine and must happen-before any Flush or Close.
@@ -166,6 +189,7 @@ func NewEngine(cfg Config, dict *communities.Dictionary, cmap *colo.Map, orgs *a
 		e.shards[i] = &engineShard{
 			ps:   newPathShard(cfg, dict, cmap),
 			in:   make(chan shardMsg, engineQueueLen),
+			free: make(chan []bgpstream.RouteOp, engineQueueLen+1),
 			done: make(chan struct{}),
 		}
 		e.shardStates[i] = e.shards[i].ps
@@ -207,6 +231,8 @@ func (e *Engine) SetHooks(h Hooks) { e.inv.hooks = h }
 func (e *Engine) Process(rec *mrt.Record) []Outage {
 	e.stats.Begin()
 	e.stats.Records.Add(1)
+	e.seen++
+	e.inProcess = true
 	e.clock.advance(rec.Time, e.closeBin)
 	if n := e.fan.Add(rec); n > 0 {
 		e.opsSinceBarrier = true
@@ -214,10 +240,23 @@ func (e *Engine) Process(rec *mrt.Record) []Outage {
 	}
 	for i := range e.shards {
 		if e.fan.Pending(i) >= engineBatchSize {
-			e.shards[i].in <- shardMsg{ops: e.fan.Take(i)}
+			s := e.shards[i]
+			s.in <- shardMsg{ops: e.fan.Take(i)}
+			e.reclaim(i)
 		}
 	}
+	e.inProcess = false
 	return e.inv.drainCompleted()
+}
+
+// reclaim recycles one consumed op slab (if a worker has returned any) into
+// shard i's fan-out accumulation buffer.
+func (e *Engine) reclaim(i int) {
+	select {
+	case buf := <-e.shards[i].free:
+		e.fan.Recycle(i, buf)
+	default:
+	}
 }
 
 // closeBin executes the barrier protocol for one bin boundary: flush
@@ -238,11 +277,19 @@ func (e *Engine) closeBin(end time.Time) {
 	b.ready.Wait()
 
 	// Shards are paused: the investigator owns their state until resume.
+	// inBarrier additionally licenses a Checkpoint taken from inside the
+	// BinClosed hook to read shard state directly.
+	e.inBarrier = true
+	e.barrierEnd = end
 	e.inv.closeBinOver(end, e.shardStates, e.mergeDiverted(), func(k PathKey) int {
 		return e.fan.ShardOf(k.Peer, k.Prefix)
 	})
+	e.inBarrier = false
 	e.view.reset()
 	close(b.resume)
+	for i := range e.shards {
+		e.reclaim(i)
+	}
 
 	e.opsSinceBarrier = false
 	e.stats.Bins.Add(1)
@@ -331,6 +378,54 @@ func (e *Engine) Stats() metrics.IngestSnapshot {
 		depths[i] = len(s.in)
 	}
 	return e.stats.Snapshot(depths)
+}
+
+// Checkpoint captures the engine's complete detection state. It is valid
+// at bin barriers only: call it either from inside a BinClosed hook (the
+// shards are paused and the investigator's bin is fully closed) or between
+// Process calls while no route ops have been dispatched since the last bin
+// close — any other instant has per-bin divert state in flight that a
+// checkpoint does not carry, and is rejected.
+func (e *Engine) Checkpoint() (*Checkpoint, error) {
+	records := e.seen
+	if e.inProcess {
+		// The in-flight record's ops apply after the barrier: its effects
+		// are not part of this checkpoint, so recovery re-reads it.
+		records--
+	}
+	if e.inBarrier {
+		return captureCheckpoint(e.barrierEnd, records, e.fan, e.shardStates, e.inv), nil
+	}
+	if e.opsSinceBarrier {
+		return nil, fmt.Errorf("core: Checkpoint outside a bin barrier with ops in flight; checkpoint from a BinClosed hook")
+	}
+	// No ops were added since the last barrier, so every shard queue is
+	// empty and the workers are idle: the state is exactly the barrier
+	// state and safe to read from here.
+	return captureCheckpoint(e.clock.start, records, e.fan, e.shardStates, e.inv), nil
+}
+
+// RestoreFrom loads a checkpoint produced by Checkpoint (on an Engine or
+// Detector of any shard count): the next Process call continues exactly
+// where the checkpointed pipeline stopped, so re-ingesting the record
+// suffix after Checkpoint.Records reproduces the uninterrupted run's output
+// and hook sequence byte for byte. It must be called before the first
+// Process, after SetProber when the checkpoint carries pending campaigns
+// (they are re-submitted here, without re-firing ProbeRequested hooks).
+func (e *Engine) RestoreFrom(c *Checkpoint) error {
+	if e.seen != 0 || !e.clock.start.IsZero() {
+		return fmt.Errorf("core: RestoreFrom must precede the first Process")
+	}
+	if err := restoreCheckpoint(c, e.cfg, e.shardStates, e.inv, func(k PathKey) int {
+		return e.fan.ShardOf(k.Peer, k.Prefix)
+	}); err != nil {
+		return err
+	}
+	e.clock.start = c.BinStart
+	e.fan.RestoreSeq(c.OpSeq)
+	e.fan.Tracker().Restore(c.Sessions)
+	e.seen = c.Records
+	return nil
 }
 
 // Close stops the shard workers and waits for them to exit. Close is

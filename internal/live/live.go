@@ -12,6 +12,7 @@ package live
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"time"
 
@@ -26,6 +27,58 @@ import (
 type Source interface {
 	Next(ctx context.Context) (*mrt.Record, error)
 }
+
+// Cursor is a resumable source position: the next Next after a Seek to it
+// returns record offset Records of the stream. Window/WindowPos locate the
+// same position for window-rendering sources (Synthetic), which resume by
+// re-rendering one deterministic window rather than replaying everything
+// before it; archive sources ignore them.
+type Cursor struct {
+	Records   uint64
+	Window    int
+	WindowPos int
+}
+
+// Resumable is a Source that can report and restore its stream position —
+// the hook checkpoint recovery uses to re-ingest only the record suffix
+// past the newest engine checkpoint instead of starting at record zero.
+type Resumable interface {
+	Source
+	// Cursor returns the position of the next unread record.
+	Cursor() Cursor
+	// Seek fast-forwards the source to a cursor previously obtained from
+	// Cursor (of this source type, over the same underlying stream). It
+	// must be called before the first Next.
+	Seek(ctx context.Context, c Cursor) error
+}
+
+// Tracked wraps a Resumable source, additionally remembering the cursor of
+// the most recently returned record. A checkpoint taken from inside a
+// BinClosed hook runs mid-Process: the in-flight record's effects are not
+// part of the checkpoint, so recovery must resume at that record — which is
+// exactly LastCursor.
+type Tracked struct {
+	Resumable
+	last Cursor
+}
+
+// Track wraps src.
+func Track(src Resumable) *Tracked { return &Tracked{Resumable: src} }
+
+// Next implements Source.
+func (t *Tracked) Next(ctx context.Context) (*mrt.Record, error) {
+	c := t.Resumable.Cursor()
+	rec, err := t.Resumable.Next(ctx)
+	if err == nil {
+		t.last = c
+	}
+	return rec, err
+}
+
+// LastCursor returns the cursor positioned at the most recently returned
+// record (so a Seek there makes Next return it again). Zero until the
+// first successful Next.
+func (t *Tracked) LastCursor() Cursor { return t.last }
 
 // batchSource is the subset of bgpstream.Source the adapters accept: any
 // blocking-free, already-ordered record iterator (mrt.Reader,
@@ -91,10 +144,11 @@ func (a *abortHook) Next(ctx context.Context) (*mrt.Record, error) {
 // process the paper's live deployment saw from its collectors. Speed <= 0
 // disables pacing (maximum-speed replay, the batch-equivalence mode).
 type Replayer struct {
-	src    batchSource
-	speed  float64
-	origin time.Time // stream time of the first record
-	wall0  time.Time // wall time the first record was released
+	src      batchSource
+	speed    float64
+	origin   time.Time // stream time of the first record
+	wall0    time.Time // wall time the first record was released
+	consumed uint64    // records returned so far (plus any skipped by Seek)
 
 	// now and sleep are test seams; nil selects the real clock.
 	now   func() time.Time
@@ -128,6 +182,27 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// Cursor implements Resumable.
+func (r *Replayer) Cursor() Cursor { return Cursor{Records: r.consumed} }
+
+// Seek implements Resumable: it reads and discards records up to the
+// cursor's offset, without pacing — the skipped prefix was already
+// processed by a previous run, so replay timing restarts at the first
+// record actually delivered.
+func (r *Replayer) Seek(ctx context.Context, c Cursor) error {
+	for r.consumed < c.Records {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := r.src.Next(); err != nil {
+			return fmt.Errorf("live: seek to record %d: %w after %d records (is this the archive the checkpoint was written against?)",
+				c.Records, err, r.consumed)
+		}
+		r.consumed++
+	}
+	return nil
+}
+
 // Next implements Source: it reads the next record and blocks until its
 // scheduled release instant.
 func (r *Replayer) Next(ctx context.Context) (*mrt.Record, error) {
@@ -138,6 +213,7 @@ func (r *Replayer) Next(ctx context.Context) (*mrt.Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.consumed++
 	if r.speed <= 0 {
 		return rec, nil
 	}

@@ -69,9 +69,10 @@ type Synthetic struct {
 	world *topology.World
 	cfg   SyntheticConfig
 
-	cycle int
-	buf   []*mrt.Record
-	pos   int
+	cycle    int
+	buf      []*mrt.Record
+	pos      int
+	consumed uint64 // records returned over all windows
 }
 
 // NewSynthetic builds the generator over a world.
@@ -136,5 +137,41 @@ func (s *Synthetic) Next(ctx context.Context) (*mrt.Record, error) {
 	}
 	rec := s.buf[s.pos]
 	s.pos++
+	s.consumed++
 	return rec, nil
+}
+
+// Cursor implements Resumable: the position of the next unread record,
+// located by (window, in-window offset) so Seek re-renders exactly one
+// window instead of replaying the whole stream.
+func (s *Synthetic) Cursor() Cursor {
+	window := s.cycle
+	if len(s.buf) > 0 {
+		window = s.cycle - 1 // buf holds the window render already advanced past
+	}
+	return Cursor{Records: s.consumed, Window: window, WindowPos: s.pos}
+}
+
+// Seek implements Resumable: window schedules and renders derive
+// deterministically from the configured seed and the window index, so
+// resuming costs one render of the cursor's window — bounded, regardless
+// of how long the previous process soaked. Must precede the first Next.
+func (s *Synthetic) Seek(ctx context.Context, c Cursor) error {
+	if s.consumed != 0 || len(s.buf) > 0 {
+		return fmt.Errorf("live: synthetic seek after streaming started")
+	}
+	if c.Window < 0 || c.WindowPos < 0 {
+		return fmt.Errorf("live: synthetic seek to invalid cursor %+v", c)
+	}
+	s.cycle = c.Window
+	if err := s.render(ctx); err != nil {
+		return err
+	}
+	if c.WindowPos > len(s.buf) {
+		return fmt.Errorf("live: synthetic seek offset %d past window %d's %d records (was the world seed changed?)",
+			c.WindowPos, c.Window, len(s.buf))
+	}
+	s.pos = c.WindowPos
+	s.consumed = c.Records
+	return nil
 }

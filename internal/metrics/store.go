@@ -18,35 +18,57 @@ type StoreStats struct {
 	RecoveredEvents atomic.Int64 // events replayed from the WAL on open
 	TornTails       atomic.Int64 // torn/corrupt WAL tails truncated on open
 	TruncatedBytes  atomic.Int64 // bytes discarded by tail truncation
+
+	CheckpointSaves      atomic.Int64 // engine checkpoints written
+	CheckpointBytes      atomic.Int64 // framed checkpoint bytes written
+	CheckpointsDiscarded atomic.Int64 // corrupt/rejected checkpoints skipped at recovery
+	// ResumeSeq and ResumeRecords are recovery gauges: the event sequence
+	// and record offset the engine resumed from. Zero means the boot
+	// re-ingested from record zero — the pre-checkpoint recovery path.
+	// Their point is the bounded-recovery proof: ResumeRecords tracks the
+	// checkpoint cadence, so records re-ingested after a restart stay
+	// bounded by one checkpoint interval instead of the stream length.
+	ResumeSeq     atomic.Int64
+	ResumeRecords atomic.Int64
 }
 
 // StoreSnapshot is a point-in-time copy of StoreStats.
 type StoreSnapshot struct {
-	Appends         int64
-	AppendedBytes   int64
-	Flushes         int64
-	Compactions     int64
-	RecoveredEvents int64
-	TornTails       int64
-	TruncatedBytes  int64
+	Appends              int64
+	AppendedBytes        int64
+	Flushes              int64
+	Compactions          int64
+	RecoveredEvents      int64
+	TornTails            int64
+	TruncatedBytes       int64
+	CheckpointSaves      int64
+	CheckpointBytes      int64
+	CheckpointsDiscarded int64
+	ResumeSeq            int64
+	ResumeRecords        int64
 }
 
 // Snapshot copies the current counter values.
 func (s *StoreStats) Snapshot() StoreSnapshot {
 	return StoreSnapshot{
-		Appends:         s.Appends.Load(),
-		AppendedBytes:   s.AppendedBytes.Load(),
-		Flushes:         s.Flushes.Load(),
-		Compactions:     s.Compactions.Load(),
-		RecoveredEvents: s.RecoveredEvents.Load(),
-		TornTails:       s.TornTails.Load(),
-		TruncatedBytes:  s.TruncatedBytes.Load(),
+		Appends:              s.Appends.Load(),
+		AppendedBytes:        s.AppendedBytes.Load(),
+		Flushes:              s.Flushes.Load(),
+		Compactions:          s.Compactions.Load(),
+		RecoveredEvents:      s.RecoveredEvents.Load(),
+		TornTails:            s.TornTails.Load(),
+		TruncatedBytes:       s.TruncatedBytes.Load(),
+		CheckpointSaves:      s.CheckpointSaves.Load(),
+		CheckpointBytes:      s.CheckpointBytes.Load(),
+		CheckpointsDiscarded: s.CheckpointsDiscarded.Load(),
+		ResumeSeq:            s.ResumeSeq.Load(),
+		ResumeRecords:        s.ResumeRecords.Load(),
 	}
 }
 
 // String renders the snapshot as a single log-friendly line.
 func (s StoreSnapshot) String() string {
-	return fmt.Sprintf("appends=%d bytes=%d flushes=%d compactions=%d recovered=%d torn=%d",
+	return fmt.Sprintf("appends=%d bytes=%d flushes=%d compactions=%d recovered=%d torn=%d ckpts=%d resume_records=%d",
 		s.Appends, s.AppendedBytes, s.Flushes, s.Compactions,
-		s.RecoveredEvents, s.TornTails)
+		s.RecoveredEvents, s.TornTails, s.CheckpointSaves, s.ResumeRecords)
 }

@@ -59,6 +59,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wr("kepler_store_recovered_events_total", "counter", "Events replayed from the WAL on open.", float64(st.RecoveredEvents))
 		wr("kepler_store_torn_tails_total", "counter", "Torn or corrupt WAL tails truncated on open.", float64(st.TornTails))
 		wr("kepler_store_truncated_bytes_total", "counter", "Bytes discarded by tail truncation.", float64(st.TruncatedBytes))
+		wr("kepler_store_checkpoint_saves_total", "counter", "Engine checkpoints written beside the WAL.", float64(st.CheckpointSaves))
+		wr("kepler_store_checkpoint_bytes_total", "counter", "Framed checkpoint bytes written.", float64(st.CheckpointBytes))
+		wr("kepler_store_checkpoints_discarded_total", "counter", "Corrupt or rejected checkpoints skipped at recovery.", float64(st.CheckpointsDiscarded))
+		wr("kepler_store_resume_seq", "gauge", "Event sequence this boot's engine resumed from (0 = full re-ingest).", float64(st.ResumeSeq))
+		wr("kepler_store_resume_records", "gauge", "Record offset this boot's engine resumed from (0 = full re-ingest).", float64(st.ResumeRecords))
 	}
 	if s.opts.Probe != nil {
 		pb := s.opts.Probe()

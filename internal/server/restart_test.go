@@ -2,8 +2,10 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"reflect"
 	"strconv"
@@ -19,6 +21,7 @@ import (
 	"kepler/internal/metrics"
 	"kepler/internal/mrt"
 	"kepler/internal/pipeline"
+	"kepler/internal/probe"
 	"kepler/internal/simulate"
 	"kepler/internal/store"
 	"kepler/internal/topology"
@@ -89,14 +92,14 @@ func collectSSE(t *testing.T, url string, lastID uint64, maxEvents int) (*sseCol
 	return c, func() *sseCollect { <-done; return c }
 }
 
-// TestRestartEquivalence is the durability contract of the live service: a
-// daemon killed mid-archive and restarted against the same data dir must
-// end up reporting exactly the resolved-outage set of one uninterrupted
-// batch Detector run, and an SSE client that disconnected before the kill
-// and reconnects after it with Last-Event-ID must observe every event
-// exactly once. Run with -race: both phases overlap SSE consumption with
-// ingestion, and the second phase persists while serving.
-func TestRestartEquivalence(t *testing.T) {
+// restartScenario builds the 14-day two-outage scenario shared by the
+// restart equivalence tests: the two most trackable facilities go down in
+// different halves of the archive, with link-level background churn in
+// between — detection time is event driven, so without records between the
+// bursts no bins close and the first outage's resolution would only
+// finalize at the shutdown flush.
+func restartScenario(t *testing.T) (*pipeline.Stack, *topology.World, *simulate.Result, core.Config, time.Time) {
+	t.Helper()
 	w, err := topology.Generate(topology.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -121,10 +124,6 @@ func TestRestartEquivalence(t *testing.T) {
 	}
 	start := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
 	end := start.Add(14 * 24 * time.Hour)
-	// Two facility outages in different halves of the scenario, plus
-	// link-level background churn in between: detection time is event
-	// driven, so without records between the bursts no bins close and the
-	// first outage's resolution would only finalize at the shutdown flush.
 	evs := []simulate.Event{
 		{Kind: simulate.EvFacility, Facility: first,
 			Start: start.Add(5 * 24 * time.Hour), Duration: 45 * time.Minute},
@@ -142,9 +141,20 @@ func TestRestartEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-
 	cfg := core.DefaultConfig()
 	cfg.ReportUnresolved = true
+	return stack, w, res, cfg, start
+}
+
+// TestRestartEquivalence is the durability contract of the live service: a
+// daemon killed mid-archive and restarted against the same data dir must
+// end up reporting exactly the resolved-outage set of one uninterrupted
+// batch Detector run, and an SSE client that disconnected before the kill
+// and reconnects after it with Last-Event-ID must observe every event
+// exactly once. Run with -race: both phases overlap SSE consumption with
+// ingestion, and the second phase persists while serving.
+func TestRestartEquivalence(t *testing.T) {
+	stack, w, res, cfg, start := restartScenario(t)
 	wantOuts, wantIncs := stack.Run(res.Records, cfg, nil)
 	if len(wantOuts) < 2 {
 		t.Fatalf("batch reference found %d outages; need activity in both halves", len(wantOuts))
@@ -367,5 +377,231 @@ func TestRestartEquivalence(t *testing.T) {
 		if want := srv2.outageView(0, &wantOuts[i]); !reflect.DeepEqual(sawResolved[i], want) {
 			t.Errorf("resolved event %d diverges from batch", i)
 		}
+	}
+}
+
+// countingCut wraps cutSource, counting records delivered before the cut
+// so the bounded-recovery assertion can relate the checkpoint offset to the
+// kill position.
+type countingCut struct {
+	cutSource
+	delivered int
+}
+
+func (c *countingCut) Next(ctx context.Context) (*mrt.Record, error) {
+	rec, err := c.cutSource.Next(ctx)
+	if err == nil {
+		c.delivered++
+	}
+	return rec, err
+}
+
+// newSched builds a deterministic probe scheduler (unbounded budget,
+// Collect-waits-all) over the scenario's simulated traceroute substrate.
+func newSched(t *testing.T, stack *pipeline.Stack, res *simulate.Result) *probe.Scheduler {
+	t.Helper()
+	sched := probe.NewScheduler(probe.OverDataPlane(stack.NewSimDataPlane(res, 1<<30)), probe.Config{Workers: 2})
+	t.Cleanup(sched.Close)
+	return sched
+}
+
+// marshalEvent renders one bus event as its canonical JSON bytes for the
+// byte-for-byte sequence comparison.
+func marshalEvent(t *testing.T, ev events.Event) []byte {
+	t.Helper()
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRestartEquivalenceCheckpointed extends the durability contract to
+// checkpointed recovery: a daemon SIGKILLed mid-archive whose boot restores
+// the newest engine checkpoint and re-ingests only the record suffix must
+// publish byte-for-byte the same outage/incident/probe event sequence as
+// one uninterrupted run — with the active-measurement path wired, at
+// restore shard counts 1 and 4 — while the re-ingested prefix stays
+// bounded by the checkpoint cadence rather than the stream length. Run
+// with -race: the checkpointing phase runs a 4-shard engine plus scheduler
+// workers.
+func TestRestartEquivalenceCheckpointed(t *testing.T) {
+	stack, _, res, cfg, start := restartScenario(t)
+	const ckptInterval = 6 * time.Hour // stream time between checkpoints
+
+	// Reference: one uninterrupted engine run, probing enabled, every
+	// published event recorded.
+	var refEvents []events.Event
+	refBus := events.New(nil, events.WithSink(func(ev events.Event) { refEvents = append(refEvents, ev) }))
+	refEng := stack.NewEngine(cfg, 4)
+	refEng.SetProber(newSched(t, stack, res))
+	refEng.SetHooks(events.EngineHooks(refBus))
+	if _, err := live.Pump(context.Background(), live.Adapt(bgpstream.NewSliceSource(res.Records)), refEng); err != nil {
+		t.Fatal(err)
+	}
+	refBus.Close()
+	refEng.Close()
+	probeEvents, resolvedEvents := 0, 0
+	for _, ev := range refEvents {
+		switch ev.Kind {
+		case events.KindProbeRequested, events.KindProbeConfirmed, events.KindProbeExpired:
+			probeEvents++
+		case events.KindOutageResolved:
+			resolvedEvents++
+		}
+	}
+	if probeEvents == 0 || resolvedEvents == 0 {
+		t.Fatalf("reference run published %d probe and %d resolved events; the scenario must exercise both", probeEvents, resolvedEvents)
+	}
+
+	for _, restoreShards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("restore-shards=%d", restoreShards), func(t *testing.T) {
+			dir := t.TempDir()
+
+			// ---- Phase 1: checkpointing daemon, SIGKILLed mid-archive.
+			st1, err := store.Open(store.Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var armed atomic.Bool
+			armed.Store(true)
+			var persisted []events.Event
+			bus1 := events.New(nil, events.WithSink(func(ev events.Event) {
+				if !armed.Load() {
+					return
+				}
+				if err := st1.Append(ev); err != nil {
+					t.Errorf("phase 1 append: %v", err)
+				}
+				persisted = append(persisted, ev)
+			}))
+			eng1 := stack.NewEngine(cfg, 4)
+			eng1.SetProber(newSched(t, stack, res))
+			hooks1 := events.EngineHooks(bus1)
+			publishBin := hooks1.BinClosed
+			var lastCkpt time.Time
+			hooks1.BinClosed = func(end time.Time) {
+				publishBin(end)
+				if !lastCkpt.IsZero() && end.Sub(lastCkpt) < ckptInterval {
+					return
+				}
+				c, err := eng1.Checkpoint()
+				if err != nil {
+					t.Errorf("checkpoint at %v: %v", end, err)
+					return
+				}
+				enc, err := c.Encode()
+				if err != nil {
+					t.Errorf("encode: %v", err)
+					return
+				}
+				if err := st1.SaveCheckpoint(&store.Checkpoint{
+					EventSeq: bus1.Seq(), Records: c.Records, BinEnd: end, Engine: enc,
+				}); err != nil {
+					t.Errorf("save checkpoint: %v", err)
+				}
+				lastCkpt = end
+			}
+			var aborting atomic.Bool
+			eng1.SetHooks(events.MuteHooks(hooks1, aborting.Load))
+			cut := &countingCut{cutSource: cutSource{
+				src:    live.Adapt(bgpstream.NewSliceSource(res.Records)),
+				cutoff: start.Add(8 * 24 * time.Hour),
+			}}
+			src1 := live.OnAbort(cut, func() { armed.Store(false); aborting.Store(true) })
+			if _, err := live.Pump(context.Background(), src1, eng1); err != context.Canceled {
+				t.Fatalf("phase 1 pump error = %v, want context.Canceled", err)
+			}
+			bus1.Close()
+			eng1.Close()
+			// SIGKILL model: st1 abandoned, never Closed.
+
+			// ---- Phase 2: recover, restore the checkpoint, re-ingest the suffix.
+			stats2 := &metrics.StoreStats{}
+			st2, err := store.Open(store.Options{Dir: dir, Metrics: stats2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			hist := st2.History()
+			if got := uint64(len(persisted)); got != hist.LastSeq {
+				t.Fatalf("durable horizon %d but phase 1 published %d events", hist.LastSeq, got)
+			}
+			var engCkpt *core.Checkpoint
+			ck := st2.LoadCheckpoint(func(c *store.Checkpoint) error {
+				if c.EventSeq > hist.LastSeq {
+					return fmt.Errorf("checkpoint ahead of durable horizon")
+				}
+				ec, err := core.DecodeCheckpoint(c.Engine)
+				if err != nil {
+					return err
+				}
+				engCkpt = ec
+				return nil
+			})
+			if ck == nil {
+				t.Fatal("no usable checkpoint recovered")
+			}
+			// Bounded recovery: the replayed prefix (checkpoint to kill) is a
+			// sliver of the records the killed process had ingested, set by
+			// the checkpoint cadence, not the stream length.
+			reingested := cut.delivered - int(ck.Records)
+			if reingested < 0 || reingested > cut.delivered/2 {
+				t.Fatalf("checkpoint at record %d, kill at %d: replayed prefix %d is not bounded",
+					ck.Records, cut.delivered, reingested)
+			}
+			stats2.ResumeSeq.Store(int64(ck.EventSeq))
+			stats2.ResumeRecords.Store(int64(ck.Records))
+
+			var evs2 []events.Event
+			bus2 := events.New(nil,
+				events.WithStartSeq(hist.LastSeq),
+				events.WithSink(func(ev events.Event) {
+					if err := st2.Append(ev); err != nil {
+						t.Errorf("phase 2 append: %v", err)
+					}
+					evs2 = append(evs2, ev)
+				}))
+			eng2 := stack.NewEngine(cfg, restoreShards)
+			defer eng2.Close()
+			eng2.SetProber(newSched(t, stack, res))
+			if err := eng2.RestoreFrom(engCkpt); err != nil {
+				t.Fatal(err)
+			}
+			eng2.SetHooks(events.GateHooks(events.EngineHooks(bus2), hist.LastSeq-ck.EventSeq))
+			suffix := res.Records[ck.Records:]
+			if _, err := live.Pump(context.Background(), live.Adapt(bgpstream.NewSliceSource(suffix)), eng2); err != nil {
+				t.Fatal(err)
+			}
+			bus2.Close()
+			if got := eng2.Stats().Records; got != int64(len(suffix)) {
+				t.Errorf("restored engine ingested %d records, suffix has %d", got, len(suffix))
+			}
+			// The recovery gauges a daemon would export: resumed well past
+			// record zero.
+			snap := stats2.Snapshot()
+			if snap.ResumeRecords == 0 || snap.ResumeSeq == 0 {
+				t.Errorf("resume gauges = %d/%d, want non-zero", snap.ResumeRecords, snap.ResumeSeq)
+			}
+
+			// Byte-for-byte: the persisted prefix plus the post-restore
+			// publication equals the uninterrupted run's event sequence —
+			// outages, incidents, bins and probe lifecycle alike.
+			all := append(append([]events.Event{}, persisted...), evs2...)
+			if len(all) != len(refEvents) {
+				t.Fatalf("restarted run published %d events, uninterrupted run %d", len(all), len(refEvents))
+			}
+			for i := range all {
+				got, want := marshalEvent(t, all[i]), marshalEvent(t, refEvents[i])
+				if !bytes.Equal(got, want) {
+					t.Fatalf("event %d diverges across the restart:\n got  %s\n want %s", i, got, want)
+				}
+			}
+			// And a third boot would recover the identical history.
+			final := st2.History()
+			if final.LastSeq != uint64(len(refEvents)) {
+				t.Errorf("durable seq %d, want %d", final.LastSeq, len(refEvents))
+			}
+		})
 	}
 }

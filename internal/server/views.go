@@ -166,25 +166,38 @@ func serviceView(s metrics.ServiceSnapshot) *ServiceView {
 }
 
 // StoreView is the JSON shape of the durable-history counters.
+// ResumeSeq/ResumeRecords are the bounded-recovery proof: non-zero means
+// this boot restored an engine checkpoint and re-ingested only the records
+// past offset ResumeRecords, not the whole stream.
 type StoreView struct {
-	Appends         int64 `json:"appends"`
-	AppendedBytes   int64 `json:"appended_bytes"`
-	Flushes         int64 `json:"flushes"`
-	Compactions     int64 `json:"compactions"`
-	RecoveredEvents int64 `json:"recovered_events"`
-	TornTails       int64 `json:"torn_tails"`
-	TruncatedBytes  int64 `json:"truncated_bytes"`
+	Appends              int64 `json:"appends"`
+	AppendedBytes        int64 `json:"appended_bytes"`
+	Flushes              int64 `json:"flushes"`
+	Compactions          int64 `json:"compactions"`
+	RecoveredEvents      int64 `json:"recovered_events"`
+	TornTails            int64 `json:"torn_tails"`
+	TruncatedBytes       int64 `json:"truncated_bytes"`
+	CheckpointSaves      int64 `json:"checkpoint_saves"`
+	CheckpointBytes      int64 `json:"checkpoint_bytes"`
+	CheckpointsDiscarded int64 `json:"checkpoints_discarded"`
+	ResumeSeq            int64 `json:"resume_seq"`
+	ResumeRecords        int64 `json:"resume_records"`
 }
 
 func storeView(s metrics.StoreSnapshot) *StoreView {
 	return &StoreView{
-		Appends:         s.Appends,
-		AppendedBytes:   s.AppendedBytes,
-		Flushes:         s.Flushes,
-		Compactions:     s.Compactions,
-		RecoveredEvents: s.RecoveredEvents,
-		TornTails:       s.TornTails,
-		TruncatedBytes:  s.TruncatedBytes,
+		Appends:              s.Appends,
+		AppendedBytes:        s.AppendedBytes,
+		Flushes:              s.Flushes,
+		Compactions:          s.Compactions,
+		RecoveredEvents:      s.RecoveredEvents,
+		TornTails:            s.TornTails,
+		TruncatedBytes:       s.TruncatedBytes,
+		CheckpointSaves:      s.CheckpointSaves,
+		CheckpointBytes:      s.CheckpointBytes,
+		CheckpointsDiscarded: s.CheckpointsDiscarded,
+		ResumeSeq:            s.ResumeSeq,
+		ResumeRecords:        s.ResumeRecords,
 	}
 }
 

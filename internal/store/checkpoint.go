@@ -1,0 +1,155 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// ckptPrefix names checkpoint segments: ckpt-%016x.ckpt, keyed by the
+// durable event sequence at the engine barrier the checkpoint was taken at.
+const ckptPrefix = "ckpt-"
+
+// keepCheckpoints is how many checkpoint generations SaveCheckpoint
+// retains: the newest plus one fallback, so a checkpoint torn by a crash
+// mid-save (prevented by tmp+rename, but disks lie) or rejected by the
+// engine still leaves a bounded-recovery path.
+const keepCheckpoints = 2
+
+// Checkpoint is one engine-state checkpoint as persisted beside the WAL.
+// The store treats the engine payload as opaque bytes (core owns its
+// versioned encoding); the envelope carries what the daemon needs to
+// resume: the event-sequence position of the checkpoint barrier (the
+// replay gate skips LastSeq-EventSeq callbacks instead of LastSeq) and the
+// source cursor (record offset, plus the synthetic source's window
+// coordinates) to seek ingestion to.
+type Checkpoint struct {
+	// EventSeq is the bus/store sequence of the newest event published at
+	// or before the checkpoint barrier. Recovery requires EventSeq <= the
+	// recovered history's LastSeq; a checkpoint ahead of the durable event
+	// horizon (possible after a machine crash that lost WAL pages) is
+	// rejected and recovery falls back.
+	EventSeq uint64 `json:"event_seq"`
+	// Records is the source record offset ingestion resumes at.
+	Records uint64 `json:"records"`
+	// Window and WindowPos locate the record offset for window-rendering
+	// sources (live.Synthetic); zero for plain archives.
+	Window    int `json:"window,omitempty"`
+	WindowPos int `json:"window_pos,omitempty"`
+	// BinEnd is the bin barrier the checkpoint was captured at.
+	BinEnd time.Time `json:"bin_end"`
+	// Engine is the core.Checkpoint encoding.
+	Engine json.RawMessage `json:"engine"`
+}
+
+// SaveCheckpoint durably writes a checkpoint segment (CRC32C-framed,
+// fsynced, atomically renamed into place) and prunes all but the newest
+// keepCheckpoints generations. Called from the ingestion goroutine at bin
+// barriers, after the corresponding events have been appended.
+func (s *Store) SaveCheckpoint(c *Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: checkpoint after Close")
+	}
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(s.opts.Dir, segName(ckptPrefix, c.EventSeq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	n, err := writeFrame(f, payload)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(s.opts.Dir)
+
+	// Rotate: drop every generation below the newest keepCheckpoints.
+	// Removal failures are harmless (retried at the next save).
+	seqs := s.checkpointSeqs()
+	for i, seq := range seqs {
+		if i >= keepCheckpoints {
+			os.Remove(filepath.Join(s.opts.Dir, segName(ckptPrefix, seq)))
+		}
+	}
+	if s.m != nil {
+		s.m.CheckpointSaves.Add(1)
+		s.m.CheckpointBytes.Add(int64(n))
+	}
+	return nil
+}
+
+// checkpointSeqs lists the on-disk checkpoint base sequences, newest first.
+func (s *Store) checkpointSeqs() []uint64 {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return nil
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if n, ok := parseSeg(e.Name(), ckptPrefix); ok {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	return seqs
+}
+
+// LoadCheckpoint returns the newest usable checkpoint: segments are tried
+// newest first, each validated structurally (frame checksum, envelope
+// decode) and then by accept — the caller's semantic gate (engine payload
+// version, event horizon, prober availability). A segment failing either
+// check is counted as discarded and the next older one is tried; exhausting
+// them returns nil, which recovery treats as "re-ingest from record zero".
+// The accept callback may be nil.
+func (s *Store) LoadCheckpoint(accept func(*Checkpoint) error) *Checkpoint {
+	for _, seq := range s.checkpointSeqs() {
+		name := segName(ckptPrefix, seq)
+		c, err := s.loadCheckpointSeg(name)
+		if err == nil && accept != nil {
+			err = accept(c)
+		}
+		if err != nil {
+			if s.m != nil {
+				s.m.CheckpointsDiscarded.Add(1)
+			}
+			continue
+		}
+		return c
+	}
+	return nil
+}
+
+// loadCheckpointSeg reads and structurally validates one checkpoint segment.
+func (s *Store) loadCheckpointSeg(name string) (*Checkpoint, error) {
+	b, err := os.ReadFile(filepath.Join(s.opts.Dir, name))
+	if err != nil {
+		return nil, err
+	}
+	payload, n, err := readFrame(b)
+	if err != nil || n != len(b) {
+		return nil, fmt.Errorf("store: checkpoint %s invalid", name)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return nil, fmt.Errorf("store: checkpoint %s: %w", name, err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kepler/internal/events"
+	"kepler/internal/metrics"
+)
+
+func openCkptStore(t *testing.T, dir string, m *metrics.StoreStats) *Store {
+	t.Helper()
+	s, err := Open(Options{Dir: dir, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mkCkpt(seq, records uint64) *Checkpoint {
+	return &Checkpoint{
+		EventSeq: seq,
+		Records:  records,
+		BinEnd:   time.Date(2016, 1, 1, 0, int(records), 0, 0, time.UTC),
+		Engine:   json.RawMessage(fmt.Sprintf(`{"version":1,"records":%d}`, records)),
+	}
+}
+
+func ckptFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ckptPrefix) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestCheckpointRoundTripAndRotation pins the segment lifecycle: newest
+// wins, and only keepCheckpoints generations survive a save.
+func TestCheckpointRoundTripAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	m := &metrics.StoreStats{}
+	s := openCkptStore(t, dir, m)
+	for i, seq := range []uint64{10, 20, 30} {
+		if err := s.SaveCheckpoint(mkCkpt(seq, uint64(i+1)*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ckptFiles(t, dir); len(got) != keepCheckpoints {
+		t.Fatalf("checkpoint files after rotation = %v, want %d", got, keepCheckpoints)
+	}
+	if m.CheckpointSaves.Load() != 3 || m.CheckpointBytes.Load() == 0 {
+		t.Fatalf("save counters = %d/%d", m.CheckpointSaves.Load(), m.CheckpointBytes.Load())
+	}
+
+	c := s.LoadCheckpoint(nil)
+	if c == nil || c.EventSeq != 30 || c.Records != 300 {
+		t.Fatalf("loaded checkpoint = %+v, want seq 30", c)
+	}
+	if !c.BinEnd.Equal(mkCkpt(30, 300).BinEnd) {
+		t.Fatalf("BinEnd did not round-trip: %v", c.BinEnd)
+	}
+
+	// A fresh Open over the same dir sees the same newest checkpoint.
+	s2 := openCkptStore(t, dir, nil)
+	if c2 := s2.LoadCheckpoint(nil); c2 == nil || c2.EventSeq != 30 {
+		t.Fatalf("reopened store loaded %+v", c2)
+	}
+}
+
+// corrupt applies fn to the named checkpoint segment's bytes.
+func corrupt(t *testing.T, dir string, seq uint64, fn func([]byte) []byte) {
+	t.Helper()
+	path := filepath.Join(dir, segName(ckptPrefix, seq))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCorruptionFallback is the recovery ladder: a truncated
+// frame or a checksum mismatch in the newest checkpoint falls back to the
+// older one; when that is gone too, LoadCheckpoint reports nothing and the
+// caller re-ingests from record zero. Partial restores never happen — a
+// damaged segment is rejected wholesale by the frame checksum.
+func TestCheckpointCorruptionFallback(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func([]byte) []byte
+	}{
+		{"truncated-frame", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bad-crc", func(b []byte) []byte {
+			mut := append([]byte(nil), b...)
+			mut[len(mut)-1] ^= 0xff // flip a payload byte: CRC32C mismatch
+			return mut
+		}},
+		{"garbage", func(b []byte) []byte { return []byte("not a checkpoint at all") }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			m := &metrics.StoreStats{}
+			s := openCkptStore(t, dir, m)
+			if err := s.SaveCheckpoint(mkCkpt(10, 100)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SaveCheckpoint(mkCkpt(20, 200)); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, dir, 20, tc.fn)
+
+			c := s.LoadCheckpoint(nil)
+			if c == nil || c.EventSeq != 10 {
+				t.Fatalf("fallback loaded %+v, want the older seq-10 checkpoint", c)
+			}
+			if m.CheckpointsDiscarded.Load() != 1 {
+				t.Fatalf("discarded counter = %d, want 1", m.CheckpointsDiscarded.Load())
+			}
+
+			corrupt(t, dir, 10, tc.fn)
+			if c := s.LoadCheckpoint(nil); c != nil {
+				t.Fatalf("both segments corrupt but LoadCheckpoint returned %+v", c)
+			}
+			if m.CheckpointsDiscarded.Load() != 3 {
+				t.Fatalf("discarded counter = %d, want 3", m.CheckpointsDiscarded.Load())
+			}
+		})
+	}
+}
+
+// TestCheckpointAcceptFallback pins the semantic gate: a structurally valid
+// checkpoint the caller rejects (engine version mismatch, event sequence
+// ahead of the durable horizon) falls back exactly like a corrupt one.
+func TestCheckpointAcceptFallback(t *testing.T) {
+	dir := t.TempDir()
+	m := &metrics.StoreStats{}
+	s := openCkptStore(t, dir, m)
+	if err := s.SaveCheckpoint(mkCkpt(10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCheckpoint(mkCkpt(20, 200)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reject the newest only — e.g. its EventSeq lies beyond the recovered
+	// WAL horizon after a machine crash lost the last WAL pages.
+	c := s.LoadCheckpoint(func(c *Checkpoint) error {
+		if c.EventSeq > 15 {
+			return fmt.Errorf("checkpoint ahead of durable horizon")
+		}
+		return nil
+	})
+	if c == nil || c.EventSeq != 10 {
+		t.Fatalf("accept fallback loaded %+v, want seq 10", c)
+	}
+	if m.CheckpointsDiscarded.Load() != 1 {
+		t.Fatalf("discarded counter = %d, want 1", m.CheckpointsDiscarded.Load())
+	}
+
+	// Reject everything — e.g. a core.CheckpointVersion bump: recovery must
+	// degrade to full re-ingest, never a partial restore.
+	if c := s.LoadCheckpoint(func(*Checkpoint) error { return fmt.Errorf("version mismatch") }); c != nil {
+		t.Fatalf("all rejected but LoadCheckpoint returned %+v", c)
+	}
+}
+
+// TestCheckpointSurvivesCompaction pins that WAL compaction's segment
+// cleanup leaves checkpoint files alone.
+func TestCheckpointSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, CompactBytes: 1}) // compact at every bin close
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SaveCheckpoint(mkCkpt(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(events.Event{Seq: 1, Time: time.Date(2016, 1, 1, 0, 1, 0, 0, time.UTC), Kind: events.KindBinClosed}); err != nil {
+		t.Fatal(err)
+	}
+	if s.LoadCheckpoint(nil) == nil {
+		t.Fatal("compaction removed the checkpoint segment")
+	}
+}

@@ -185,10 +185,14 @@ func segName(prefix string, seq uint64) string {
 }
 
 func segExt(prefix string) string {
-	if prefix == snapPrefix {
+	switch prefix {
+	case snapPrefix:
 		return ".snap"
+	case ckptPrefix:
+		return ".ckpt"
+	default:
+		return ".log"
 	}
-	return ".log"
 }
 
 // parseSeg extracts the base sequence from a segment file name.

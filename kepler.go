@@ -52,12 +52,37 @@
 // server serves it immediately, and the event bus resumes its sequence
 // numbering where the previous process stopped, so SSE clients reconnecting
 // with Last-Event-ID — even across the restart — replay exactly the events
-// they missed. The daemon then re-ingests its source from the beginning
-// with the already-persisted callback prefix gated off
-// (events.GateHooks): detection is deterministic, so a restart mid-archive
-// yields the same resolved-outage history as one uninterrupted run.
-// /v1/outages and /v1/incidents paginate over that history with stable
-// cursor ids (?after=<id>&limit=<n>).
+// they missed. The daemon then re-ingests its source with the
+// already-persisted callback prefix gated off (events.GateHooks):
+// detection is deterministic, so a restart mid-archive yields the same
+// resolved-outage history as one uninterrupted run. /v1/outages and
+// /v1/incidents paginate over that history with stable cursor ids
+// (?after=<id>&limit=<n>).
+//
+// # Checkpointed recovery
+//
+// Catch-up re-ingestion is bounded by engine checkpoints rather than the
+// stream length. Engine.Checkpoint (same semantics on Detector) exports
+// the complete detection state at a bin barrier — path tables,
+// stable-baseline indexes, per-peer session state, the investigator's
+// incident log and outage tracker, pending probe confirmations — in a
+// versioned, deterministic encoding: every collection is flattened sorted,
+// so the bytes are identical regardless of shard count and a checkpoint
+// restores (Engine.RestoreFrom) into a pipeline of any shard count.
+// keplerd writes a checkpoint every -checkpoint-interval of stream time as
+// a CRC-framed, atomically renamed segment beside the WAL (internal/store
+// keeps the newest two); boot loads the recovered history, restores the
+// newest valid checkpoint — falling back to the older one, then to a full
+// re-ingest, on any corruption or version mismatch, never a partial
+// restore — seeks the source to the checkpoint's record cursor
+// (live.Resumable: the archive replayer skips ahead, the synthetic
+// generator re-renders one window from its seed), and replays only the
+// suffix under the same gate. A SIGKILL + checkpoint-restore run emits
+// byte-for-byte the event sequence of an uninterrupted run (pinned by
+// internal/server's restart equivalence tests at shards 1 and 4);
+// store.resume_records in /v1/stats and /metrics reports the resume
+// offset, so recovery cost is observable and bounded by one checkpoint
+// interval.
 //
 // # Active measurement
 //
