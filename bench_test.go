@@ -396,6 +396,42 @@ func BenchmarkEngineIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkRIBBootstrap measures the cold-start bulk load: the historical
+// archive's leading table dump fed through Engine.BootstrapRIB, whose
+// large per-shard batches let every shard worker build its partition of
+// the path tables concurrently instead of trickling the dump through the
+// per-record streaming path. records/sec is the headline metric; the
+// spread across shard counts is the bootstrap parallelism.
+func BenchmarkRIBBootstrap(b *testing.B) {
+	env := histEnv(b)
+	records := env.Res.Records
+	n := 0
+	for n < len(records) && records[n].Kind == mrt.KindRIB {
+		n++
+	}
+	rib := records[:n]
+	if len(rib) == 0 {
+		b.Fatal("historical archive has no leading table dump")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := env.Stack.NewEngine(kepler.DefaultConfig(), shards)
+				if _, err := eng.BootstrapRIB(rib); err != nil {
+					b.Fatal(err)
+				}
+				eng.Flush(rib[len(rib)-1].Time)
+				eng.Close()
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(len(rib)*b.N)/secs, "records/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkProbeScheduler measures the active-measurement subsystem's
 // campaign throughput: per simulated bin it submits a burst of mixed
 // facility/IXP/city campaigns against an instant backend and collects the

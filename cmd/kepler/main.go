@@ -37,6 +37,7 @@ func main() {
 		verbose = flag.Bool("v", false, "also print link/AS-level incidents")
 		unres   = flag.Bool("report-unresolved", true, "report outages whose epicenter could not be pinned (no data plane in replay mode)")
 		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "path-state shard workers; 1 runs the sequential detector, <= 0 one worker per core")
+		invest  = flag.Int("invest-workers", 0, "goroutines for the bin-close signal investigation; <= 1 classifies inline (output is identical at any count)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,9 @@ func main() {
 	}
 	if *tfail <= 0 || *tfail > 1 {
 		fatal(fmt.Errorf("-tfail must be in (0,1], got %v (it is the fraction of an AS's stable paths that must divert)", *tfail))
+	}
+	if *invest > 1024 {
+		fatal(fmt.Errorf("-invest-workers must be at most 1024, got %d (workers beyond the per-bin signal-group count idle anyway)", *invest))
 	}
 
 	cfg := topology.DefaultConfig()
@@ -66,6 +70,7 @@ func main() {
 	kcfg := core.DefaultConfig()
 	kcfg.Tfail = *tfail
 	kcfg.ReportUnresolved = *unres
+	kcfg.InvestWorkers = *invest
 
 	// Both paths share one processing interface; the engine additionally
 	// reports ingestion stats at exit.
@@ -88,6 +93,10 @@ func main() {
 	rd := mrt.NewReader(f)
 	var last time.Time
 	records := 0
+	// Archives lead with a table dump; with the engine, buffer that prefix
+	// and bulk-load it across the shards before streaming the updates.
+	var ribPrefix []*mrt.Record
+	bootstrapping := eng != nil
 	for {
 		rec, err := rd.Next()
 		if err == io.EOF {
@@ -96,9 +105,35 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if bootstrapping {
+			if rec.Kind == mrt.KindRIB {
+				ribPrefix = append(ribPrefix, rec)
+				records++
+				last = rec.Time
+				continue
+			}
+			bootstrapping = false
+			outs, err := eng.BootstrapRIB(ribPrefix)
+			if err != nil {
+				fatal(err)
+			}
+			ribPrefix = nil
+			for _, o := range outs {
+				printOutage(stack, o)
+			}
+		}
 		records++
 		last = rec.Time
 		for _, o := range det.Process(rec) {
+			printOutage(stack, o)
+		}
+	}
+	if bootstrapping {
+		outs, err := eng.BootstrapRIB(ribPrefix)
+		if err != nil {
+			fatal(err)
+		}
+		for _, o := range outs {
 			printOutage(stack, o)
 		}
 	}

@@ -54,6 +54,8 @@
 // Endpoints: /healthz, /metrics (Prometheus text exposition), /v1/outages,
 // /v1/outages/open, /v1/incidents, /v1/probes, /v1/stats, /v1/events
 // (SSE). /v1/outages and /v1/incidents paginate with ?after=<id>&limit=<n>.
+// -pprof-addr additionally serves the standard net/http/pprof debug
+// endpoints on a listener of their own — opt-in, and never on the API port.
 // Shutdown on SIGINT/SIGTERM is graceful: the source is drained, the
 // engine flushed (emitting final outage events), subscribers closed, the
 // store synced, and the HTTP server stopped.
@@ -73,6 +75,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -110,6 +113,8 @@ func main() {
 		ringSize  = flag.Int("resume-ring", 4096, "recent events retained for SSE Last-Event-ID resume")
 		probeBkn  = flag.String("probe-backend", "", "active-measurement backend: sim, sim-fault (latency/loss-injected soak), or empty to disable probing; requires -synthetic")
 		probeBdg  = flag.Int("probe-budget", 256, "probes allowed per sliding one-hour window")
+		investW   = flag.Int("invest-workers", 0, "goroutines for the bin-close signal investigation; <= 1 classifies inline (output is identical at any count)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this host:port (own listener, never the API's); empty disables profiling")
 	)
 	flag.Parse()
 
@@ -138,6 +143,12 @@ func main() {
 		fatal(fmt.Errorf("-resume-ring must be non-negative, got %d (0 disables resume)", *ringSize))
 	}
 	if err := validateProbeFlags(*probeBkn, *probeBdg, *synthetic); err != nil {
+		fatal(err)
+	}
+	if *investW > 1024 {
+		fatal(fmt.Errorf("-invest-workers must be at most 1024, got %d (workers beyond the per-bin signal-group count idle anyway)", *investW))
+	}
+	if err := validatePprofFlags(*pprofAddr, *listen); err != nil {
 		fatal(err)
 	}
 
@@ -211,6 +222,7 @@ func main() {
 	kcfg := core.DefaultConfig()
 	kcfg.Tfail = *tfail
 	kcfg.ReportUnresolved = *unres
+	kcfg.InvestWorkers = *investW
 
 	// Durable history. The store's sink runs synchronously on the ingest
 	// goroutine. On a shutdown-abort the whole hook chain is muted (see
@@ -500,6 +512,30 @@ func main() {
 		src = live.OnAbort(src, func() { aborting.Store(true) })
 	}
 	eng.SetHooks(finalHooks)
+
+	// Opt-in profiling: the net/http/pprof endpoints go on a dedicated mux
+	// and listener, so the debug surface is only reachable where -pprof-addr
+	// points and never rides the public API port.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("-pprof-addr: %w", err))
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: pmux}
+		defer pprofSrv.Close()
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && err != http.ErrServerClosed {
+				log.Printf("keplerd: pprof: %v", err)
+			}
+		}()
+		log.Printf("keplerd: pprof profiling on http://%s/debug/pprof/", pln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

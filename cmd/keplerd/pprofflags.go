@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"net"
+)
+
+// validatePprofFlags checks the profiling flags before any world generation
+// happens, in the descriptive style of probeflags.go. Profiling is opt-in:
+// an empty address disables it entirely, and when enabled it must bind a
+// listener of its own so the debug surface never shares a port with the
+// public API (-listen).
+func validatePprofFlags(addr, listen string) error {
+	if addr == "" {
+		return nil
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-pprof-addr must be host:port, got %q: %v (profiling is served on its own listener; leave it empty to disable)", addr, err)
+	}
+	if port == "" {
+		return fmt.Errorf("-pprof-addr must name a port, got %q (\":0\" picks a free one)", addr)
+	}
+	if addr == listen || (host == "" && ":"+port == listen) {
+		return fmt.Errorf("-pprof-addr %q collides with -listen %q: the debug endpoints must not share the public API listener", addr, listen)
+	}
+	return nil
+}

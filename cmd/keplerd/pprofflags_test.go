@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidatePprofFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		addr    string
+		listen  string
+		wantErr string // substring; empty means valid
+	}{
+		{name: "disabled", addr: "", listen: "127.0.0.1:8080"},
+		{name: "loopback", addr: "127.0.0.1:6060", listen: "127.0.0.1:8080"},
+		{name: "ephemeral port", addr: "127.0.0.1:0", listen: "127.0.0.1:8080"},
+		{name: "wildcard host", addr: ":6060", listen: "127.0.0.1:8080"},
+		{name: "not host:port", addr: "6060", listen: "127.0.0.1:8080",
+			wantErr: "-pprof-addr must be host:port"},
+		{name: "missing port", addr: "127.0.0.1:", listen: "127.0.0.1:8080",
+			wantErr: "-pprof-addr must name a port"},
+		{name: "same as listen", addr: "127.0.0.1:8080", listen: "127.0.0.1:8080",
+			wantErr: "collides with -listen"},
+		{name: "wildcard same port as listen", addr: ":8080", listen: ":8080",
+			wantErr: "collides with -listen"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validatePprofFlags(tc.addr, tc.listen)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

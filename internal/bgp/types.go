@@ -202,18 +202,26 @@ func (p Path) HasLoop() bool {
 }
 
 // Dedup returns the path with adjacent prepending collapsed
-// ("1 2 2 2 3" -> "1 2 3"). The receiver is unmodified.
+// ("1 2 2 2 3" -> "1 2 3"). The receiver is unmodified; when it contains
+// no prepending (the common case) it is returned as-is, without copying.
 func (p Path) Dedup() Path {
 	if len(p) == 0 {
 		return nil
 	}
-	out := make(Path, 0, len(p))
-	for i, a := range p {
-		if i == 0 || a != p[i-1] {
-			out = append(out, a)
+	for i := 1; i < len(p); i++ {
+		if p[i] != p[i-1] {
+			continue
 		}
+		out := make(Path, i, len(p))
+		copy(out, p[:i])
+		for ; i < len(p); i++ {
+			if p[i] != p[i-1] {
+				out = append(out, p[i])
+			}
+		}
+		return out
 	}
-	return out
+	return p
 }
 
 // ContainsUnroutable reports whether any hop is a private or

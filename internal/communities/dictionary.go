@@ -187,11 +187,18 @@ type TaggedHop struct {
 // whose operator is absent from the path are dropped — they were propagated
 // beyond their origin and cannot be trusted to describe this path.
 func (d *Dictionary) Annotate(path bgp.Path, cs bgp.Communities, cmap *colo.Map) []TaggedHop {
+	return d.AnnotateAppend(nil, path, cs, cmap)
+}
+
+// AnnotateAppend is Annotate appending into dst, reusing its capacity —
+// the allocation-free variant for hot ingest loops that annotate millions
+// of routes with a caller-owned scratch buffer.
+func (d *Dictionary) AnnotateAppend(dst []TaggedHop, path bgp.Path, cs bgp.Communities, cmap *colo.Map) []TaggedHop {
 	if len(path) == 0 || len(cs) == 0 {
-		return nil
+		return dst
 	}
 	deduped := path.Dedup()
-	var out []TaggedHop
+	out := dst
 	for _, c := range cs {
 		if e, ok := d.entries[c]; ok {
 			idx := deduped.Index(e.ASN)

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"kepler/internal/mrt"
+)
+
+// bootstrapBatchSize is the per-shard dispatch threshold during RIB
+// bootstrap. A table dump is one contiguous, bin-boundary-free run of
+// announcements, so batches far larger than the streaming engineBatchSize
+// amortize channel traffic while every shard worker loads its partition
+// concurrently.
+const bootstrapBatchSize = 4096
+
+// bootstrapScanStride is how many records the bootstrap loop ingests
+// between per-shard dispatch scans, keeping the scan cost off the
+// per-record path.
+const bootstrapScanStride = 64
+
+// BootstrapRIB bulk-loads a contiguous run of table-dump records — the
+// cold-start RIB snapshot that precedes an update stream — through the
+// shard fan-out, dispatching large per-shard batches so all shard workers
+// build their partition of the path tables in parallel. It is the
+// cold-start analogue of the streaming ingest path: the records pass
+// through the same fan-out, clock, and barrier machinery, so the engine's
+// output (and any later checkpoint) is byte-for-byte identical to feeding
+// the same records through Process one at a time. Records must be
+// time-ordered table dumps; anything else is rejected before any record is
+// ingested. Returns any outages completed at bin boundaries the dump
+// crossed (possible when bootstrapping over a redump mid-archive).
+func (e *Engine) BootstrapRIB(recs []*mrt.Record) ([]Outage, error) {
+	for i, rec := range recs {
+		if rec.Kind != mrt.KindRIB {
+			return nil, fmt.Errorf("core: BootstrapRIB record %d: kind %v is not a table dump", i, rec.Kind)
+		}
+	}
+	for i, rec := range recs {
+		e.stats.Begin()
+		e.stats.Records.Add(1)
+		e.seen++
+		e.inProcess = true
+		e.clock.advance(rec.Time, e.closeBin)
+		if n := e.fan.Add(rec); n > 0 {
+			e.opsSinceBarrier = true
+			e.stats.Ops.Add(int64(n))
+		}
+		e.inProcess = false
+		if i%bootstrapScanStride == bootstrapScanStride-1 {
+			e.dispatchPending(bootstrapBatchSize)
+		}
+	}
+	// Ship the remainder so the table build keeps overlapping the caller's
+	// switch to streaming; the next barrier or full batch would flush it
+	// anyway.
+	e.dispatchPending(1)
+	return e.inv.drainCompleted(), nil
+}
+
+// dispatchPending ships every shard's pending ops to its worker when at
+// least threshold are queued.
+func (e *Engine) dispatchPending(threshold int) {
+	for i := range e.shards {
+		if p := e.fan.Pending(i); p > 0 && p >= threshold {
+			s := e.shards[i]
+			s.in <- shardMsg{ops: e.fan.Take(i)}
+			e.reclaim(i)
+		}
+	}
+}

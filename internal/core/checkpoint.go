@@ -206,8 +206,8 @@ func captureCheckpoint(binStart time.Time, records uint64, fan *bgpstream.Fanout
 	for _, s := range shards {
 		for key, st := range s.paths {
 			p := PathCheckpoint{Key: ckptKey(key), Path: st.path}
-			for pop, ends := range st.tags {
-				p.Tags = append(p.Tags, TagCheckpoint{PoP: pop, Near: ends.near, Far: ends.far, Since: st.since[pop]})
+			for _, t := range st.tags {
+				p.Tags = append(p.Tags, TagCheckpoint{PoP: t.pop, Near: t.ends.near, Far: t.ends.far, Since: t.since})
 			}
 			sort.Slice(p.Tags, func(i, j int) bool { return popLess(p.Tags[i].PoP, p.Tags[j].PoP) })
 			c.Paths = append(c.Paths, p)
@@ -315,13 +315,11 @@ func restoreCheckpoint(c *Checkpoint, cfg Config, shards []*pathShard, inv *inve
 		key := p.Key.unpack()
 		s := at(key)
 		st := &pathState{
-			tags:  make(map[colo.PoP]popEnd, len(p.Tags)),
-			since: make(map[colo.PoP]time.Time, len(p.Tags)),
-			path:  append(bgp.Path(nil), p.Path...),
+			tags: make([]pathTag, 0, len(p.Tags)),
+			path: append(bgp.Path(nil), p.Path...),
 		}
 		for _, tag := range p.Tags {
-			st.tags[tag.PoP] = popEnd{near: tag.Near, far: tag.Far}
-			st.since[tag.PoP] = tag.Since
+			st.tags = append(st.tags, pathTag{pop: tag.PoP, ends: popEnd{near: tag.Near, far: tag.Far}, since: tag.Since})
 			// Promotions are derivable: a tag promotes once it has survived
 			// the stability window from Since. Entries already promoted pop
 			// as idempotent re-insertions.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"kepler/internal/bgp"
@@ -280,6 +281,94 @@ func (inv *investigator) binVanishedAS(signals []signal) bgp.ASN {
 	return 0
 }
 
+// groupResult is the outcome of classifying one per-PoP signal group.
+type groupResult struct {
+	group *popGroup
+	inc   Incident
+	// popLevel marks a PoP-level classification whose (group, epicenter)
+	// continues into collateral folding and outage opening.
+	popLevel bool
+	// epicenter is the disambiguated epicenter of a PoP-level group (zero
+	// when unresolved).
+	epicenter colo.PoP
+	// needProbe asks the serial merge to probe the group's recorded
+	// candidates against the synchronous data plane: classification itself
+	// is pure, so inline dp.Confirm calls are deferred to the merge where
+	// they run in deterministic group order.
+	needProbe bool
+}
+
+// workerCount returns how many goroutines to classify groups on.
+func (inv *investigator) workerCount(groups int) int {
+	w := inv.cfg.InvestWorkers
+	if w > groups {
+		w = groups
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// classifyGroup runs the Section 4.3 classification flowchart over one
+// per-PoP signal group. It is pure with respect to the investigator — it
+// only reads quiesced shard state (via the view), the colocation map and
+// the org table — which is what makes the classification phase safe to fan
+// across workers.
+func (inv *investigator) classifyGroup(at time.Time, pop colo.PoP, sigs []signal, binCommon bgp.ASN) groupResult {
+	g := buildGroup(pop, sigs)
+	affected := g.affectedASes()
+	inc := Incident{
+		Time: at, SignalPoP: pop, PoP: pop,
+		AffectedASes: affected, Links: len(g.links), Paths: g.paths,
+	}
+	r := groupResult{group: g}
+	switch {
+	case binCommon != 0:
+		// One vanished AS explains the whole bin's churn.
+		inc.Kind = IncidentAS
+		inc.CommonAS = binCommon
+	case len(affected) <= inv.cfg.MinInvestigationASes:
+		inc.Kind = IncidentLink
+	case g.commonAS() != 0:
+		inc.Kind = IncidentAS
+		inc.CommonAS = g.commonAS()
+	case inv.vanishedCommonAS(g) != 0:
+		// Every diverted route used to traverse one common AS and
+		// that AS lost (nearly) all of its monitored paths globally:
+		// its disappearance, not the tagged PoP, explains the signal.
+		inc.Kind = IncidentAS
+		inc.CommonAS = inv.vanishedCommonAS(g)
+	case inv.commonOrgEverywhere(g):
+		inc.Kind = IncidentOperator
+	case inv.distinctNonSiblings(g.nears) >= inv.cfg.MinDisjointEnds &&
+		inv.distinctNonSiblings(g.fars) >= inv.cfg.MinDisjointEnds &&
+		inv.aggregateFraction(g) >= inv.cfg.Tfail/2:
+		// The aggregate gate keeps collateral dribble (a few rerouted
+		// paths that merely *crossed* the PoP) from masquerading as a
+		// PoP outage, while staying below Tfail itself so that partial
+		// outages of regional ASes — the reason Section 4.2 groups per
+		// AS in the first place — still qualify.
+		inc.Kind = IncidentPoP
+		epicenter := inv.disambiguate(g, at)
+		inc.PoP = epicenter
+		r.popLevel = true
+		r.epicenter = epicenter
+		// An unresolved epicenter with recorded candidates and a
+		// synchronous data plane resolves by inline probing at the merge;
+		// in asynchronous-prober mode openOutageFor parks a campaign
+		// instead.
+		r.needProbe = !epicenter.IsValid() && len(g.probeCands) > 0 &&
+			inv.prober == nil && inv.dp != nil
+	default:
+		// Too few disjoint ends for PoP-level, broader than one AS:
+		// conservative AS-level classification.
+		inc.Kind = IncidentAS
+	}
+	r.inc = inc
+	return r
+}
+
 // investigate classifies this bin's signals and feeds PoP-level epicenters
 // to the outage tracker (Sections 4.3's flowchart).
 func (inv *investigator) investigate(at time.Time, signals []signal) {
@@ -306,51 +395,53 @@ func (inv *investigator) investigate(at time.Time, signals []signal) {
 
 	binCommon := inv.binVanishedAS(signals)
 
-	for _, pop := range order {
-		g := buildGroup(pop, groups[pop])
-		affected := g.affectedASes()
-		inc := Incident{
-			Time: at, SignalPoP: pop, PoP: pop,
-			AffectedASes: affected, Links: len(g.links), Paths: g.paths,
+	// Classification phase: every per-PoP group is classified by the pure
+	// classifyGroup — optionally fanned across a worker pool (the groups
+	// are independent until the folding below, and classification only
+	// reads quiesced shard state). The merge that follows walks results in
+	// the sorted group order, so output is byte-for-byte identical to the
+	// inline path regardless of worker count.
+	results := make([]groupResult, len(order))
+	if workers := inv.workerCount(len(order)); workers > 1 {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = inv.classifyGroup(at, order[i], groups[order[i]], binCommon)
+				}
+			}()
 		}
-		switch {
-		case binCommon != 0:
-			// One vanished AS explains the whole bin's churn.
-			inc.Kind = IncidentAS
-			inc.CommonAS = binCommon
-		case len(affected) <= inv.cfg.MinInvestigationASes:
-			inc.Kind = IncidentLink
-		case g.commonAS() != 0:
-			inc.Kind = IncidentAS
-			inc.CommonAS = g.commonAS()
-		case inv.vanishedCommonAS(g) != 0:
-			// Every diverted route used to traverse one common AS and
-			// that AS lost (nearly) all of its monitored paths globally:
-			// its disappearance, not the tagged PoP, explains the signal.
-			inc.Kind = IncidentAS
-			inc.CommonAS = inv.vanishedCommonAS(g)
-		case inv.commonOrgEverywhere(g):
-			inc.Kind = IncidentOperator
-		case inv.distinctNonSiblings(g.nears) >= inv.cfg.MinDisjointEnds &&
-			inv.distinctNonSiblings(g.fars) >= inv.cfg.MinDisjointEnds &&
-			inv.aggregateFraction(g) >= inv.cfg.Tfail/2:
-			// The aggregate gate keeps collateral dribble (a few rerouted
-			// paths that merely *crossed* the PoP) from masquerading as a
-			// PoP outage, while staying below Tfail itself so that partial
-			// outages of regional ASes — the reason Section 4.2 groups per
-			// AS in the first place — still qualify.
-			inc.Kind = IncidentPoP
-			epicenter := inv.disambiguate(g, at)
-			inc.PoP = epicenter
-			popLevel = append(popLevel, resolved{group: g, epicenter: epicenter})
-		default:
-			// Too few disjoint ends for PoP-level, broader than one AS:
-			// conservative AS-level classification.
-			inc.Kind = IncidentAS
+		for i := range order {
+			idx <- i
 		}
-		inv.incidents = append(inv.incidents, inc)
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range order {
+			results[i] = inv.classifyGroup(at, order[i], groups[order[i]], binCommon)
+		}
+	}
+
+	// Serial merge, in group order: run the data-plane probes that
+	// classification deferred (keeping the dp.Confirm call sequence
+	// identical to a fully sequential investigation), log the incident,
+	// fire hooks, and collect the PoP-level groups.
+	for i := range results {
+		r := &results[i]
+		if r.needProbe {
+			epi := inv.probeCandidates(at, r.group.probeCands)
+			r.inc.PoP = epi
+			r.epicenter = epi
+		}
+		inv.incidents = append(inv.incidents, r.inc)
 		if inv.hooks.IncidentClassified != nil {
-			inv.hooks.IncidentClassified(inc)
+			inv.hooks.IncidentClassified(r.inc)
+		}
+		if r.popLevel {
+			popLevel = append(popLevel, resolved{group: r.group, epicenter: r.epicenter})
 		}
 	}
 

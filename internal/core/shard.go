@@ -15,16 +15,45 @@ type popEnd struct {
 	near, far bgp.ASN
 }
 
-// pathState is the tracked state of one monitored path.
+// pathTag is one currently tagged PoP of a path: the hop ends the
+// community bound to it and the instant the tag became continuous (the
+// stability clock of Section 4.2).
+type pathTag struct {
+	pop   colo.PoP
+	ends  popEnd
+	since time.Time
+}
+
+// pathState is the tracked state of one monitored path. Tags live in a
+// small slice rather than maps: most paths traverse only a handful of
+// tagged PoPs, so linear scans beat map overhead and the slab is recycled
+// across announcements instead of being reallocated per update.
 type pathState struct {
-	// tags maps each currently tagged PoP to its hop ends.
-	tags map[colo.PoP]popEnd
-	// since records when each PoP was first tagged continuously.
-	since map[colo.PoP]time.Time
+	tags []pathTag
 	// path is the current (deduplicated) AS path; kept so that signal
 	// investigation can intersect the old paths of diverted routes and
 	// recognize AS-level incidents (Section 4.3).
 	path bgp.Path
+}
+
+// find returns the tag for pop, or nil.
+func (st *pathState) find(pop colo.PoP) *pathTag {
+	for i := range st.tags {
+		if st.tags[i].pop == pop {
+			return &st.tags[i]
+		}
+	}
+	return nil
+}
+
+// tagsHave reports whether tags contains pop.
+func tagsHave(tags []pathTag, pop colo.PoP) bool {
+	for i := range tags {
+		if tags[i].pop == pop {
+			return true
+		}
+	}
+	return false
 }
 
 // divertRec is one path leaving a PoP within the current bin. seq is the
@@ -75,6 +104,16 @@ type returnEvent struct {
 	at        time.Time
 }
 
+// Free-list caps: recycling is bounded so a burst (a mass withdrawal, a
+// divert-heavy bin) does not pin its peak footprint forever. Entries past
+// the cap simply go to the GC.
+const (
+	maxFreeStates = 4096
+	maxFreeSets   = 1024
+	maxFreeMaps   = 256
+	maxFreeRecs   = 1024
+)
+
 // pathShard owns the per-path monitoring state (Section 4.2) for one hash
 // partition of the PathKey space. All of its state transitions depend only
 // on the ops of its own keys (plus broadcast peer-down ops), which is what
@@ -101,6 +140,17 @@ type pathShard struct {
 	// watches / returns implement restoration tracking between barriers.
 	watches []shardWatch
 	returns []returnEvent
+
+	// Arena-style recycling of the ingest hot path's short-lived
+	// structures. scratchTags/scratchHops are the per-announce working
+	// buffers; the free lists hold retired path states, emptied stable key
+	// sets, and the previous bins' divert indexes and record slabs.
+	scratchTags []pathTag
+	scratchHops []communities.TaggedHop
+	freeStates  []*pathState
+	freeSets    []map[PathKey]popEnd
+	freeByNear  []map[bgp.ASN][]divertRec
+	freeRecs    [][]divertRec
 }
 
 func newPathShard(cfg Config, dict *communities.Dictionary, cmap *colo.Map) *pathShard {
@@ -114,6 +164,40 @@ func newPathShard(cfg Config, dict *communities.Dictionary, cmap *colo.Map) *pat
 		pathsContaining: make(map[bgp.ASN]int),
 		diverted:        make(map[colo.PoP]map[bgp.ASN][]divertRec),
 	}
+}
+
+// newState takes a path state off the free list, or allocates one.
+func (s *pathShard) newState() *pathState {
+	if n := len(s.freeStates); n > 0 {
+		st := s.freeStates[n-1]
+		s.freeStates[n-1] = nil
+		s.freeStates = s.freeStates[:n-1]
+		return st
+	}
+	return &pathState{}
+}
+
+// releaseState retires a path state removed from s.paths, keeping its tag
+// slab for reuse. The caller must not hold references to it afterwards.
+func (s *pathShard) releaseState(st *pathState) {
+	if len(s.freeStates) >= maxFreeStates {
+		return
+	}
+	st.tags = st.tags[:0]
+	st.path = nil
+	s.freeStates = append(s.freeStates, st)
+}
+
+// newKeySet takes an emptied stable key set off the free list, or
+// allocates one.
+func (s *pathShard) newKeySet() map[PathKey]popEnd {
+	if n := len(s.freeSets); n > 0 {
+		set := s.freeSets[n-1]
+		s.freeSets[n-1] = nil
+		s.freeSets = s.freeSets[:n-1]
+		return set
+	}
+	return make(map[PathKey]popEnd)
 }
 
 // apply executes one fanned-out route op. Promotions due at or before the
@@ -143,25 +227,37 @@ func (s *pathShard) runPromotions(now time.Time) {
 		if st == nil {
 			continue
 		}
-		since, tagged := st.since[p.pop]
-		if !tagged || !since.Equal(p.since) {
+		t := st.find(p.pop)
+		if t == nil || !t.since.Equal(p.since) {
 			continue // re-tagged since scheduling; a newer promo exists
 		}
-		s.addStable(p.pop, p.key, st.tags[p.pop])
+		s.addStable(p.pop, p.key, t.ends)
 	}
 }
 
 // announce updates a path with a new tagged route.
 func (s *pathShard) announce(at time.Time, key PathKey, path bgp.Path, comms bgp.Communities, seq uint64) {
-	hops := s.dict.Annotate(path, comms, s.cmap)
-	newTags := make(map[colo.PoP]popEnd, len(hops))
+	hops := s.dict.AnnotateAppend(s.scratchHops[:0], path, comms, s.cmap)
+	s.scratchHops = hops
+	newTags := s.scratchTags[:0]
 	for _, h := range hops {
-		newTags[h.PoP] = popEnd{near: h.Near, far: h.Far}
+		e := popEnd{near: h.Near, far: h.Far}
+		dup := false
+		for i := range newTags {
+			if newTags[i].pop == h.PoP {
+				newTags[i].ends = e // last community for a PoP wins, as before
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			newTags = append(newTags, pathTag{pop: h.PoP, ends: e})
+		}
 	}
 
 	st := s.paths[key]
 	if st == nil {
-		st = &pathState{tags: map[colo.PoP]popEnd{}, since: map[colo.PoP]time.Time{}}
+		st = s.newState()
 		s.paths[key] = st
 		if s.pathsOfPeer[key.Peer] == nil {
 			s.pathsOfPeer[key.Peer] = make(map[PathKey]bool)
@@ -172,26 +268,28 @@ func (s *pathShard) announce(at time.Time, key PathKey, path bgp.Path, comms bgp
 	// PoPs no longer tagged: divert events. A changed community counts as
 	// a route change even when the AS path is identical — and vice versa a
 	// kept community means no change for that PoP (Section 4.2).
-	for pop, ends := range st.tags {
-		if _, still := newTags[pop]; !still {
-			s.recordDivert(key, pop, ends, st.path, seq)
+	for i := range st.tags {
+		t := &st.tags[i]
+		if !tagsHave(newTags, t.pop) {
+			s.recordDivert(key, t.pop, t.ends, st.path, seq)
 		}
 	}
 	// Newly tagged PoPs start their stability clock; kept PoPs keep it.
-	for pop, ends := range newTags {
-		if _, had := st.tags[pop]; !had {
-			st.since[pop] = at
-			heap.Push(&s.promos, promo{due: at.Add(s.cfg.StableWindow), key: key, pop: pop, since: at})
+	for i := range newTags {
+		nt := &newTags[i]
+		if old := st.find(nt.pop); old != nil {
+			nt.since = old.since
+		} else {
+			nt.since = at
+			heap.Push(&s.promos, promo{due: at.Add(s.cfg.StableWindow), key: key, pop: nt.pop, since: at})
 		}
-		if at.Sub(st.since[pop]) >= s.cfg.StableWindow {
-			s.addStable(pop, key, ends)
-		}
-	}
-	for pop := range st.since {
-		if _, still := newTags[pop]; !still {
-			delete(st.since, pop)
+		if at.Sub(nt.since) >= s.cfg.StableWindow {
+			s.addStable(nt.pop, key, nt.ends)
 		}
 	}
+	// Swap the tag slabs: the state keeps newTags; its previous slab
+	// becomes the next announce's scratch buffer.
+	s.scratchTags = st.tags[:0]
 	st.tags = newTags
 	s.countPath(st.path, -1)
 	st.path = path.Dedup()
@@ -203,14 +301,14 @@ func (s *pathShard) announce(at time.Time, key PathKey, path bgp.Path, comms bgp
 
 // noteReturn checks the shard's outage watches: a waiting path re-tagging a
 // signal PoP counts toward restoration and is reported at the next barrier.
-func (s *pathShard) noteReturn(at time.Time, key PathKey, newTags map[colo.PoP]popEnd) {
+func (s *pathShard) noteReturn(at time.Time, key PathKey, newTags []pathTag) {
 	for i := range s.watches {
 		w := &s.watches[i]
 		if !w.waiting[key] {
 			continue
 		}
-		for pop := range newTags {
-			if w.signalPops[pop] {
+		for j := range newTags {
+			if w.signalPops[newTags[j].pop] {
 				delete(w.waiting, key)
 				s.returns = append(s.returns, returnEvent{epicenter: w.epicenter, key: key, at: at})
 				break
@@ -225,14 +323,16 @@ func (s *pathShard) withdraw(key PathKey, seq uint64) {
 	if st == nil {
 		return
 	}
-	for pop, ends := range st.tags {
-		s.recordDivert(key, pop, ends, st.path, seq)
+	for i := range st.tags {
+		t := &st.tags[i]
+		s.recordDivert(key, t.pop, t.ends, st.path, seq)
 	}
 	s.countPath(st.path, -1)
 	delete(s.paths, key)
 	if m := s.pathsOfPeer[key.Peer]; m != nil {
 		delete(m, key)
 	}
+	s.releaseState(st)
 }
 
 // suspendPeer silently drops a peer's paths from monitoring state after a
@@ -243,11 +343,12 @@ func (s *pathShard) suspendPeer(peer bgp.ASN) {
 		if st == nil {
 			continue
 		}
-		for pop := range st.tags {
-			s.removeStable(pop, key)
+		for i := range st.tags {
+			s.removeStable(st.tags[i].pop, key)
 		}
 		s.countPath(st.path, -1)
 		delete(s.paths, key)
+		s.releaseState(st)
 	}
 	delete(s.pathsOfPeer, peer)
 }
@@ -270,7 +371,7 @@ func (s *pathShard) addStable(pop colo.PoP, key PathKey, ends popEnd) {
 	}
 	set := byNear[ends.near]
 	if set == nil {
-		set = make(map[PathKey]popEnd)
+		set = s.newKeySet()
 		byNear[ends.near] = set
 	}
 	set[key] = ends
@@ -282,6 +383,9 @@ func (s *pathShard) removeStable(pop colo.PoP, key PathKey) {
 			delete(set, key)
 			if len(set) == 0 {
 				delete(s.stable[pop], near)
+				if len(s.freeSets) < maxFreeSets {
+					s.freeSets = append(s.freeSets, set)
+				}
 			}
 		}
 	}
@@ -299,10 +403,24 @@ func (s *pathShard) recordDivert(key PathKey, pop colo.PoP, ends popEnd, oldPath
 	}
 	byNear := s.diverted[pop]
 	if byNear == nil {
-		byNear = make(map[bgp.ASN][]divertRec)
+		if n := len(s.freeByNear); n > 0 {
+			byNear = s.freeByNear[n-1]
+			s.freeByNear[n-1] = nil
+			s.freeByNear = s.freeByNear[:n-1]
+		} else {
+			byNear = make(map[bgp.ASN][]divertRec)
+		}
 		s.diverted[pop] = byNear
 	}
-	byNear[ends.near] = append(byNear[ends.near], divertRec{key: key, ends: ends, oldPath: oldPath, seq: seq})
+	recs, ok := byNear[ends.near]
+	if !ok {
+		if n := len(s.freeRecs); n > 0 {
+			recs = s.freeRecs[n-1]
+			s.freeRecs[n-1] = nil
+			s.freeRecs = s.freeRecs[:n-1]
+		}
+	}
+	byNear[ends.near] = append(recs, divertRec{key: key, ends: ends, oldPath: oldPath, seq: seq})
 }
 
 // takeReturns hands the accumulated return events to the investigator.
@@ -315,13 +433,25 @@ func (s *pathShard) takeReturns() []returnEvent {
 // finishBin applies the end-of-bin cleanup after investigation: diverted
 // paths leave the stable baseline (Section 4.2: "after each binning
 // interval, we remove the changed paths from the set of stable paths").
+// The bin's divert indexes and record slabs are cleared in place and
+// recycled rather than reallocated each bin; nothing downstream retains
+// them — the investigator deep-copies whatever outlives the barrier, and
+// finishBin runs last in the bin-close sequence.
 func (s *pathShard) finishBin() {
 	for pop, byNear := range s.diverted {
-		for _, recs := range byNear {
-			for _, r := range recs {
-				s.removeStable(pop, r.key)
+		for near, recs := range byNear {
+			for i := range recs {
+				s.removeStable(pop, recs[i].key)
+				recs[i] = divertRec{} // drop oldPath references
 			}
+			if len(s.freeRecs) < maxFreeRecs {
+				s.freeRecs = append(s.freeRecs, recs[:0])
+			}
+			delete(byNear, near)
+		}
+		delete(s.diverted, pop)
+		if len(s.freeByNear) < maxFreeMaps {
+			s.freeByNear = append(s.freeByNear, byNear)
 		}
 	}
-	s.diverted = make(map[colo.PoP]map[bgp.ASN][]divertRec)
 }

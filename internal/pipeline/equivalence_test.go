@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kepler/internal/core"
+	"kepler/internal/mrt"
 	"kepler/internal/simulate"
 )
 
@@ -39,6 +40,50 @@ func TestEngineEquivalenceOnSimulation(t *testing.T) {
 	for _, shards := range []int{1, 2, 8} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			gotOuts, gotIncs := s.RunEngine(res.Records, core.DefaultConfig(), nil, shards)
+			if !reflect.DeepEqual(gotOuts, wantOuts) {
+				t.Errorf("outages diverge:\n engine:   %+v\n detector: %+v", gotOuts, wantOuts)
+			}
+			if !reflect.DeepEqual(gotIncs, wantIncs) {
+				t.Errorf("incidents diverge (%d vs %d)", len(gotIncs), len(wantIncs))
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceParallelInvestigator repeats the full-scenario
+// equivalence check with the bin-close signal investigation fanned out
+// across a worker pool: at every worker count the engine must stay
+// byte-for-byte identical to the sequential detector. The rendered archive
+// leads with a table dump, so this also drives Engine.BootstrapRIB through
+// RunEngine on every subtest.
+func TestEngineEquivalenceParallelInvestigator(t *testing.T) {
+	s := buildStack(t)
+	target := bestTarget(s)
+	if target == 0 {
+		t.Fatal("no trackable facility")
+	}
+	ev := simulate.Event{
+		ID: 0, Kind: simulate.EvFacility, Facility: target,
+		Start:    tStart.Add(5 * 24 * time.Hour),
+		Duration: 45 * time.Minute,
+	}
+	res, err := simulate.Render(s.World, []simulate.Event{ev}, tStart, tEnd, simulate.RenderConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].Kind != mrt.KindRIB {
+		t.Fatal("rendered archive does not lead with a table dump; RIB bootstrap would be vacuous")
+	}
+
+	wantOuts, wantIncs := s.Run(res.Records, core.DefaultConfig(), nil)
+	if len(wantOuts) == 0 {
+		t.Fatal("reference detector found nothing; equivalence would be vacuous")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("invest-workers=%d", workers), func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			cfg.InvestWorkers = workers
+			gotOuts, gotIncs := s.RunEngine(res.Records, cfg, nil, 4)
 			if !reflect.DeepEqual(gotOuts, wantOuts) {
 				t.Errorf("outages diverge:\n engine:   %+v\n detector: %+v", gotOuts, wantOuts)
 			}

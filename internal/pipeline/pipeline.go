@@ -106,17 +106,28 @@ func (s *Stack) Run(records []*mrt.Record, cfg core.Config, dp core.DataPlane) (
 
 // RunEngine feeds a time-sorted record stream through a fresh sharded
 // engine and returns all completed outages and classified incidents — the
-// concurrent counterpart of Run, with identical output for any stream. It
-// drives the engine through the same live.Pump loop the keplerd daemon
-// uses, so the batch and serving paths cannot drift.
+// concurrent counterpart of Run, with identical output for any stream. A
+// leading table dump bulk-loads across the shards via Engine.BootstrapRIB;
+// the remaining stream drives the engine through the same live.Pump loop
+// the keplerd daemon uses, so the batch and serving paths cannot drift.
 func (s *Stack) RunEngine(records []*mrt.Record, cfg core.Config, dp core.DataPlane, shards int) ([]core.Outage, []core.Incident) {
 	eng := s.NewEngine(cfg, shards)
 	defer eng.Close()
 	if dp != nil {
 		eng.SetDataPlane(dp)
 	}
-	res, _ := live.Pump(context.Background(), live.Adapt(bgpstream.NewSliceSource(records)), eng)
-	return res.Outages, eng.Incidents()
+	n := 0
+	for n < len(records) && records[n].Kind == mrt.KindRIB {
+		n++
+	}
+	outages, _ := eng.BootstrapRIB(records[:n]) // all KindRIB by construction
+	res, _ := live.Pump(context.Background(), live.Adapt(bgpstream.NewSliceSource(records[n:])), eng)
+	outages = append(outages, res.Outages...)
+	if res.Last.IsZero() && n > 0 {
+		// The stream was all table dump: Pump saw nothing, so flush here.
+		outages = append(outages, eng.Flush(records[n-1].Time)...)
+	}
+	return outages, eng.Incidents()
 }
 
 // SimDataPlane validates suspected outages with targeted synthetic

@@ -24,6 +24,18 @@
 //   - Detector — the sequential pipeline (NewDetector), kept as the N=1
 //     compatibility path with zero goroutines.
 //
+// Three ingest-speed mechanisms ride inside that contract. The shards keep
+// their per-path records in pooled, recycled state structs with small
+// slice-backed tag sets (no per-update map churn; withdrawn paths return
+// their storage to per-shard free lists). The bin-close signal
+// investigation optionally fans the independent per-PoP signal groups
+// across a worker pool (Config.InvestWorkers; the classification is pure
+// and results merge in deterministic sorted order, so output — including
+// data-plane probe order — is identical at any worker count). And a
+// cold-start table dump bulk-loads through Engine.BootstrapRIB, which
+// batches the dump across all shard workers concurrently instead of
+// trickling it through the per-record streaming path.
+//
 // # Live service layer
 //
 // On top of the engine sits a serving subsystem that turns batch replay
