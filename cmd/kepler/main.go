@@ -10,6 +10,11 @@
 // selects the sequential single-shard detector, which produces identical
 // output.
 //
+// Outage and incident reports go to stdout in a fixed format; diagnostics
+// go to stderr through log/slog (-log-format text|json, -log-level).
+// -bin-stats additionally prints a staged bin-close latency summary (shard
+// barrier, divert merge, classification, ...) at exit.
+//
 // Usage:
 //
 //	kepler -seed 1 -archive archive.mrt [-shards N] [-tfail 0.1] [-v]
@@ -19,11 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
 
 	"kepler/internal/core"
+	"kepler/internal/metrics"
 	"kepler/internal/mrt"
 	"kepler/internal/pipeline"
 	"kepler/internal/topology"
@@ -36,8 +43,11 @@ func main() {
 		tfail   = flag.Float64("tfail", 0.10, "outage signal threshold")
 		verbose = flag.Bool("v", false, "also print link/AS-level incidents")
 		unres   = flag.Bool("report-unresolved", true, "report outages whose epicenter could not be pinned (no data plane in replay mode)")
-		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "path-state shard workers; 1 runs the sequential detector, <= 0 one worker per core")
-		invest  = flag.Int("invest-workers", 0, "goroutines for the bin-close signal investigation; <= 1 classifies inline (output is identical at any count)")
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "path-state shard workers; 1 runs the sequential detector, <= 0 one worker per core")
+		invest   = flag.Int("invest-workers", 0, "goroutines for the bin-close signal investigation; <= 1 classifies inline (output is identical at any count)")
+		logFmt   = flag.String("log-format", "text", "stderr diagnostics format: text or json")
+		logLvl   = flag.String("log-level", "info", "minimum diagnostic severity: debug, info, warn or error")
+		binStats = flag.Bool("bin-stats", false, "print a staged bin-close latency summary at exit")
 	)
 	flag.Parse()
 
@@ -50,6 +60,10 @@ func main() {
 	if *invest > 1024 {
 		fatal(fmt.Errorf("-invest-workers must be at most 1024, got %d (workers beyond the per-bin signal-group count idle anyway)", *invest))
 	}
+	logger, err := newLogger(os.Stderr, *logFmt, *logLvl)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := topology.DefaultConfig()
 	cfg.Seed = *seed
@@ -58,8 +72,9 @@ func main() {
 		fatal(err)
 	}
 	stack := pipeline.Build(w, 77)
-	fmt.Fprintf(os.Stderr, "dictionary: %d communities from %d ASes; %d/%d facilities trackable\n",
-		stack.Dict.Len(), len(stack.Dict.CoveredASNs()), trackable(stack), stack.Map.NumFacilities())
+	logger.Info("dictionary built",
+		"communities", stack.Dict.Len(), "ases", len(stack.Dict.CoveredASNs()),
+		"trackable_facilities", trackable(stack), "facilities", stack.Map.NumFacilities())
 
 	f, err := os.Open(*archive)
 	if err != nil {
@@ -81,12 +96,23 @@ func main() {
 	}
 	var det detection
 	var eng *core.Engine
+	var stage *metrics.BinStageStats
+	if *binStats {
+		stage = &metrics.BinStageStats{}
+	}
 	if *shards == 1 {
-		det = stack.NewDetector(kcfg)
+		d := stack.NewDetector(kcfg)
+		if stage != nil {
+			d.SetBinStageStats(stage)
+		}
+		det = d
 	} else {
 		// Engine resolves <= 0 to one worker per core.
 		eng = stack.NewEngine(kcfg, *shards)
 		defer eng.Close()
+		if stage != nil {
+			eng.SetBinStageStats(stage)
+		}
 		det = eng
 	}
 
@@ -141,7 +167,17 @@ func main() {
 		printOutage(stack, o)
 	}
 	if eng != nil {
-		fmt.Fprintf(os.Stderr, "ingest: %v\n", eng.Stats())
+		logger.Info("ingest finished", "stats", eng.Stats())
+	}
+	if stage != nil {
+		snap := stage.Snapshot()
+		attrs := []any{"bins", snap.Total.Count,
+			"mean", snap.Total.Mean(), "p50", snap.Total.Quantile(0.50),
+			"p99", snap.Total.Quantile(0.99)}
+		for i, name := range metrics.BinStageNames {
+			attrs = append(attrs, name, snap.Stages[i].Mean())
+		}
+		logger.Info("bin-close latency", attrs...)
 	}
 
 	counts := map[core.IncidentKind]int{}
@@ -153,9 +189,36 @@ func main() {
 				len(inc.AffectedASes), inc.Links)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "processed %d records; incidents: link=%d as=%d operator=%d pop=%d\n",
-		records, counts[core.IncidentLink], counts[core.IncidentAS],
-		counts[core.IncidentOperator], counts[core.IncidentPoP])
+	logger.Info("replay finished", "records", records,
+		"link", counts[core.IncidentLink], "as", counts[core.IncidentAS],
+		"operator", counts[core.IncidentOperator], "pop", counts[core.IncidentPoP])
+}
+
+// newLogger builds the stderr diagnostics logger; report output (stdout)
+// stays fixed-format regardless.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level must be one of debug, info, warn, error; got %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
+	}
 }
 
 func printOutage(stack *pipeline.Stack, o core.Outage) {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+
+	"kepler/internal/metrics"
+)
+
+// Structured-logging flag values. keplerd logs through log/slog: -log-format
+// selects the handler (text for humans, json for log shippers), -log-level
+// the minimum severity. Component-scoped child loggers (component=daemon,
+// store, probe, server, source) are derived from the one root logger so a
+// single pair of flags governs the whole process.
+const (
+	logFormatText = "text"
+	logFormatJSON = "json"
+)
+
+// logLevels maps -log-level values to slog levels.
+var logLevels = map[string]slog.Level{
+	"debug": slog.LevelDebug,
+	"info":  slog.LevelInfo,
+	"warn":  slog.LevelWarn,
+	"error": slog.LevelError,
+}
+
+// validateLogFlags rejects unknown -log-format / -log-level values before
+// any logger is constructed, so a typo fails fast instead of silently
+// logging at the wrong level.
+func validateLogFlags(format, level string) error {
+	if format != logFormatText && format != logFormatJSON {
+		return fmt.Errorf("-log-format must be %q or %q, got %q", logFormatText, logFormatJSON, format)
+	}
+	if _, ok := logLevels[level]; !ok {
+		return fmt.Errorf("-log-level must be one of debug, info, warn, error; got %q", level)
+	}
+	return nil
+}
+
+// newLogger builds the daemon's root logger. Flags must have been validated
+// with validateLogFlags first.
+func newLogger(w io.Writer, format, level string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: logLevels[level]}
+	if format == logFormatJSON {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// validateSlowBinFlag checks -slow-bin-ms: a non-negative millisecond
+// threshold; 0 disables slow-bin reporting.
+func validateSlowBinFlag(ms int) error {
+	if ms < 0 {
+		return fmt.Errorf("-slow-bin-ms must be non-negative, got %d (0 disables slow-bin reports)", ms)
+	}
+	return nil
+}
+
+// slowBinAttrs renders one slow bin close as structured attributes: the
+// bin, the total, and every instrumented stage, so the report pinpoints
+// which stage (shard barrier, merge, probe collection, classification,
+// baseline cleanup, hooks) ate the budget.
+func slowBinAttrs(sp metrics.BinSpans) []any {
+	attrs := make([]any, 0, 2*(metrics.NumBinStages+2))
+	attrs = append(attrs, "bin", sp.End, "total", sp.Total)
+	for i, n := range metrics.BinStageNames {
+		attrs = append(attrs, n, sp.Stage[i])
+	}
+	return attrs
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"kepler/internal/metrics"
+)
+
+func TestValidateLogFlags(t *testing.T) {
+	cases := []struct {
+		format, level string
+		wantErr       bool
+	}{
+		{"text", "info", false},
+		{"json", "debug", false},
+		{"text", "warn", false},
+		{"json", "error", false},
+		{"xml", "info", true},
+		{"", "info", true},
+		{"text", "verbose", true},
+		{"text", "INFO", true}, // case-sensitive, like every other enum flag
+		{"text", "", true},
+	}
+	for _, c := range cases {
+		err := validateLogFlags(c.format, c.level)
+		if (err != nil) != c.wantErr {
+			t.Errorf("validateLogFlags(%q, %q) = %v, wantErr=%v", c.format, c.level, err, c.wantErr)
+		}
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg := newLogger(&buf, "text", "warn")
+	lg.Info("hidden")
+	lg.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked past -log-level warn: %q", out)
+	}
+	if !strings.Contains(out, "visible") {
+		t.Errorf("warn line missing: %q", out)
+	}
+}
+
+func TestNewLoggerJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg := newLogger(&buf, "json", "info")
+	lg.Info("outage resolved", "pop", "facility:7", "paths", 12)
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("-log-format json produced non-JSON output %q: %v", buf.String(), err)
+	}
+	if line["msg"] != "outage resolved" || line["pop"] != "facility:7" {
+		t.Errorf("json line = %v", line)
+	}
+}
+
+func TestValidateSlowBinFlag(t *testing.T) {
+	if err := validateSlowBinFlag(0); err != nil {
+		t.Errorf("0 (disabled) rejected: %v", err)
+	}
+	if err := validateSlowBinFlag(250); err != nil {
+		t.Errorf("250 rejected: %v", err)
+	}
+	if err := validateSlowBinFlag(-1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestSlowBinAttrs(t *testing.T) {
+	sp := metrics.BinSpans{
+		End:   time.Date(2016, 1, 1, 12, 0, 0, 0, time.UTC),
+		Total: 300 * time.Millisecond,
+	}
+	sp.Stage[metrics.StageClassify] = 250 * time.Millisecond
+	attrs := slowBinAttrs(sp)
+	if len(attrs) != 2*(metrics.NumBinStages+2) {
+		t.Fatalf("attr count = %d", len(attrs))
+	}
+	// Attrs must round-trip through a handler as key/value pairs.
+	var buf bytes.Buffer
+	newLogger(&buf, "json", "info").Warn("slow bin close", attrs...)
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := line["classify"]; !ok {
+		t.Errorf("classify stage missing from %v", line)
+	}
+	if _, ok := line["total"]; !ok {
+		t.Errorf("total missing from %v", line)
+	}
+}

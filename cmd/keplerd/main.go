@@ -51,9 +51,29 @@
 // restart: recovery serves the interrupted pendings immediately and the
 // deterministic catch-up re-parks and re-measures them.
 //
+// With -trace (on by default) the engine records detection provenance:
+// per outage, the evidence chain behind the call — diverted-path signal
+// groups, localization candidates considered and eliminated, collateral
+// folds, probe campaign verdicts — served at /v1/outages/{id}/trace,
+// streamed as `trace` SSE events, and persisted through the store so the
+// evidence survives restarts. Tracing changes the published event sequence
+// (one trace event per resolution), so a data dir is bound to the -trace
+// setting like it is to the detection config. Recording costs nothing when
+// disabled and never perturbs detection output either way.
+//
+// Observability: keplerd logs through log/slog — -log-format text|json,
+// -log-level debug|info|warn|error — with component-scoped loggers for the
+// store, probe scheduler, server and source. Every bin close is measured
+// in stages (shard barrier, divert merge, probe collection, classification,
+// baseline cleanup, hooks); the fixed-bucket histograms appear in /v1/stats
+// under bin_close and at /metrics as kepler_bin_close_seconds /
+// kepler_bin_close_stage_seconds. -slow-bin-ms logs a structured per-stage
+// report for any bin close over the threshold.
+//
 // Endpoints: /healthz, /metrics (Prometheus text exposition), /v1/outages,
-// /v1/outages/open, /v1/incidents, /v1/probes, /v1/stats, /v1/events
-// (SSE). /v1/outages and /v1/incidents paginate with ?after=<id>&limit=<n>.
+// /v1/outages/{id}/trace, /v1/outages/open, /v1/incidents, /v1/probes,
+// /v1/stats, /v1/events (SSE). /v1/outages and /v1/incidents paginate with
+// ?after=<id>&limit=<n>.
 // -pprof-addr additionally serves the standard net/http/pprof debug
 // endpoints on a listener of their own — opt-in, and never on the API port.
 // Shutdown on SIGINT/SIGTERM is graceful: the source is drained, the
@@ -72,7 +92,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -115,6 +134,10 @@ func main() {
 		probeBdg  = flag.Int("probe-budget", 256, "probes allowed per sliding one-hour window")
 		investW   = flag.Int("invest-workers", 0, "goroutines for the bin-close signal investigation; <= 1 classifies inline (output is identical at any count)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this host:port (own listener, never the API's); empty disables profiling")
+		logFormat = flag.String("log-format", logFormatText, "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+		slowBinMS = flag.Int("slow-bin-ms", 0, "log a structured per-stage report for any bin close slower than this many milliseconds; 0 disables")
+		tracing   = flag.Bool("trace", true, "record detection provenance traces, served at /v1/outages/{id}/trace; a data dir is bound to this setting like it is to the detection config")
 	)
 	flag.Parse()
 
@@ -151,6 +174,17 @@ func main() {
 	if err := validatePprofFlags(*pprofAddr, *listen); err != nil {
 		fatal(err)
 	}
+	if err := validateLogFlags(*logFormat, *logLevel); err != nil {
+		fatal(err)
+	}
+	if err := validateSlowBinFlag(*slowBinMS); err != nil {
+		fatal(err)
+	}
+
+	// One root logger; every subsystem logs through a component-scoped
+	// child so a single -log-format/-log-level pair governs the process.
+	logger := newLogger(os.Stderr, *logFormat, *logLevel)
+	dlog := logger.With("component", "daemon")
 
 	cfg := topology.DefaultConfig()
 	cfg.Seed = *seed
@@ -159,8 +193,9 @@ func main() {
 		fatal(err)
 	}
 	stack := pipeline.Build(w, 77)
-	log.Printf("keplerd: dictionary %d communities from %d ASes; %d facilities, %d IXPs mapped",
-		stack.Dict.Len(), len(stack.Dict.CoveredASNs()), stack.Map.NumFacilities(), stack.Map.NumIXPs())
+	dlog.Info("pipeline built",
+		"communities", stack.Dict.Len(), "ases", len(stack.Dict.CoveredASNs()),
+		"facilities", stack.Map.NumFacilities(), "ixps", stack.Map.NumIXPs())
 
 	// Active-measurement substrate: the probe scheduler measures against
 	// the simulated traceroute layer of the rendered scenario windows,
@@ -191,9 +226,10 @@ func main() {
 			Window:   time.Hour,
 			Cooldown: 5 * time.Minute,
 			Metrics:  probeStats,
+			Logger:   logger.With("component", "probe"),
 		})
 		defer sched.Close()
-		log.Printf("keplerd: probe scheduler on (%s backend, budget %d/h)", *probeBkn, *probeBdg)
+		dlog.Info("probe scheduler on", "backend", *probeBkn, "budget_per_hour", *probeBdg)
 	}
 
 	// Source. Both sources are Resumable; the Tracked wrapper remembers the
@@ -202,12 +238,12 @@ func main() {
 	var tracked *live.Tracked
 	switch {
 	case *synthetic:
-		scfg := live.SyntheticConfig{Seed: *seed + 100}
+		scfg := live.SyntheticConfig{Seed: *seed + 100, Logger: logger.With("component", "source")}
 		if wdp != nil {
 			scfg.OnWindow = wdp.Install
 		}
 		tracked = live.Track(live.NewSynthetic(w, scfg))
-		log.Printf("keplerd: synthetic soak source (endless rolling windows)")
+		dlog.Info("synthetic soak source (endless rolling windows)")
 	default:
 		f, err := os.Open(*archive)
 		if err != nil {
@@ -215,7 +251,7 @@ func main() {
 		}
 		defer f.Close()
 		tracked = live.Track(live.NewReplayer(mrt.NewReader(f), *speed))
-		log.Printf("keplerd: replaying %s at %s", *archive, speedName(*speed))
+		dlog.Info("replaying archive", "archive", *archive, "speed", speedName(*speed))
 	}
 	var src live.Source = tracked
 
@@ -223,6 +259,18 @@ func main() {
 	kcfg.Tfail = *tfail
 	kcfg.ReportUnresolved = *unres
 	kcfg.InvestWorkers = *investW
+	kcfg.Tracing = *tracing
+
+	// Staged bin-close latency: always collected (a handful of monotonic
+	// clock reads per bin), exported via /v1/stats and /metrics. -slow-bin-ms
+	// additionally turns outliers into structured warn reports.
+	binStage := &metrics.BinStageStats{}
+	if *slowBinMS > 0 {
+		binStage.SlowBinThreshold = time.Duration(*slowBinMS) * time.Millisecond
+		binStage.OnSlowBin = func(sp metrics.BinSpans) {
+			dlog.Warn("slow bin close", slowBinAttrs(sp)...)
+		}
+	}
 
 	// Durable history. The store's sink runs synchronously on the ingest
 	// goroutine. On a shutdown-abort the whole hook chain is muted (see
@@ -248,6 +296,7 @@ func main() {
 			CompactBytes: *compactMB << 20,
 			TailEvents:   *ringSize,
 			Metrics:      storeStats,
+			Logger:       logger.With("component", "store"),
 		})
 		if err != nil {
 			fatal(err)
@@ -264,14 +313,14 @@ func main() {
 				if err := st.Append(ev); err != nil {
 					// Losing durability must not take down detection;
 					// serve on, in-memory, and say so loudly.
-					log.Printf("keplerd: store append failed, persistence disabled: %v", err)
+					dlog.Error("store append failed, persistence disabled", "error", err)
 					sinkArmed.Store(false)
 				}
 			}),
 		)
-		log.Printf("keplerd: recovered %s: %d outages, %d incidents, seq %d (last bin %s)",
-			*dataDir, len(hist.Resolved), len(hist.Incidents), hist.LastSeq,
-			hist.LastBin.Format("2006-01-02 15:04"))
+		dlog.Info("history recovered", "dir", *dataDir,
+			"outages", len(hist.Resolved), "incidents", len(hist.Incidents),
+			"traces", len(hist.Traces), "seq", hist.LastSeq, "last_bin", hist.LastBin)
 
 		// Newest usable engine checkpoint: structurally valid (CRC-framed),
 		// version-compatible, not ahead of the durable event horizon (a
@@ -301,6 +350,7 @@ func main() {
 	bus := events.New(svc, busOpts...)
 	bus.SeedRing(hist.Tail)
 	eng := stack.NewEngine(kcfg, *shards)
+	eng.SetBinStageStats(binStage)
 	if sched != nil {
 		eng.SetProber(sched)
 	}
@@ -315,9 +365,10 @@ func main() {
 		if err := eng.RestoreFrom(engCkpt); err != nil {
 			// Should be unreachable (LoadCheckpoint pre-validated); rebuild
 			// the engine rather than risk a partial restore.
-			log.Printf("keplerd: checkpoint restore failed, re-ingesting from record zero: %v", err)
+			dlog.Error("checkpoint restore failed, re-ingesting from record zero", "error", err)
 			eng.Close()
 			eng = stack.NewEngine(kcfg, *shards)
+			eng.SetBinStageStats(binStage)
 			if sched != nil {
 				eng.SetProber(sched)
 			}
@@ -332,17 +383,19 @@ func main() {
 		gateSkip = hist.LastSeq - resume.EventSeq
 		storeStats.ResumeSeq.Store(int64(resume.EventSeq))
 		storeStats.ResumeRecords.Store(int64(resume.Records))
-		log.Printf("keplerd: resuming from checkpoint: record %d, bin %s, event seq %d (catch-up replays %d events)",
-			resume.Records, resume.BinEnd.Format("2006-01-02 15:04"), resume.EventSeq, gateSkip)
+		dlog.Info("resuming from checkpoint", "record", resume.Records,
+			"bin", resume.BinEnd, "seq", resume.EventSeq, "catchup_events", gateSkip)
 	} else if st != nil {
-		log.Printf("keplerd: no usable checkpoint; re-ingesting from record zero")
+		dlog.Info("no usable checkpoint; re-ingesting from record zero")
 	}
 	srvOpts := server.Options{
 		Bus:       bus,
 		Service:   svc,
 		Ingest:    func() metrics.IngestSnapshot { return eng.Stats() },
+		BinStage:  func() metrics.BinStageSnapshot { return binStage.Snapshot() },
 		Namer:     w.PoPName,
 		SSEBuffer: *sseBuffer,
+		Logger:    logger.With("component", "server"),
 	}
 	if storeStats != nil {
 		srvOpts.Store = func() metrics.StoreSnapshot { return storeStats.Snapshot() }
@@ -357,6 +410,33 @@ func main() {
 	// With a store it starts from the recovered history; the replay gate
 	// below keeps catch-up from appending those outages twice.
 	resolved := hist.Resolved
+	// traces mirrors the store's provenance retention on the serving side:
+	// trace j describes resolved outage traceBase+j. Like resolved it only
+	// mutates on the ingest goroutine; the gate keeps catch-up from
+	// re-appending recovered traces.
+	traces := hist.Traces
+	traceBase := hist.TraceBase
+	const traceCap = 1024
+	noteTrace := func(tr core.OutageTrace) {
+		idx := len(resolved) - 1
+		if idx < 0 {
+			return
+		}
+		switch {
+		case len(traces) == 0:
+			traceBase = idx
+		case traceBase+len(traces) != idx:
+			// Alignment break (e.g. a data dir recorded without tracing):
+			// restart the window at the current outage.
+			traces = traces[:0]
+			traceBase = idx
+		}
+		traces = append(traces, tr)
+		if drop := len(traces) - traceCap; drop > 0 {
+			traces = append(traces[:0], traces[drop:]...)
+			traceBase += drop
+		}
+	}
 	// recentOutcomes is the bounded probe-resolution log /v1/probes serves;
 	// like resolved it only mutates on the ingest goroutine. It is seeded
 	// from the recovered event tail so a restarted daemon shows the
@@ -376,6 +456,8 @@ func main() {
 	}
 	buildSnap := func(end time.Time) *server.Snapshot {
 		snap := server.BuildSnapshot(end, eng, resolved)
+		snap.Traces = append([]core.OutageTrace(nil), traces...)
+		snap.TraceBase = traceBase
 		if sched != nil {
 			snap.Pending = eng.PendingConfirmations()
 			snap.ProbeOutcomes = append([]core.ProbeOutcome(nil), recentOutcomes...)
@@ -388,15 +470,20 @@ func main() {
 	hooks.OutageResolved = func(o core.Outage) {
 		publishResolved(o)
 		resolved = append(resolved, o)
-		log.Printf("keplerd: OUTAGE RESOLVED %s %q %s -> %s (%s) ases=%d paths=%d",
-			o.PoP, w.PoPName(o.PoP), o.Start.Format("2006-01-02 15:04"),
-			o.End.Format("15:04"), o.Duration().Round(time.Minute),
-			len(o.AffectedASes), o.DivertedPaths)
+		dlog.Info("outage resolved", "pop", o.PoP.String(), "name", w.PoPName(o.PoP),
+			"start", o.Start, "end", o.End, "duration", o.Duration().Round(time.Minute),
+			"ases", len(o.AffectedASes), "paths", o.DivertedPaths)
+	}
+	publishTrace := hooks.TraceRecorded
+	hooks.TraceRecorded = func(tr core.OutageTrace) {
+		publishTrace(tr)
+		noteTrace(tr)
 	}
 	publishOpened := hooks.OutageOpened
 	hooks.OutageOpened = func(s core.OutageStatus) {
 		publishOpened(s)
-		log.Printf("keplerd: outage opened at %s %q (%d paths diverted)", s.PoP, w.PoPName(s.PoP), s.WaitingPaths)
+		dlog.Info("outage opened", "pop", s.PoP.String(), "name", w.PoPName(s.PoP),
+			"diverted_paths", s.WaitingPaths)
 	}
 	if sched != nil {
 		noteOutcome := func(o core.ProbeOutcome) {
@@ -412,8 +499,8 @@ func main() {
 			switch {
 			case o.Located:
 				probeStats.Promoted.Add(1)
-				log.Printf("keplerd: probe campaign %d located %s %q (confirmed=%v)",
-					o.Pending.ID, o.Epicenter, w.PoPName(o.Epicenter), o.Confirmed)
+				dlog.Info("probe campaign located epicenter", "campaign", o.Pending.ID,
+					"pop", o.Epicenter.String(), "name", w.PoPName(o.Epicenter), "confirmed", o.Confirmed)
 			case o.Pending.Epicenter.IsValid():
 				// A confirmation campaign the data plane contradicted: a
 				// suppressed false positive, not a localization failure.
@@ -427,7 +514,8 @@ func main() {
 			publishProbeExpired(o)
 			noteOutcome(o)
 			probeStats.Expired.Add(1)
-			log.Printf("keplerd: probe campaign %d expired unanswered (signal %s)", o.Pending.ID, o.Pending.SignalPoP)
+			dlog.Warn("probe campaign expired unanswered",
+				"campaign", o.Pending.ID, "signal_pop", o.Pending.SignalPoP.String())
 		}
 	}
 	// saveCheckpoint runs inside gated BinClosed hooks: the engine is at a
@@ -442,12 +530,12 @@ func main() {
 	saveCheckpoint := func(end time.Time) {
 		c, err := eng.Checkpoint()
 		if err != nil {
-			log.Printf("keplerd: checkpoint skipped: %v", err)
+			dlog.Warn("checkpoint skipped", "error", err)
 			return
 		}
 		enc, err := c.Encode()
 		if err != nil {
-			log.Printf("keplerd: checkpoint encode failed: %v", err)
+			dlog.Warn("checkpoint encode failed", "error", err)
 			return
 		}
 		cur := tracked.Cursor() // position after the in-flight record
@@ -459,7 +547,8 @@ func main() {
 		case cur.Records:
 			// Flush-time barrier: everything consumed is included.
 		default:
-			log.Printf("keplerd: checkpoint skipped: engine at record %d but source cursor at %d", c.Records, cur.Records)
+			dlog.Warn("checkpoint skipped: engine and source cursor diverged",
+				"engine_record", c.Records, "source_record", cur.Records)
 			return
 		}
 		if err := st.SaveCheckpoint(&store.Checkpoint{
@@ -470,7 +559,7 @@ func main() {
 			BinEnd:    end,
 			Engine:    enc,
 		}); err != nil {
-			log.Printf("keplerd: checkpoint save failed: %v", err)
+			dlog.Error("checkpoint save failed", "error", err)
 		}
 	}
 	publishBin := hooks.BinClosed
@@ -496,17 +585,20 @@ func main() {
 		// shutdown surface right away; the deterministic catch-up re-parks
 		// and re-measures them behind the gate.
 		bootSnap := server.BuildSnapshotFrom(hist.LastBin, nil, hist.Resolved, hist.Incidents)
+		bootSnap.Traces = hist.Traces
+		bootSnap.TraceBase = hist.TraceBase
 		switch {
 		case len(hist.PendingProbes) > 0 && sched == nil:
 			// The data dir was written by a probing run but this one has no
 			// backend: the recovered campaigns can never resolve, and the
 			// probe-free catch-up will not reproduce the persisted event
 			// sequence. Warn loudly rather than serve stuck state.
-			log.Printf("keplerd: WARNING: %d recovered mid-campaign confirmations dropped — this run has no -probe-backend, and replaying a probing run's data dir without one desynchronizes the replay gate", len(hist.PendingProbes))
+			dlog.Warn("recovered mid-campaign confirmations dropped: this run has no -probe-backend, and replaying a probing run's data dir without one desynchronizes the replay gate",
+				"pending", len(hist.PendingProbes))
 		case len(hist.PendingProbes) > 0:
 			bootSnap.Pending = hist.PendingProbes
 			probeStats.Pending.Store(int64(len(hist.PendingProbes)))
-			log.Printf("keplerd: recovered %d mid-campaign probe confirmations", len(hist.PendingProbes))
+			dlog.Info("recovered mid-campaign probe confirmations", "pending", len(hist.PendingProbes))
 		}
 		srv.PublishSnapshot(bootSnap)
 		src = live.OnAbort(src, func() { aborting.Store(true) })
@@ -531,10 +623,10 @@ func main() {
 		defer pprofSrv.Close()
 		go func() {
 			if err := pprofSrv.Serve(pln); err != nil && err != http.ErrServerClosed {
-				log.Printf("keplerd: pprof: %v", err)
+				dlog.Error("pprof server failed", "error", err)
 			}
 		}()
-		log.Printf("keplerd: pprof profiling on http://%s/debug/pprof/", pln.Addr())
+		dlog.Info("pprof profiling on", "url", fmt.Sprintf("http://%s/debug/pprof/", pln.Addr()))
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -544,10 +636,11 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			log.Printf("keplerd: http: %v", err)
+			dlog.Error("http server failed", "error", err)
 		}
 	}()
-	log.Printf("keplerd: serving http://%s (try /healthz, /v1/outages, /v1/events)", ln.Addr())
+	dlog.Info("serving", "addr", fmt.Sprintf("http://%s", ln.Addr()),
+		"endpoints", "/healthz /v1/outages /v1/events")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -570,13 +663,13 @@ func main() {
 	select {
 	case out = <-pumpDone:
 		if out.err != nil && ctx.Err() == nil {
-			log.Printf("keplerd: source failed: %v", out.err)
+			dlog.Error("source failed", "error", out.err)
 		} else {
-			log.Printf("keplerd: source drained (%d records); serving results until signalled", out.res.Records)
+			dlog.Info("source drained; serving results until signalled", "records", out.res.Records)
 		}
 		<-ctx.Done()
 	case <-ctx.Done():
-		log.Printf("keplerd: signal received, draining")
+		dlog.Info("signal received, draining")
 		out = <-pumpDone // Pump aborts promptly: the source sees ctx.Done
 	}
 	stop()
@@ -586,26 +679,28 @@ func main() {
 	bus.Close()
 	if st != nil {
 		if err := st.Close(); err != nil {
-			log.Printf("keplerd: store close: %v", err)
+			dlog.Error("store close failed", "error", err)
 		}
 	}
 	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
-		log.Printf("keplerd: http shutdown: %v (forcing close)", err)
+		dlog.Warn("http shutdown timed out, forcing close", "error", err)
 		httpSrv.Close()
 	}
 	eng.Close()
-	log.Printf("keplerd: ingest %v", eng.Stats())
-	log.Printf("keplerd: service %v", svc.Snapshot())
+	dlog.Info("final ingest stats", "stats", eng.Stats())
+	dlog.Info("final service stats", "stats", svc.Snapshot())
 	if storeStats != nil {
-		log.Printf("keplerd: store %v", storeStats.Snapshot())
+		dlog.Info("final store stats", "stats", storeStats.Snapshot())
 	}
 	if probeStats != nil {
-		log.Printf("keplerd: probes %v", probeStats.Snapshot())
+		dlog.Info("final probe stats", "stats", probeStats.Snapshot())
 	}
-	log.Printf("keplerd: %d outages resolved, %d incidents classified; bye",
-		len(resolved), len(eng.Incidents()))
+	bcSnap := binStage.Snapshot()
+	dlog.Info("bin-close latency", "bins", bcSnap.Total.Count,
+		"mean", bcSnap.Total.Mean(), "p99", bcSnap.Total.Quantile(0.99))
+	dlog.Info("bye", "outages_resolved", len(resolved), "incidents", len(eng.Incidents()))
 }
 
 func speedName(speed float64) string {

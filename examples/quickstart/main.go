@@ -68,17 +68,25 @@ func main() {
 	// boundary over their merged state. The output is byte-for-byte what
 	// the sequential kepler.NewDetector would emit. The data plane
 	// validates suspected epicenters with targeted traceroutes.
-	eng := kepler.NewEngine(kepler.DefaultConfig(), stack.Dict, stack.Map, stack.Orgs, runtime.GOMAXPROCS(0))
+	cfg := kepler.DefaultConfig()
+	cfg.Tracing = true // record the evidence chain behind each detection
+	eng := kepler.NewEngine(cfg, stack.Dict, stack.Map, stack.Orgs, runtime.GOMAXPROCS(0))
 	defer eng.Close()
 	eng.SetDataPlane(stack.NewSimDataPlane(res, 50000))
 
 	// Lifecycle hooks fire at bin boundaries as detection state changes —
 	// the same callbacks cmd/keplerd bridges onto its event bus and SSE
-	// stream. Here they just narrate the outage in real time.
+	// stream. Here they narrate the outage in real time and collect its
+	// provenance trace: with Config.Tracing on, every resolved outage is
+	// followed by the evidence that produced it (keplerd serves the same
+	// trace at /v1/outages/{id}/trace). Tracing never changes what is
+	// detected — output is byte-for-byte identical either way.
+	var traces []kepler.OutageTrace
 	eng.SetHooks(kepler.Hooks{
 		OutageOpened: func(s kepler.OutageStatus) {
 			fmt.Printf("  [live] outage opened at %v: %d paths diverted\n", s.PoP, s.WaitingPaths)
 		},
+		TraceRecorded: func(tr kepler.OutageTrace) { traces = append(traces, tr) },
 	})
 
 	var outages []kepler.Outage
@@ -88,8 +96,11 @@ func main() {
 	outages = append(outages, eng.Flush(end)...)
 	fmt.Printf("ingest: %v\n", eng.Stats())
 
-	// 5. Report.
-	for _, o := range outages {
+	// 5. Report — including why Kepler believes it. Each trace chapter is
+	// one bin's evidence: the per-AS divergence signals against their
+	// stable baselines, the localization walk (candidates considered and
+	// eliminated), and the data-plane verdict.
+	for i, o := range outages {
 		name := world.PoPName(o.PoP)
 		fmt.Printf("\nDETECTED %q (%v)\n", name, o.PoP)
 		fmt.Printf("  window:    %s -> %s (%s; injected 45m)\n",
@@ -98,6 +109,21 @@ func main() {
 		fmt.Printf("  confirmed: %v (data plane)\n", o.Confirmed)
 		fmt.Printf("  impact:    %d ASes, %d monitored paths diverted\n",
 			len(o.AffectedASes), o.DivertedPaths)
+		if i < len(traces) { // trace i describes resolved outage i
+			tr := traces[i]
+			fmt.Printf("  evidence:  %d chapter(s)\n", len(tr.Chapters))
+			for _, ch := range tr.Chapters {
+				fmt.Printf("    bin %s: %d signal(s) at %v -> %s",
+					ch.Bin.Format("15:04"), ch.TotalSignals, ch.SignalPoP, ch.Kind)
+				for _, st := range ch.Steps {
+					fmt.Printf("; %s: %s", st.Stage, st.Outcome)
+				}
+				if ch.Probe != nil {
+					fmt.Printf("; probe: %s", ch.Probe.Outcome)
+				}
+				fmt.Println()
+			}
+		}
 	}
 	if len(outages) == 0 {
 		fmt.Println("no outages detected — unexpected; try a different seed")
@@ -148,7 +174,10 @@ func main() {
 	//	curl 'localhost:8080/v1/outages?limit=20'            # resolved history, page 1
 	//	curl 'localhost:8080/v1/outages?after=20&limit=20'   # page 2 (see next_after)
 	//	curl -N localhost:8080/v1/events                     # live SSE event stream
-	//	curl localhost:8080/metrics                          # Prometheus exposition
+	//	curl localhost:8080/v1/outages/1/trace               # evidence chain behind outage 1
+	//	curl localhost:8080/metrics                          # Prometheus exposition, incl.
+	//	                                                     # kepler_bin_close_stage_seconds
+	//	go run ./cmd/keplerd ... -log-format json -slow-bin-ms 250  # structured diagnostics
 	//	kill -9 %2 && go run ./cmd/keplerd -seed 1 -archive archive.mrt -data-dir data &
 	//	curl localhost:8080/v1/outages                       # history survived the kill
 	//	curl localhost:8080/v1/stats                         # store.resume_records: suffix-only catch-up

@@ -354,6 +354,10 @@ func restoreCheckpoint(c *Checkpoint, cfg Config, shards []*pathShard, inv *inve
 	inv.incidents = append([]Incident(nil), c.Incidents...)
 	inv.completed = append([]Outage(nil), c.Completed...)
 	inv.tracker.cooling = append([]Outage(nil), c.Cooling...)
+	// Checkpoints do not carry in-flight trace evidence (traces of resolved
+	// outages persist through the store WAL instead); restored cooling
+	// entries resume with empty traces, kept index-aligned.
+	inv.tracker.coolingTraces = make([]*OutageTrace, len(inv.tracker.cooling))
 	for _, oc := range c.Open {
 		o := &openOutage{
 			epicenter:  oc.Epicenter,

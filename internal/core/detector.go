@@ -9,6 +9,7 @@ import (
 	"kepler/internal/bgpstream"
 	"kepler/internal/colo"
 	"kepler/internal/communities"
+	"kepler/internal/metrics"
 	"kepler/internal/mrt"
 )
 
@@ -100,6 +101,11 @@ func (d *Detector) PendingConfirmations() []PendingConfirmation { return d.inv.p
 // SetHooks installs lifecycle callbacks (see Hooks). It must be called
 // before the first Process.
 func (d *Detector) SetHooks(h Hooks) { d.inv.hooks = h }
+
+// SetBinStageStats installs the staged bin-close latency collector (see
+// Engine.SetBinStageStats). The sequential detector has no barrier or merge
+// phase, so those stages stay zero.
+func (d *Detector) SetBinStageStats(s *metrics.BinStageStats) { d.inv.binStage = s }
 
 // Process feeds one record (records must arrive in non-decreasing time
 // order, as bgpstream guarantees) and returns any outages that completed.

@@ -237,6 +237,12 @@ func (e *Engine) PendingConfirmations() []PendingConfirmation { return e.inv.pen
 // before the first Process.
 func (e *Engine) SetHooks(h Hooks) { e.inv.hooks = h }
 
+// SetBinStageStats installs the staged bin-close latency collector: every
+// non-idle bin close records per-stage wall-clock spans (barrier wait,
+// divert merge, probe collection, classification, shard finish, hooks) into
+// s. Purely observational. It must be called before the first Process.
+func (e *Engine) SetBinStageStats(s *metrics.BinStageStats) { e.inv.binStage = s }
+
 // Process feeds one record (records must arrive in non-decreasing time
 // order) and returns any outages that completed at bin boundaries crossed
 // by this record.
@@ -293,7 +299,16 @@ func (e *Engine) closeBin(end time.Time) {
 	// BinClosed hook to read shard state directly.
 	e.inBarrier = true
 	e.barrierEnd = end
-	e.inv.closeBinOver(end, e.shardStates, e.mergeDiverted(), func(k PathKey) int {
+	var diverted map[colo.PoP]map[bgp.ASN][]divertRec
+	if e.inv.binStage != nil {
+		e.inv.engineBarrier = time.Since(t0)
+		tm := time.Now()
+		diverted = e.mergeDiverted()
+		e.inv.engineMerge = time.Since(tm)
+	} else {
+		diverted = e.mergeDiverted()
+	}
+	e.inv.closeBinOver(end, e.shardStates, diverted, func(k PathKey) int {
 		return e.fan.ShardOf(k.Peer, k.Prefix)
 	})
 	e.inBarrier = false

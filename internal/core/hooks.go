@@ -45,6 +45,13 @@ type Hooks struct {
 	// ProbeExpired fires when a pending confirmation outlives its TTL
 	// without a verdict and is dropped.
 	ProbeExpired func(ProbeOutcome)
+	// TraceRecorded fires — only with Config.Tracing enabled — immediately
+	// after the OutageResolved callback of the same outage, carrying the
+	// evidence chain behind it: trace i always describes resolved outage i.
+	// An outage whose in-flight evidence was lost (e.g. a checkpoint
+	// restore mid-outage) still yields a trace, with the chapters it
+	// accumulated since.
+	TraceRecorded func(OutageTrace)
 }
 
 // OutageStatus is a point-in-time snapshot of one open (ongoing) outage,
@@ -119,10 +126,24 @@ func (t *outageTracker) openStatuses() []OutageStatus {
 
 // emit moves a completed outage into the drainable set and fires the
 // resolution hook: the single point through which every finished Outage
-// passes, so hook subscribers observe exactly the batch output.
-func (inv *investigator) emit(o Outage) {
+// passes, so hook subscribers observe exactly the batch output. With
+// tracing enabled the outage's accumulated evidence follows right behind
+// it — every resolution is paired with exactly one trace (a stub when the
+// evidence was lost across a checkpoint restore), keeping the resolved
+// index aligned with the trace index.
+func (inv *investigator) emit(o Outage, tr *OutageTrace) {
 	inv.completed = append(inv.completed, o)
 	if inv.hooks.OutageResolved != nil {
 		inv.hooks.OutageResolved(o)
+	}
+	if inv.cfg.Tracing && inv.hooks.TraceRecorded != nil {
+		if tr == nil {
+			tr = &OutageTrace{Version: TraceVersion}
+		}
+		tr.PoP = o.PoP
+		tr.Start = o.Start
+		tr.End = o.End
+		tr.Merged = o.Merged
+		inv.hooks.TraceRecorded(*tr)
 	}
 }

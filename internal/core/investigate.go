@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +23,10 @@ type popGroup struct {
 	// resolveByProbe in asynchronous-prober mode: openOutageFor parks the
 	// group as a campaign over these instead of probing inline.
 	probeCands []colo.PoP
+	// trace is the provenance chapter under construction (Config.Tracing);
+	// nil when tracing is disabled. Built during the pure classification on
+	// the worker, so recording stays deterministic at any worker count.
+	trace *TraceChapter
 }
 
 func buildGroup(pop colo.PoP, signals []signal) *popGroup {
@@ -317,6 +322,9 @@ func (inv *investigator) workerCount(groups int) int {
 // across workers.
 func (inv *investigator) classifyGroup(at time.Time, pop colo.PoP, sigs []signal, binCommon bgp.ASN) groupResult {
 	g := buildGroup(pop, sigs)
+	if inv.cfg.Tracing {
+		g.trace = newChapter(at, pop, sigs, inv.totalStableAt(pop))
+	}
 	affected := g.affectedASes()
 	inc := Incident{
 		Time: at, SignalPoP: pop, PoP: pop,
@@ -328,19 +336,38 @@ func (inv *investigator) classifyGroup(at time.Time, pop colo.PoP, sigs []signal
 		// One vanished AS explains the whole bin's churn.
 		inc.Kind = IncidentAS
 		inc.CommonAS = binCommon
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "classify",
+				Outcome: fmt.Sprintf("AS-level: vanished AS%d explains the whole bin's churn", binCommon)})
+		}
 	case len(affected) <= inv.cfg.MinInvestigationASes:
 		inc.Kind = IncidentLink
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "classify",
+				Outcome: fmt.Sprintf("link-level: only %d affected ASes (investigation threshold %d)",
+					len(affected), inv.cfg.MinInvestigationASes)})
+		}
 	case g.commonAS() != 0:
 		inc.Kind = IncidentAS
 		inc.CommonAS = g.commonAS()
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "classify",
+				Outcome: fmt.Sprintf("AS-level: AS%d is common to every affected link", inc.CommonAS)})
+		}
 	case inv.vanishedCommonAS(g) != 0:
 		// Every diverted route used to traverse one common AS and
 		// that AS lost (nearly) all of its monitored paths globally:
 		// its disappearance, not the tagged PoP, explains the signal.
 		inc.Kind = IncidentAS
 		inc.CommonAS = inv.vanishedCommonAS(g)
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "classify",
+				Outcome: fmt.Sprintf("AS-level: AS%d on nearly every diverted path and globally vanished", inc.CommonAS)})
+		}
 	case inv.commonOrgEverywhere(g):
 		inc.Kind = IncidentOperator
+		g.trace.step(TraceStep{Stage: "classify",
+			Outcome: "operator-level: one organization touches every affected link"})
 	case inv.distinctNonSiblings(g.nears) >= inv.cfg.MinDisjointEnds &&
 		inv.distinctNonSiblings(g.fars) >= inv.cfg.MinDisjointEnds &&
 		inv.aggregateFraction(g) >= inv.cfg.Tfail/2:
@@ -350,6 +377,11 @@ func (inv *investigator) classifyGroup(at time.Time, pop colo.PoP, sigs []signal
 		// outages of regional ASes — the reason Section 4.2 groups per
 		// AS in the first place — still qualify.
 		inc.Kind = IncidentPoP
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "classify",
+				Outcome: fmt.Sprintf("PoP-level: %d near / %d far disjoint organizations, aggregate fraction %.2f",
+					inv.distinctNonSiblings(g.nears), inv.distinctNonSiblings(g.fars), inv.aggregateFraction(g))})
+		}
 		epicenter := inv.disambiguate(g, at)
 		inc.PoP = epicenter
 		r.popLevel = true
@@ -364,8 +396,16 @@ func (inv *investigator) classifyGroup(at time.Time, pop colo.PoP, sigs []signal
 		// Too few disjoint ends for PoP-level, broader than one AS:
 		// conservative AS-level classification.
 		inc.Kind = IncidentAS
+		g.trace.step(TraceStep{Stage: "classify",
+			Outcome: "AS-level fallback: too few disjoint ends for a PoP-level inference"})
 	}
 	r.inc = inc
+	if g.trace != nil {
+		g.trace.Kind = inc.Kind.String()
+		if r.popLevel {
+			g.trace.Epicenter = r.epicenter
+		}
+	}
 	return r
 }
 
@@ -432,7 +472,7 @@ func (inv *investigator) investigate(at time.Time, signals []signal) {
 	for i := range results {
 		r := &results[i]
 		if r.needProbe {
-			epi := inv.probeCandidates(at, r.group.probeCands)
+			epi := inv.probeCandidates(at, r.group.probeCands, r.group.trace)
 			r.inc.PoP = epi
 			r.epicenter = epi
 		}
@@ -494,6 +534,9 @@ func (inv *investigator) investigate(at time.Time, signals []signal) {
 				// ≥75% of this group's paths already belong to a more
 				// specific or larger signal: collateral, not a separate
 				// outage.
+				if r.group.trace != nil {
+					r.group.trace.Fold = &TraceFold{Into: domEpi, SharedPaths: domN, TotalPaths: len(keys)}
+				}
 				r.epicenter = domEpi
 				continue
 			}
@@ -617,6 +660,16 @@ func (inv *investigator) openOutageFor(at time.Time, epicenter colo.PoP, g *popG
 	}
 	if inv.dp != nil {
 		c, hasData := inv.dp.Confirm(epicenter, at)
+		if g.trace != nil && g.trace.Probe == nil {
+			// Validation of an already-localized epicenter; disambiguation
+			// probes (recorded by probeCandidates) take precedence.
+			g.trace.Probe = &TraceProbe{
+				Outcome:    "inline",
+				Candidates: []colo.PoP{epicenter},
+				Results:    []TraceProbeResult{{Target: epicenter, Confirmed: c, HasData: hasData}},
+				Epicenter:  epicenter,
+			}
+		}
 		if hasData {
 			checked = true
 			confirmed = c
@@ -627,9 +680,17 @@ func (inv *investigator) openOutageFor(at time.Time, epicenter colo.PoP, g *popG
 			}
 		}
 	}
+	if g.trace != nil && epicenter != g.trace.Epicenter {
+		// Collateral folding or city abstraction moved the group off the
+		// epicenter its own disambiguation produced.
+		g.trace.step(TraceStep{Stage: "reattribution", Chosen: epicenter,
+			Outcome: "group attributed to a concurrent epicenter by collateral folding or city abstraction"})
+		g.trace.Epicenter = epicenter
+	}
 	existed := inv.tracker.opened[epicenter] != nil
 	inv.tracker.observe(at, epicenter, g, confirmed, checked)
 	if o := inv.tracker.opened[epicenter]; o != nil {
+		inv.traceAppend(o, g.trace)
 		switch {
 		case !existed && inv.hooks.OutageOpened != nil:
 			inv.hooks.OutageOpened(o.status())
@@ -699,28 +760,43 @@ func (inv *investigator) facilitiesOfAffected(g *popGroup, minShare float64, cap
 // ports and city paths it hosts, so coarser candidates confirm alongside
 // it: the most specific granularity with exactly one confirmed candidate
 // wins; two confirmed candidates of the same granularity stay ambiguous.
-func (inv *investigator) probeCandidates(at time.Time, cands []colo.PoP) colo.PoP {
+func (inv *investigator) probeCandidates(at time.Time, cands []colo.PoP, ch *TraceChapter) colo.PoP {
 	if inv.dp == nil {
 		return colo.PoP{}
+	}
+	var tp *TraceProbe
+	if ch != nil {
+		tp = &TraceProbe{Outcome: "inline", Candidates: append([]colo.PoP(nil), cands...)}
+		ch.Probe = tp
 	}
 	confirmed := map[colo.PoPKind][]colo.PoP{}
 	for _, cand := range cands {
 		ok, hasData := inv.dp.Confirm(cand, at)
+		if tp != nil {
+			tp.Results = append(tp.Results, TraceProbeResult{Target: cand, Confirmed: hasData && ok, HasData: hasData})
+		}
 		if hasData && ok {
 			confirmed[cand.Kind] = append(confirmed[cand.Kind], cand)
 		}
 	}
-	for _, kind := range []colo.PoPKind{colo.PoPFacility, colo.PoPIXP, colo.PoPCity} {
-		switch len(confirmed[kind]) {
-		case 0:
-			continue
-		case 1:
-			return confirmed[kind][0]
-		default:
-			return colo.PoP{} // several peers of one granularity: ambiguous
+	pick := func() colo.PoP {
+		for _, kind := range []colo.PoPKind{colo.PoPFacility, colo.PoPIXP, colo.PoPCity} {
+			switch len(confirmed[kind]) {
+			case 0:
+				continue
+			case 1:
+				return confirmed[kind][0]
+			default:
+				return colo.PoP{} // several peers of one granularity: ambiguous
+			}
 		}
+		return colo.PoP{}
 	}
-	return colo.PoP{}
+	epi := pick()
+	if tp != nil {
+		tp.Epicenter = epi
+	}
+	return epi
 }
 
 // affectedFractionWithFarAt computes diverted/stable over the group's
@@ -769,7 +845,16 @@ func (inv *investigator) affectedFractionWithFarAt(g *popGroup, f colo.FacilityI
 func (inv *investigator) disambiguateFacility(g *popGroup, at time.Time) colo.PoP {
 	f := colo.FacilityID(g.pop.ID)
 	if frac, n := inv.affectedFractionWithFarAt(g, f); n > 0 && frac >= inv.cfg.ColocationMargin {
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "near-facility-margin", Chosen: g.pop,
+				Outcome: fmt.Sprintf("%.0f%% of %d colocated far-end paths affected (margin %.0f%%): near facility is the epicenter",
+					frac*100, n, inv.cfg.ColocationMargin*100)})
+		}
 		return g.pop
+	} else if g.trace != nil {
+		g.trace.step(TraceStep{Stage: "near-facility-margin",
+			Outcome: fmt.Sprintf("%.0f%% of %d colocated far-end paths affected, below the %.0f%% margin",
+				frac*100, n, inv.cfg.ColocationMargin*100)})
 	}
 
 	// Candidate facilities of the affected far ends: accept the one that
@@ -788,10 +873,26 @@ func (inv *investigator) disambiguateFacility(g *popGroup, at time.Time) colo.Po
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	var elim []colo.PoP
 	for _, fid := range cands {
 		if frac, n := inv.affectedFractionWithFarAt(g, fid); n > 0 && frac >= inv.cfg.ColocationMargin {
-			return colo.FacilityPoP(fid)
+			chosen := colo.FacilityPoP(fid)
+			if g.trace != nil {
+				g.trace.step(TraceStep{Stage: "far-facility-candidates",
+					Candidates: facilityPoPs(cands), Eliminated: elim, Chosen: chosen,
+					Outcome: fmt.Sprintf("%.0f%% of %d paths colocated at the candidate affected: far-end facility is the epicenter",
+						frac*100, n)})
+			}
+			return chosen
 		}
+		if g.trace != nil {
+			elim = append(elim, colo.FacilityPoP(fid))
+		}
+	}
+	if g.trace != nil && len(cands) > 0 {
+		g.trace.step(TraceStep{Stage: "far-facility-candidates",
+			Candidates: facilityPoPs(cands), Eliminated: elim,
+			Outcome: "no candidate facility hosting every affected far end met the colocation margin"})
 	}
 
 	// Partial-outage consistency: a subset of the facility failed, so not
@@ -811,7 +912,17 @@ func (inv *investigator) disambiguateFacility(g *popGroup, at time.Time) colo.Po
 			}
 		}
 		if total > 0 && float64(consistent)/float64(total) >= inv.cfg.ColocationMargin {
+			if g.trace != nil {
+				g.trace.step(TraceStep{Stage: "partial-consistency", Chosen: g.pop,
+					Outcome: fmt.Sprintf("%d of %d diverted far ends colocated in the facility: consistent partial outage",
+						consistent, total)})
+			}
 			return g.pop
+		}
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "partial-consistency",
+				Outcome: fmt.Sprintf("%d of %d diverted far ends colocated in the facility, below the margin",
+					consistent, total)})
 		}
 	}
 
@@ -831,7 +942,17 @@ func (inv *investigator) disambiguateFacility(g *popGroup, at time.Time) colo.Po
 		}
 	}
 	if len(commonIXPs) == 1 {
-		return colo.IXPPoP(commonIXPs[0])
+		chosen := colo.IXPPoP(commonIXPs[0])
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "common-ixp", Chosen: chosen,
+				Outcome: "exactly one IXP is common to every affected link"})
+		}
+		return chosen
+	}
+	if g.trace != nil {
+		g.trace.step(TraceStep{Stage: "common-ixp",
+			Candidates: ixpPoPs(commonIXPs),
+			Outcome:    fmt.Sprintf("%d IXPs common to every affected link: no unique exchange", len(commonIXPs))})
 	}
 	// Unresolved by colocation evidence (common for facilities whose
 	// tagged links are tethered transit customers invisible to the map):
@@ -978,7 +1099,18 @@ func (inv *investigator) refineIXP(g *popGroup, at time.Time) colo.PoP {
 	}
 	idx := exclusiveBest(g.affectedASes(), memberSets)
 	if idx >= 0 {
-		return colo.FacilityPoP(ixp.Facilities[idx])
+		chosen := colo.FacilityPoP(ixp.Facilities[idx])
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "exclusive-membership",
+				Candidates: facilityPoPs(ixp.Facilities), Chosen: chosen,
+				Outcome: "exclusive members of exactly one fabric facility are predominantly affected"})
+		}
+		return chosen
+	}
+	if g.trace != nil {
+		g.trace.step(TraceStep{Stage: "exclusive-membership",
+			Candidates: facilityPoPs(ixp.Facilities),
+			Outcome:    "no single fabric facility's exclusive members explain the signal"})
 	}
 	// No single facility explains the signal. A genuine exchange-wide
 	// outage diverts most of the IXP's monitored paths *and* the far ends
@@ -987,7 +1119,18 @@ func (inv *investigator) refineIXP(g *popGroup, at time.Time) colo.PoP {
 	// two and stay unresolved.
 	if inv.aggregateFraction(g) >= 0.5 &&
 		inv.farConsistency(g, func(a bgp.ASN) bool { return inv.cmap.AtIXP(a, ix) }) >= inv.cfg.ColocationMargin {
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "ixp-wide", Chosen: g.pop,
+				Outcome: fmt.Sprintf("aggregate fraction %.2f with member-consistent far ends: exchange-wide outage",
+					inv.aggregateFraction(g))})
+		}
 		return g.pop
+	}
+	if g.trace != nil {
+		g.trace.step(TraceStep{Stage: "ixp-wide",
+			Outcome: fmt.Sprintf("aggregate fraction %.2f / far-end member consistency %.2f below the exchange-wide bar",
+				inv.aggregateFraction(g),
+				inv.farConsistency(g, func(a bgp.ASN) bool { return inv.cmap.AtIXP(a, ix) }))})
 	}
 	// Probe the exchange, its fabric facilities, and the facilities where
 	// the affected members concentrate — a collateral IXP signal often
@@ -1059,7 +1202,17 @@ func (inv *investigator) refineCity(g *popGroup, at time.Time) colo.PoP {
 	}
 	idx := exclusiveBest(affected, memberSets)
 	if idx >= 0 {
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "exclusive-membership",
+				Candidates: popSliceSorted(cands), Chosen: cands[idx],
+				Outcome: "exclusive members of exactly one city infrastructure are predominantly affected"})
+		}
 		return cands[idx]
+	}
+	if g.trace != nil {
+		g.trace.step(TraceStep{Stage: "exclusive-membership",
+			Candidates: popSliceSorted(cands),
+			Outcome:    "no single facility or IXP in the city stands out by exclusive membership"})
 	}
 	// No single infrastructure stands out: a genuine city-wide incident
 	// moves most of the city's monitored paths and kills links whose far
@@ -1079,7 +1232,17 @@ func (inv *investigator) refineCity(g *popGroup, at time.Time) colo.PoP {
 		return false
 	}
 	if inv.aggregateFraction(g) >= 0.5 && inv.farConsistency(g, inCity) >= inv.cfg.ColocationMargin {
+		if g.trace != nil {
+			g.trace.step(TraceStep{Stage: "city-wide", Chosen: g.pop,
+				Outcome: fmt.Sprintf("aggregate fraction %.2f with city-resident far ends: city-wide incident",
+					inv.aggregateFraction(g))})
+		}
 		return g.pop
+	}
+	if g.trace != nil {
+		g.trace.step(TraceStep{Stage: "city-wide",
+			Outcome: fmt.Sprintf("aggregate fraction %.2f / far-end city consistency %.2f below the city-wide bar",
+				inv.aggregateFraction(g), inv.farConsistency(g, inCity))})
 	}
 	// Probe candidates hosting at least one affected AS: a genuine
 	// building or exchange outage confirms uniquely; collateral signals

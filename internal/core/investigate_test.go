@@ -104,7 +104,7 @@ func TestProbeCandidatesSpecificity(t *testing.T) {
 	at := time.Now()
 
 	// No data plane: nothing resolvable.
-	if got := d.inv.probeCandidates(at, []colo.PoP{colo.FacilityPoP(1)}); got.IsValid() {
+	if got := d.inv.probeCandidates(at, []colo.PoP{colo.FacilityPoP(1)}, nil); got.IsValid() {
 		t.Errorf("probe without dp resolved %v", got)
 	}
 
@@ -114,19 +114,19 @@ func TestProbeCandidatesSpecificity(t *testing.T) {
 		colo.IXPPoP(2):      true,
 	}}
 	d.SetDataPlane(dp)
-	got := d.inv.probeCandidates(at, []colo.PoP{colo.IXPPoP(2), colo.FacilityPoP(5), colo.FacilityPoP(6)})
+	got := d.inv.probeCandidates(at, []colo.PoP{colo.IXPPoP(2), colo.FacilityPoP(5), colo.FacilityPoP(6)}, nil)
 	if got != colo.FacilityPoP(5) {
 		t.Errorf("probe = %v, want facility:5", got)
 	}
 
 	// Two confirmed facilities: ambiguous.
 	dp.confirm[colo.FacilityPoP(6)] = true
-	if got := d.inv.probeCandidates(at, []colo.PoP{colo.FacilityPoP(5), colo.FacilityPoP(6)}); got.IsValid() {
+	if got := d.inv.probeCandidates(at, []colo.PoP{colo.FacilityPoP(5), colo.FacilityPoP(6)}, nil); got.IsValid() {
 		t.Errorf("ambiguous probe resolved %v", got)
 	}
 
 	// Only the IXP confirms: IXP wins.
-	if got := d.inv.probeCandidates(at, []colo.PoP{colo.IXPPoP(2), colo.FacilityPoP(7)}); got != colo.IXPPoP(2) {
+	if got := d.inv.probeCandidates(at, []colo.PoP{colo.IXPPoP(2), colo.FacilityPoP(7)}, nil); got != colo.IXPPoP(2) {
 		t.Errorf("probe = %v, want ixp:2", got)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"kepler/internal/as2org"
 	"kepler/internal/bgp"
 	"kepler/internal/colo"
+	"kepler/internal/metrics"
 )
 
 // stateView gives the investigator read access to the per-path layer's
@@ -46,6 +47,16 @@ type investigator struct {
 	incidents []Incident
 	tracker   *outageTracker
 	completed []Outage
+
+	// binStage, when set, receives the staged wall-clock spans of every
+	// non-idle bin close (SetBinStageStats). Purely observational: timing
+	// never influences detection.
+	binStage *metrics.BinStageStats
+	// engineBarrier/engineMerge carry the spans the Engine measured before
+	// entering closeBinOver (barrier wait, divert merge); the Detector
+	// leaves them zero. Consumed and reset by the next closeBinOver.
+	engineBarrier time.Duration
+	engineMerge   time.Duration
 }
 
 func newInvestigator(cfg Config, cmap *colo.Map, orgs *as2org.Table, view stateView) *investigator {
@@ -150,6 +161,28 @@ func (inv *investigator) runBin(binEnd time.Time, diverted map[colo.PoP]map[bgp.
 // them, and the investigator's view of the shards is only defined up to
 // this function's return.
 func (inv *investigator) closeBinOver(end time.Time, shards []*pathShard, diverted map[colo.PoP]map[bgp.ASN][]divertRec, shardOf func(PathKey) int) {
+	// Staged timing (SetBinStageStats): each region below is bracketed with
+	// a monotonic-clock span. Total also covers the un-bracketed glue
+	// (tracker tick, watch-set distribution), so Total >= the stage sum.
+	stage := inv.binStage
+	var spans metrics.BinSpans
+	var start, t0 time.Time
+	if stage != nil {
+		spans.End = end
+		spans.Stage[metrics.StageBarrier] = inv.engineBarrier
+		spans.Stage[metrics.StageMerge] = inv.engineMerge
+		start = time.Now()
+		t0 = start
+	}
+	inv.engineBarrier, inv.engineMerge = 0, 0
+	mark := func(i int) {
+		if stage != nil {
+			now := time.Now()
+			spans.Stage[i] += now.Sub(t0)
+			t0 = now
+		}
+	}
+
 	// Returns first, split by watch origin: events routed through a parked
 	// campaign's sentinel PoP reconcile onto the pending (so the verdict
 	// collection that follows promotes with the parked interval's returns
@@ -177,7 +210,9 @@ func (inv *investigator) closeBinOver(end time.Time, shards []*pathShard, divert
 	// watch sets.
 	inv.collectProbes(end)
 	inv.tracker.applyReturns(evs)
+	mark(metrics.StageCollect)
 	inv.runBin(end, diverted)
+	mark(metrics.StageClassify)
 	inv.tracker.tick(end, inv)
 	sets := inv.tracker.watchSets(len(shards), shardOf)
 	if len(inv.pending) > 0 {
@@ -189,10 +224,19 @@ func (inv *investigator) closeBinOver(end time.Time, shards []*pathShard, divert
 	for i, s := range shards {
 		s.watches = sets[i]
 	}
+	if stage != nil {
+		t0 = time.Now() // the tick/watch-set glue above stays un-bracketed
+	}
 	for _, s := range shards {
 		s.finishBin()
 	}
+	mark(metrics.StageFinish)
 	if inv.hooks.BinClosed != nil {
 		inv.hooks.BinClosed(end)
+	}
+	mark(metrics.StageHooks)
+	if stage != nil {
+		spans.Total = spans.Stage[metrics.StageBarrier] + spans.Stage[metrics.StageMerge] + time.Since(start)
+		stage.Record(spans)
 	}
 }

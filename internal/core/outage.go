@@ -21,6 +21,9 @@ type openOutage struct {
 	confirmed  bool
 	dpChecked  bool
 	merged     int
+	// trace accumulates the provenance evidence chain (Config.Tracing);
+	// nil when tracing is disabled or no chapter has been recorded yet.
+	trace *OutageTrace
 }
 
 // outageTracker maintains open outages, restoration detection and
@@ -30,6 +33,12 @@ type outageTracker struct {
 	cfg     Config
 	opened  map[colo.PoP]*openOutage
 	cooling []Outage // closed, awaiting the oscillation window
+	// coolingTraces parallels cooling index-for-index: the accumulated
+	// trace rides beside its finalized Outage through the oscillation
+	// window (Outage itself is a serialized value type and cannot carry
+	// it). Entries are nil with tracing disabled or after a checkpoint
+	// restore. Every cooling mutation must keep the two aligned.
+	coolingTraces []*OutageTrace
 }
 
 func newOutageTracker(cfg Config) *outageTracker {
@@ -59,7 +68,11 @@ func (t *outageTracker) observe(at time.Time, epicenter colo.PoP, g *popGroup, c
 				for _, a := range c.AffectedASes {
 					o.affected[a] = true
 				}
+				// The oscillation segments form one incident: the merged
+				// trace keeps accumulating where the closed segment stopped.
+				o.trace = t.coolingTraces[i]
 				t.cooling = append(t.cooling[:i], t.cooling[i+1:]...)
+				t.coolingTraces = append(t.coolingTraces[:i], t.coolingTraces[i+1:]...)
 				break
 			}
 		}
@@ -178,28 +191,33 @@ func (t *outageTracker) tick(now time.Time, inv *investigator) {
 			end = now
 		}
 		t.cooling = append(t.cooling, t.finalize(o, end))
+		t.coolingTraces = append(t.coolingTraces, o.trace)
 		delete(t.opened, pop)
 	}
 
 	// Emit cooled-off outages.
 	var keep []Outage
-	for _, c := range t.cooling {
+	var keepTraces []*OutageTrace
+	for i, c := range t.cooling {
 		if now.Sub(c.End) >= t.cfg.OscillationGap {
-			inv.emit(c)
+			inv.emit(c, t.coolingTraces[i])
 		} else {
 			keep = append(keep, c)
+			keepTraces = append(keepTraces, t.coolingTraces[i])
 		}
 	}
 	t.cooling = keep
+	t.coolingTraces = keepTraces
 }
 
 // drainCooling emits every closed outage regardless of the oscillation
 // window (stream end).
 func (t *outageTracker) drainCooling(inv *investigator) {
-	for _, c := range t.cooling {
-		inv.emit(c)
+	for i, c := range t.cooling {
+		inv.emit(c, t.coolingTraces[i])
 	}
 	t.cooling = nil
+	t.coolingTraces = nil
 }
 
 // closeAll force-closes everything at stream end.
@@ -227,6 +245,7 @@ func (t *outageTracker) closeAll(asOf time.Time) {
 			end = o.lastSignal
 		}
 		t.cooling = append(t.cooling, t.finalize(o, end))
+		t.coolingTraces = append(t.coolingTraces, o.trace)
 		delete(t.opened, pop)
 	}
 }

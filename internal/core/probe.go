@@ -137,6 +137,10 @@ type pendingConfirmation struct {
 	waiting    map[PathKey]bool
 	returned   map[PathKey]bool
 	lastReturn time.Time
+	// chapter is the group's provenance chapter, parked alongside it
+	// (Config.Tracing); the campaign verdict is recorded onto it and the
+	// chapter follows the group into the outage on promotion.
+	chapter *TraceChapter
 }
 
 // pendingWatchPoP encodes a parked campaign id as its shard-watch routing
@@ -163,6 +167,7 @@ func snapPending(id uint64, at, deadline time.Time, epicenter colo.PoP, cands []
 		paths:      g.paths,
 		waiting:    make(map[PathKey]bool, g.paths),
 		returned:   make(map[PathKey]bool),
+		chapter:    g.trace,
 	}
 	for _, s := range g.signals {
 		for _, r := range s.diverted {
@@ -398,6 +403,26 @@ func (inv *investigator) resolvePending(p *pendingConfirmation, v ProbeVerdict) 
 		out.Checked = true
 	}
 
+	if p.chapter != nil {
+		outcome := "promoted"
+		if p.epicenter.IsValid() {
+			outcome = "confirmed"
+			if !checked {
+				outcome = "unvalidated"
+			}
+		}
+		tp := &TraceProbe{
+			Campaign:   p.id,
+			Outcome:    outcome,
+			Candidates: append([]colo.PoP(nil), p.candidates...),
+			Epicenter:  epicenter,
+		}
+		for _, r := range v.Results {
+			tp.Results = append(tp.Results, TraceProbeResult{Target: r.Target, Confirmed: r.Confirmed, HasData: r.HasData})
+		}
+		p.chapter.Probe = tp
+		p.chapter.Epicenter = epicenter
+	}
 	g := p.rebuildGroup()
 	existed := inv.tracker.opened[epicenter] != nil
 	inv.tracker.observe(p.at, epicenter, g, confirmed, checked)
@@ -414,6 +439,7 @@ func (inv *investigator) resolvePending(p *pendingConfirmation, v ProbeVerdict) 
 		if p.lastReturn.After(o.lastReturn) {
 			o.lastReturn = p.lastReturn
 		}
+		inv.traceAppend(o, p.chapter)
 	}
 	out.Located = true
 	out.Epicenter = epicenter
@@ -460,6 +486,11 @@ func (inv *investigator) finishProbes(asOf time.Time) {
 // asynchronous prober, openOutageFor parks the group as a disambiguation
 // campaign over them.
 func (inv *investigator) resolveByProbe(_ time.Time, g *popGroup, cands []colo.PoP) colo.PoP {
+	if g.trace != nil {
+		g.trace.step(TraceStep{Stage: "probe-fallback",
+			Candidates: append([]colo.PoP(nil), cands...),
+			Outcome:    "control plane could not converge: deferred to targeted data-plane probes"})
+	}
 	g.probeCands = cands
 	return colo.PoP{}
 }

@@ -74,6 +74,13 @@ type Config struct {
 	// (Section 4.2); this knob exists for the ablation benchmark that
 	// demonstrates the bias.
 	DisablePerASGrouping bool
+	// Tracing records a provenance trace per resolved outage — the evidence
+	// chain (diverted paths, baseline counts, disambiguation eliminations,
+	// collateral folds, probe verdicts) behind the detection — delivered to
+	// Hooks.TraceRecorded right after OutageResolved. Traces are derived
+	// output: detection results are byte-for-byte identical with tracing on
+	// or off, and recording costs nothing when disabled. Off by default.
+	Tracing bool
 }
 
 // DefaultConfig returns the paper's parameters.

@@ -30,6 +30,7 @@ const (
 	KindProbeRequested Kind = "probe_requested"
 	KindProbeConfirmed Kind = "probe_confirmed"
 	KindProbeExpired   Kind = "probe_expired"
+	KindTrace          Kind = "trace"
 )
 
 // Event is one bus message. Exactly one of the payload pointers is non-nil,
@@ -44,6 +45,7 @@ type Event struct {
 	Incident *core.Incident            // incident
 	Pending  *core.PendingConfirmation // probe_requested
 	Probe    *core.ProbeOutcome        // probe_confirmed / probe_expired
+	Trace    *core.OutageTrace         // trace (Config.Tracing only)
 }
 
 // Subscriber is one bounded-queue consumer registration.
@@ -306,6 +308,9 @@ func EngineHooks(b *Bus) core.Hooks {
 		},
 		ProbeExpired: func(o core.ProbeOutcome) {
 			b.Publish(Event{Time: o.Pending.At, Kind: KindProbeExpired, Probe: &o})
+		},
+		TraceRecorded: func(tr core.OutageTrace) {
+			b.Publish(Event{Time: tr.End, Kind: KindTrace, Trace: &tr})
 		},
 	}
 }

@@ -70,6 +70,11 @@ func MuteHooks(h core.Hooks, muted func() bool) core.Hooks {
 				h.ProbeExpired(o)
 			}
 		},
+		TraceRecorded: func(tr core.OutageTrace) {
+			if !muted() && h.TraceRecorded != nil {
+				h.TraceRecorded(tr)
+			}
+		},
 	}
 }
 
@@ -124,6 +129,11 @@ func GateHooks(h core.Hooks, skip uint64) core.Hooks {
 		ProbeExpired: func(o core.ProbeOutcome) {
 			if pass() && h.ProbeExpired != nil {
 				h.ProbeExpired(o)
+			}
+		},
+		TraceRecorded: func(tr core.OutageTrace) {
+			if pass() && h.TraceRecorded != nil {
+				h.TraceRecorded(tr)
 			}
 		},
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"kepler/internal/mrt"
@@ -38,6 +39,10 @@ type SyntheticConfig struct {
 	// consuming goroutine; a daemon uses it to rebuild the simulated
 	// data-plane substrate its probe backend measures against.
 	OnWindow func(res *simulate.Result, start, end time.Time)
+
+	// Logger receives window render reports at debug level. Nil discards
+	// them.
+	Logger *slog.Logger
 }
 
 func (c *SyntheticConfig) defaults() {
@@ -78,6 +83,9 @@ type Synthetic struct {
 // NewSynthetic builds the generator over a world.
 func NewSynthetic(world *topology.World, cfg SyntheticConfig) *Synthetic {
 	cfg.defaults()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	return &Synthetic{world: world, cfg: cfg}
 }
 
@@ -116,6 +124,8 @@ func (s *Synthetic) render(ctx context.Context) error {
 	if s.cfg.OnWindow != nil {
 		s.cfg.OnWindow(res, start, end)
 	}
+	s.cfg.Logger.Debug("scenario window rendered", "cycle", s.cycle,
+		"start", start, "end", end, "records", len(res.Records))
 	s.buf = res.Records
 	s.pos = 0
 	s.cycle++

@@ -28,6 +28,7 @@
 package probe
 
 import (
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -66,6 +67,9 @@ type Config struct {
 	Async bool
 	// Metrics receives scheduler counters. Optional.
 	Metrics *metrics.ProbeStats
+	// Logger receives campaign lifecycle reports at debug level and budget
+	// denials at warn level. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c *Config) defaults() {
@@ -123,6 +127,7 @@ type Scheduler struct {
 	backend Backend
 	cfg     Config
 	m       *metrics.ProbeStats
+	log     *slog.Logger
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -144,10 +149,15 @@ type Scheduler struct {
 // executor goroutines.
 func NewScheduler(b Backend, cfg Config) *Scheduler {
 	cfg.defaults()
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	s := &Scheduler{
 		backend:   b,
 		cfg:       cfg,
 		m:         cfg.Metrics,
+		log:       log,
 		inflight:  make(map[targetKey]*task),
 		campaigns: make(map[uint64]*campaign),
 		cache:     newVerdictCache(cfg.CacheSize),
@@ -237,6 +247,8 @@ func (s *Scheduler) Submit(req core.ProbeRequest) {
 		s.inflight[key] = t
 		s.queue = append(s.queue, t)
 	}
+	s.log.Debug("probe campaign submitted", "campaign", req.ID,
+		"candidates", len(req.Candidates), "queued", len(s.queue))
 	s.cond.Broadcast()
 }
 
@@ -379,6 +391,8 @@ func (s *Scheduler) acquireBudgetLocked(at time.Time) bool {
 	}
 	s.budget = keep
 	if len(s.budget) >= s.cfg.Budget {
+		s.log.Warn("probe denied by sliding-window budget",
+			"budget", s.cfg.Budget, "window", s.cfg.Window)
 		if s.m != nil {
 			s.m.Denied.Add(1)
 		}

@@ -3,8 +3,43 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"kepler/internal/metrics"
 )
+
+// writeHistogram emits one full Prometheus histogram metric family: the
+// HELP/TYPE preamble followed by a single (optionally labeled) series.
+func writeHistogram(b *strings.Builder, name, help, labels string, h metrics.HistogramSnapshot) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	writeHistogramSeries(b, name, labels, h)
+}
+
+// writeHistogramSeries emits the _bucket/_sum/_count sample lines of one
+// histogram series in the text exposition format: bucket counts are
+// cumulative, the le values are bound durations in seconds, and a +Inf
+// bucket always closes the series. labels, if non-empty, is a
+// ready-formatted `k="v"` list prepended to each bucket's le pair.
+func writeHistogramSeries(b *strings.Builder, name, labels string, h metrics.HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%s\"} %d\n",
+			name, labels, sep, strconv.FormatFloat(bound.Seconds(), 'g', -1, 64), cum)
+	}
+	cum += h.Counts[len(h.Bounds)]
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %g\n%s_count %d\n", name, h.Sum.Seconds(), name, h.Count)
+		return
+	}
+	fmt.Fprintf(b, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.Sum.Seconds(), name, labels, h.Count)
+}
 
 // handleMetrics renders the daemon's atomic counters in the Prometheus
 // text exposition format (version 0.0.4) so a standard scraper can watch a
@@ -83,6 +118,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Bus != nil {
 		bs := s.opts.Bus.Stats()
 		wr("kepler_bus_subscribers", "gauge", "Registered event-bus subscribers.", float64(bs.Subscribers))
+	}
+	if s.opts.BinStage != nil {
+		bc := s.opts.BinStage()
+		writeHistogram(&b, "kepler_bin_close_seconds",
+			"End-to-end bin-close wall time (barrier wait through hook dispatch).",
+			"", bc.Total)
+		name := "kepler_bin_close_stage_seconds"
+		fmt.Fprintf(&b, "# HELP %s Bin-close wall time by pipeline stage.\n# TYPE %s histogram\n", name, name)
+		for i, stage := range metrics.BinStageNames {
+			writeHistogramSeries(&b, name, fmt.Sprintf(`stage=%q`, stage), bc.Stages[i])
+		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -27,6 +27,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -65,6 +66,11 @@ type Snapshot struct {
 	// ProbeOutcomes holds recent campaign resolutions, oldest first,
 	// bounded by the caller.
 	ProbeOutcomes []core.ProbeOutcome
+	// Traces holds the retained provenance traces (core.Config.Tracing):
+	// trace j describes Resolved[TraceBase+j]. TraceBase counts older traces
+	// dropped by the store's retention cap. Empty when tracing is disabled.
+	Traces    []core.OutageTrace
+	TraceBase int
 }
 
 // BuildSnapshot captures the engine's queryable state. resolved is the
@@ -101,6 +107,9 @@ type Options struct {
 	// denials, promotions) for /v1/stats and /metrics when the daemon runs
 	// an asynchronous prober. Optional.
 	Probe func() metrics.ProbeSnapshot
+	// BinStage supplies the staged bin-close latency histograms for
+	// /v1/stats and the /metrics histogram exposition. Optional.
+	BinStage func() metrics.BinStageSnapshot
 	// Namer resolves PoP display names (e.g. topology.World.PoPName in
 	// replay mode, where the world is known). Optional.
 	Namer func(colo.PoP) string
@@ -109,6 +118,9 @@ type Options struct {
 	SSEBuffer int
 	// Heartbeat is the SSE keepalive comment interval (default 15s).
 	Heartbeat time.Duration
+	// Logger receives SSE stream lifecycle reports at debug level. Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Server serves the live API. Use New; the zero value is not usable.
@@ -129,12 +141,16 @@ func New(opts Options) *Server {
 	if opts.Heartbeat <= 0 {
 		opts.Heartbeat = 15 * time.Second
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{opts: opts}
 	s.snap.Store(&Snapshot{})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/outages", s.handleOutages)
 	s.mux.HandleFunc("GET /v1/outages/open", s.handleOpen)
+	s.mux.HandleFunc("GET /v1/outages/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/incidents", s.handleIncidents)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/probes", s.handleProbes)
@@ -202,11 +218,50 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ok"}
+	if snap := s.snap.Load(); !snap.At.IsZero() {
+		body["last_bin_close"] = snap.At
+	}
+	if s.opts.Ingest != nil {
+		body["bin_lag_seconds"] = s.opts.Ingest().BinLag.Seconds()
+	}
 	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		body["status"] = "starting"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleTrace serves the provenance trace of one resolved outage: the
+// evidence chain (signal groups, disambiguation steps, collateral folds,
+// probe verdicts) behind the detection. 404 distinguishes an unknown outage
+// id from a trace that was never recorded (tracing disabled) or has aged
+// out of the store's retention window.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil || id == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "outage id must be a positive integer"})
+		return
+	}
+	snap := s.snap.Load()
+	if id > uint64(len(snap.Resolved)) {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown outage id"})
+		return
+	}
+	idx := int(id-1) - snap.TraceBase
+	switch {
+	case len(snap.Traces) == 0:
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "no trace recorded (tracing disabled?)"})
+		return
+	case idx < 0:
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "trace no longer retained"})
+		return
+	case idx >= len(snap.Traces):
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "no trace recorded for this outage"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.traceView(id, &snap.Traces[idx]))
 }
 
 // pageParams is a validated pagination cursor: entries with id > after, at
@@ -369,6 +424,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.opts.Probe != nil {
 		resp.Probe = probeStatsView(s.opts.Probe())
+	}
+	if s.opts.BinStage != nil {
+		resp.BinClose = binCloseView(s.opts.BinStage())
 	}
 	if s.opts.Bus != nil {
 		st := s.opts.Bus.Stats()

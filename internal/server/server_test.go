@@ -85,15 +85,19 @@ func getJSON(t *testing.T, url string, wantStatus int, v any) {
 
 func TestHealthzReadiness(t *testing.T) {
 	srv, ts := newTestServer(t, nil, nil)
-	var body map[string]string
+	var body map[string]any
 	getJSON(t, ts.URL+"/healthz", http.StatusServiceUnavailable, &body)
 	if body["status"] != "starting" {
 		t.Errorf("status = %q", body["status"])
 	}
 	srv.SetReady(true)
+	srv.PublishSnapshot(testSnapshot())
 	getJSON(t, ts.URL+"/healthz", http.StatusOK, &body)
 	if body["status"] != "ok" {
 		t.Errorf("status = %q", body["status"])
+	}
+	if _, ok := body["last_bin_close"]; !ok {
+		t.Error("healthz missing last_bin_close after a published snapshot")
 	}
 }
 

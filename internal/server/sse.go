@@ -79,6 +79,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		sub = s.opts.Bus.Subscribe(s.opts.SSEBuffer)
 	}
 	defer sub.Close()
+	s.opts.Logger.Debug("sse stream open", "remote", r.RemoteAddr,
+		"resuming", resuming, "backlog", len(backlog), "complete", complete)
+	defer func() {
+		s.opts.Logger.Debug("sse stream closed", "remote", r.RemoteAddr, "dropped", sub.Dropped())
+	}()
 	if svc := s.opts.Service; svc != nil {
 		svc.SSEConnected.Add(1)
 		svc.SSEActive.Add(1)

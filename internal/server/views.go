@@ -293,6 +293,221 @@ func probeStatsView(s metrics.ProbeSnapshot) *ProbeStatsView {
 	}
 }
 
+// TracePathView is the JSON shape of one sampled diverted path in a trace.
+type TracePathView struct {
+	Vantage bgp.ASN   `json:"vantage"`
+	Prefix  string    `json:"prefix"`
+	Near    bgp.ASN   `json:"near"`
+	Far     bgp.ASN   `json:"far"`
+	OldPath []bgp.ASN `json:"old_path,omitempty"`
+}
+
+// TraceSignalView is the JSON shape of one per-AS divert signal.
+type TraceSignalView struct {
+	Near     bgp.ASN         `json:"near"`
+	Diverted int             `json:"diverted"`
+	Stable   int             `json:"stable"`
+	Paths    []TracePathView `json:"paths,omitempty"`
+}
+
+// TraceStepView is the JSON shape of one localization decision.
+type TraceStepView struct {
+	Stage      string    `json:"stage"`
+	Outcome    string    `json:"outcome"`
+	Candidates []PoPView `json:"candidates,omitempty"`
+	Eliminated []PoPView `json:"eliminated,omitempty"`
+	Chosen     *PoPView  `json:"chosen,omitempty"`
+}
+
+// TraceFoldView is the JSON shape of a collateral-damage fold.
+type TraceFoldView struct {
+	Into        PoPView `json:"into"`
+	SharedPaths int     `json:"shared_paths"`
+	TotalPaths  int     `json:"total_paths"`
+}
+
+// TraceProbeResultView is the JSON shape of one probe verdict.
+type TraceProbeResultView struct {
+	Target    PoPView `json:"target"`
+	Confirmed bool    `json:"confirmed"`
+	HasData   bool    `json:"has_data"`
+}
+
+// TraceProbeView is the JSON shape of the probe campaign that settled (or
+// re-validated) a chapter's epicenter.
+type TraceProbeView struct {
+	Campaign   uint64                 `json:"campaign,omitempty"`
+	Outcome    string                 `json:"outcome"`
+	Candidates []PoPView              `json:"candidates,omitempty"`
+	Results    []TraceProbeResultView `json:"results,omitempty"`
+	Epicenter  *PoPView               `json:"epicenter,omitempty"`
+}
+
+// TraceChapterView is the JSON shape of one bin's evidence for an outage.
+type TraceChapterView struct {
+	Bin          time.Time         `json:"bin"`
+	SignalPoP    PoPView           `json:"signal_pop"`
+	Kind         string            `json:"kind,omitempty"`
+	Epicenter    *PoPView          `json:"epicenter,omitempty"`
+	StableTotal  int               `json:"stable_total"`
+	TotalSignals int               `json:"total_signals"`
+	Signals      []TraceSignalView `json:"signals,omitempty"`
+	Steps        []TraceStepView   `json:"steps,omitempty"`
+	Fold         *TraceFoldView    `json:"fold,omitempty"`
+	Probe        *TraceProbeView   `json:"probe,omitempty"`
+}
+
+// TraceView is the /v1/outages/{id}/trace response: the full evidence chain
+// behind one resolved outage.
+type TraceView struct {
+	OutageID        uint64             `json:"outage_id,omitempty"`
+	Version         int                `json:"version"`
+	PoP             PoPView            `json:"pop"`
+	Start           time.Time          `json:"start"`
+	End             time.Time          `json:"end"`
+	Merged          int                `json:"merged"`
+	Chapters        []TraceChapterView `json:"chapters"`
+	DroppedChapters int                `json:"dropped_chapters,omitempty"`
+}
+
+func (s *Server) popViews(ps []colo.PoP) []PoPView {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]PoPView, len(ps))
+	for i, p := range ps {
+		out[i] = s.popView(p)
+	}
+	return out
+}
+
+func (s *Server) optPopView(p colo.PoP) *PoPView {
+	if !p.IsValid() {
+		return nil
+	}
+	v := s.popView(p)
+	return &v
+}
+
+func (s *Server) traceProbeView(p *core.TraceProbe) *TraceProbeView {
+	if p == nil {
+		return nil
+	}
+	v := &TraceProbeView{
+		Campaign:   p.Campaign,
+		Outcome:    p.Outcome,
+		Candidates: s.popViews(p.Candidates),
+		Epicenter:  s.optPopView(p.Epicenter),
+	}
+	for _, r := range p.Results {
+		v.Results = append(v.Results, TraceProbeResultView{
+			Target:    s.popView(r.Target),
+			Confirmed: r.Confirmed,
+			HasData:   r.HasData,
+		})
+	}
+	return v
+}
+
+func (s *Server) traceChapterView(ch *core.TraceChapter) TraceChapterView {
+	v := TraceChapterView{
+		Bin:          ch.Bin,
+		SignalPoP:    s.popView(ch.SignalPoP),
+		Kind:         ch.Kind,
+		Epicenter:    s.optPopView(ch.Epicenter),
+		StableTotal:  ch.StableTotal,
+		TotalSignals: ch.TotalSignals,
+		Probe:        s.traceProbeView(ch.Probe),
+	}
+	for i := range ch.Signals {
+		sig := &ch.Signals[i]
+		sv := TraceSignalView{Near: sig.Near, Diverted: sig.Diverted, Stable: sig.Stable}
+		for _, p := range sig.Paths {
+			sv.Paths = append(sv.Paths, TracePathView{
+				Vantage: p.Vantage,
+				Prefix:  p.Prefix,
+				Near:    p.Near,
+				Far:     p.Far,
+				OldPath: p.OldPath,
+			})
+		}
+		v.Signals = append(v.Signals, sv)
+	}
+	for i := range ch.Steps {
+		st := &ch.Steps[i]
+		v.Steps = append(v.Steps, TraceStepView{
+			Stage:      st.Stage,
+			Outcome:    st.Outcome,
+			Candidates: s.popViews(st.Candidates),
+			Eliminated: s.popViews(st.Eliminated),
+			Chosen:     s.optPopView(st.Chosen),
+		})
+	}
+	if ch.Fold != nil {
+		v.Fold = &TraceFoldView{
+			Into:        s.popView(ch.Fold.Into),
+			SharedPaths: ch.Fold.SharedPaths,
+			TotalPaths:  ch.Fold.TotalPaths,
+		}
+	}
+	return v
+}
+
+func (s *Server) traceView(id uint64, tr *core.OutageTrace) TraceView {
+	v := TraceView{
+		OutageID:        id,
+		Version:         tr.Version,
+		PoP:             s.popView(tr.PoP),
+		Start:           tr.Start,
+		End:             tr.End,
+		Merged:          tr.Merged,
+		Chapters:        []TraceChapterView{},
+		DroppedChapters: tr.DroppedChapters,
+	}
+	for i := range tr.Chapters {
+		v.Chapters = append(v.Chapters, s.traceChapterView(&tr.Chapters[i]))
+	}
+	return v
+}
+
+// StageLatencyView is the JSON shape of one bin-close latency histogram.
+type StageLatencyView struct {
+	Count       int64   `json:"count"`
+	SumSeconds  float64 `json:"sum_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+func stageLatencyView(h metrics.HistogramSnapshot) StageLatencyView {
+	return StageLatencyView{
+		Count:       h.Count,
+		SumSeconds:  h.Sum.Seconds(),
+		MeanSeconds: h.Mean().Seconds(),
+		P50Seconds:  h.Quantile(0.50).Seconds(),
+		P90Seconds:  h.Quantile(0.90).Seconds(),
+		P99Seconds:  h.Quantile(0.99).Seconds(),
+	}
+}
+
+// BinCloseView is the staged bin-close latency section of /v1/stats.
+type BinCloseView struct {
+	Total  StageLatencyView            `json:"total"`
+	Stages map[string]StageLatencyView `json:"stages"`
+}
+
+func binCloseView(s metrics.BinStageSnapshot) *BinCloseView {
+	v := &BinCloseView{
+		Total:  stageLatencyView(s.Total),
+		Stages: make(map[string]StageLatencyView, metrics.NumBinStages),
+	}
+	for i, name := range metrics.BinStageNames {
+		v.Stages[name] = stageLatencyView(s.Stages[i])
+	}
+	return v
+}
+
 // StatsView is the /v1/stats response.
 type StatsView struct {
 	Ready      bool            `json:"ready"`
@@ -303,6 +518,7 @@ type StatsView struct {
 	Ingest     *IngestView     `json:"ingest,omitempty"`
 	Store      *StoreView      `json:"store,omitempty"`
 	Probe      *ProbeStatsView `json:"probe,omitempty"`
+	BinClose   *BinCloseView   `json:"bin_close,omitempty"`
 	Bus        *events.Stats   `json:"bus,omitempty"`
 	Service    *ServiceView    `json:"service,omitempty"`
 }
@@ -318,6 +534,7 @@ type EventView struct {
 	Incident *IncidentView     `json:"incident,omitempty"`
 	Pending  *PendingProbeView `json:"pending,omitempty"`
 	Probe    *ProbeOutcomeView `json:"probe,omitempty"`
+	Trace    *TraceView        `json:"trace,omitempty"`
 }
 
 func (s *Server) eventView(ev events.Event) EventView {
@@ -341,6 +558,10 @@ func (s *Server) eventView(ev events.Event) EventView {
 	if ev.Probe != nil {
 		pv := s.probeOutcomeView(ev.Probe)
 		v.Probe = &pv
+	}
+	if ev.Trace != nil {
+		tv := s.traceView(0, ev.Trace)
+		v.Trace = &tv
 	}
 	return v
 }

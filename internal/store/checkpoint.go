@@ -127,6 +127,7 @@ func (s *Store) LoadCheckpoint(accept func(*Checkpoint) error) *Checkpoint {
 			err = accept(c)
 		}
 		if err != nil {
+			s.log.Warn("checkpoint segment discarded", "segment", name, "error", err)
 			if s.m != nil {
 				s.m.CheckpointsDiscarded.Add(1)
 			}

@@ -55,6 +55,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -87,8 +88,16 @@ type Options struct {
 	// TailEvents is how many recent events the store retains in memory and
 	// in snapshot segments for SSE resume across restarts (default 4096).
 	TailEvents int
+	// TraceCap bounds the provenance traces retained alongside the resolved
+	// outages (Config.Tracing): when exceeded, the oldest outages' traces are
+	// dropped first and History.TraceBase advances, keeping the
+	// resolved-index-to-trace mapping intact (default 1024).
+	TraceCap int
 	// Metrics receives append/flush/compaction/recovery counters. Optional.
 	Metrics *metrics.StoreStats
+	// Logger receives recovery, compaction and corruption reports. Nil
+	// discards them; counterpart counters still reach Metrics either way.
+	Logger *slog.Logger
 }
 
 func (o *Options) defaults() {
@@ -97,6 +106,9 @@ func (o *Options) defaults() {
 	}
 	if o.TailEvents <= 0 {
 		o.TailEvents = 4096
+	}
+	if o.TraceCap <= 0 {
+		o.TraceCap = 1024
 	}
 }
 
@@ -118,6 +130,12 @@ type History struct {
 	// campaign id — the mid-campaign state a restarted daemon serves
 	// immediately and re-parks during catch-up re-ingestion.
 	PendingProbes []core.PendingConfirmation
+	// Traces holds the retained provenance traces (Config.Tracing): trace j
+	// describes resolved outage TraceBase+j. TraceBase counts traces dropped
+	// by Options.TraceCap (and resolved outages persisted before tracing
+	// produced any trace events).
+	Traces    []core.OutageTrace
+	TraceBase int
 	// Tail is the retained recent-event window (ascending seq), the seed
 	// for the bus's Last-Event-ID replay ring.
 	Tail []events.Event
@@ -137,12 +155,16 @@ type Store struct {
 	incidents []core.Incident
 	pending   map[uint64]core.PendingConfirmation // open probe campaigns
 	tail      *events.Ring                        // retains the last opts.TailEvents events
+	traces    []core.OutageTrace                  // trace j -> resolved outage traceBase+j
+	traceBase int
 
 	f        *os.File
 	bw       *bufio.Writer
 	walBase  uint64
 	walBytes int64
 	closed   bool
+
+	log *slog.Logger
 }
 
 // snapState is the snapshot-segment payload.
@@ -152,6 +174,8 @@ type snapState struct {
 	Resolved  []core.Outage              `json:"resolved"`
 	Incidents []core.Incident            `json:"incidents"`
 	Pending   []core.PendingConfirmation `json:"pending_probes,omitempty"`
+	Traces    []core.OutageTrace         `json:"traces,omitempty"`
+	TraceBase int                        `json:"trace_base,omitempty"`
 	Tail      []events.Event             `json:"tail"`
 }
 
@@ -167,15 +191,23 @@ func Open(opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	s := &Store{
 		opts:    opts,
 		m:       opts.Metrics,
+		log:     log,
 		pending: make(map[uint64]core.PendingConfirmation),
 		tail:    events.NewRing(opts.TailEvents),
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
+	s.log.Debug("history recovered",
+		"seq", s.seq, "resolved", len(s.resolved), "incidents", len(s.incidents),
+		"pending_probes", len(s.pending), "traces", len(s.traces), "wal_bytes", s.walBytes)
 	return s, nil
 }
 
@@ -234,6 +266,8 @@ func (s *Store) recover() error {
 		s.lastBin = st.LastBin
 		s.resolved = st.Resolved
 		s.incidents = st.Incidents
+		s.traces = st.Traces
+		s.traceBase = st.TraceBase
 		for _, p := range st.Pending {
 			s.pending[p.ID] = p
 		}
@@ -314,6 +348,8 @@ func (s *Store) replayWAL(path string) error {
 		if err := os.Truncate(path, int64(off)); err != nil {
 			return fmt.Errorf("store: truncating torn tail: %w", err)
 		}
+		s.log.Warn("torn WAL tail truncated", "wal", filepath.Base(path),
+			"truncated_bytes", len(b)-off, "replayed_events", replayed)
 		if s.m != nil {
 			s.m.TornTails.Add(1)
 			s.m.TruncatedBytes.Add(int64(len(b) - off))
@@ -378,8 +414,38 @@ func (s *Store) apply(ev events.Event) {
 		if ev.Probe != nil {
 			delete(s.pending, ev.Probe.Pending.ID)
 		}
+	case events.KindTrace:
+		if ev.Trace != nil {
+			s.applyTrace(*ev.Trace)
+		}
 	}
 	s.tail.Push(ev)
+}
+
+// applyTrace folds one provenance trace into the retained window. A trace
+// event always follows its outage's resolved event, so it belongs to the
+// newest resolved outage; the realignment below also makes recovery robust
+// to histories whose older prefix predates tracing. Called with the lock
+// held (or during single-threaded recovery).
+func (s *Store) applyTrace(tr core.OutageTrace) {
+	idx := len(s.resolved) - 1
+	if idx < 0 {
+		return // trace without a resolved outage: wiring anomaly, drop
+	}
+	switch {
+	case len(s.traces) == 0:
+		s.traceBase = idx
+	case s.traceBase+len(s.traces) != idx:
+		// Misaligned (tracing toggled mid-history): restart the window so at
+		// least the newest traces map correctly.
+		s.traces = s.traces[:0]
+		s.traceBase = idx
+	}
+	s.traces = append(s.traces, tr)
+	if drop := len(s.traces) - s.opts.TraceCap; drop > 0 {
+		s.traces = append(s.traces[:0], s.traces[drop:]...)
+		s.traceBase += drop
+	}
 }
 
 // Append durably records one lifecycle event. Events must arrive in
@@ -443,6 +509,8 @@ func (s *Store) compact() error {
 		Resolved:  s.resolved,
 		Incidents: s.incidents,
 		Pending:   s.pendingSorted(),
+		Traces:    s.traces,
+		TraceBase: s.traceBase,
 		Tail:      s.tail.Events(),
 	}
 	payload, err := json.Marshal(&st)
@@ -499,6 +567,8 @@ func (s *Store) compact() error {
 	if s.m != nil {
 		s.m.Compactions.Add(1)
 	}
+	s.log.Debug("WAL compacted into snapshot", "seq", s.seq,
+		"resolved", len(s.resolved), "incidents", len(s.incidents), "snapshot_bytes", len(payload))
 	return nil
 }
 
@@ -536,6 +606,8 @@ func (s *Store) History() History {
 		Resolved:      append([]core.Outage(nil), s.resolved...),
 		Incidents:     append([]core.Incident(nil), s.incidents...),
 		PendingProbes: s.pendingSorted(),
+		Traces:        append([]core.OutageTrace(nil), s.traces...),
+		TraceBase:     s.traceBase,
 		Tail:          s.tail.Events(),
 	}
 }

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"kepler/internal/bgp"
+	"kepler/internal/colo"
+	"kepler/internal/core"
+	"kepler/internal/events"
+)
+
+// mkTracedEvents fabricates bins like mkEvents but follows every resolved
+// outage with its provenance trace, mirroring the investigator's emit
+// order (resolved, then trace, then bin close).
+func mkTracedEvents(startSeq uint64, bins int) []events.Event {
+	var evs []events.Event
+	seq := startSeq
+	next := func(ev events.Event) {
+		seq++
+		ev.Seq = seq
+		evs = append(evs, ev)
+	}
+	for b := 0; b < bins; b++ {
+		bin := t0.Add(time.Duration(b+1) * time.Minute)
+		pop := colo.PoP{Kind: colo.PoPFacility, ID: uint32(b + 1)}
+		next(events.Event{Time: bin, Kind: events.KindOutageResolved, Outage: &core.Outage{
+			PoP: pop, SignalPoP: pop, Start: bin.Add(-10 * time.Minute), End: bin,
+			AffectedASes: []bgp.ASN{100, bgp.ASN(200 + b)}, DivertedPaths: 10 + b,
+		}})
+		next(events.Event{Time: bin, Kind: events.KindTrace, Trace: &core.OutageTrace{
+			Version: core.TraceVersion, PoP: pop,
+			Start: bin.Add(-10 * time.Minute), End: bin,
+			Chapters: []core.TraceChapter{{
+				Bin: bin, SignalPoP: pop,
+				Signals: []core.TraceSignal{{
+					Near: bgp.ASN(100 + b), Diverted: 10 + b, Stable: 40,
+				}},
+			}},
+		}})
+		next(events.Event{Time: bin, Kind: events.KindBinClosed})
+	}
+	return evs
+}
+
+// TestTraceRoundTrip persists traced bins through close/reopen and asserts
+// the evidence chains come back verbatim, aligned with their outages.
+func TestTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	evs := mkTracedEvents(0, 3)
+	s := open(t, Options{Dir: dir})
+	appendAll(t, s, evs)
+	want := s.History()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Traces) != 3 || want.TraceBase != 0 {
+		t.Fatalf("pre-close traces = %d (base %d), want 3 (base 0)", len(want.Traces), want.TraceBase)
+	}
+
+	s2 := open(t, Options{Dir: dir})
+	defer s2.Close()
+	got := s2.History()
+	if !reflect.DeepEqual(got.Traces, want.Traces) || got.TraceBase != want.TraceBase {
+		t.Errorf("recovered traces diverge:\n got:  %+v (base %d)\n want: %+v (base %d)",
+			got.Traces, got.TraceBase, want.Traces, want.TraceBase)
+	}
+	for j, tr := range got.Traces {
+		o := got.Resolved[got.TraceBase+j]
+		if tr.PoP != o.PoP || len(tr.Chapters) == 0 {
+			t.Errorf("trace %d misaligned or empty: %+v vs outage %+v", j, tr, o)
+		}
+	}
+}
+
+// TestTraceSurvivesCompaction forces a compaction at every bin close and
+// checks the traces ride along into the snapshot segment.
+func TestTraceSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, Options{Dir: dir, CompactBytes: 1})
+	appendAll(t, s, mkTracedEvents(0, 4))
+	want := s.History()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, Options{Dir: dir})
+	defer s2.Close()
+	got := s2.History()
+	if !reflect.DeepEqual(got.Traces, want.Traces) || got.TraceBase != want.TraceBase {
+		t.Errorf("traces lost across compaction: got %d (base %d), want %d (base %d)",
+			len(got.Traces), got.TraceBase, len(want.Traces), want.TraceBase)
+	}
+}
+
+// TestTraceCapEviction bounds retention: with TraceCap=2 only the newest
+// two traces survive and TraceBase advances so trace j still describes
+// resolved outage TraceBase+j.
+func TestTraceCapEviction(t *testing.T) {
+	s := open(t, Options{Dir: t.TempDir(), TraceCap: 2})
+	defer s.Close()
+	appendAll(t, s, mkTracedEvents(0, 5))
+	h := s.History()
+	if len(h.Traces) != 2 || h.TraceBase != 3 {
+		t.Fatalf("traces = %d (base %d), want 2 (base 3)", len(h.Traces), h.TraceBase)
+	}
+	for j, tr := range h.Traces {
+		if o := h.Resolved[h.TraceBase+j]; tr.PoP != o.PoP {
+			t.Errorf("trace %d maps to %v, want %v", j, tr.PoP, o.PoP)
+		}
+	}
+}
+
+// TestTraceRealignment models tracing enabled mid-history: untraced bins
+// first, then traced ones. The trace window must anchor at the first traced
+// outage, not at index zero.
+func TestTraceRealignment(t *testing.T) {
+	s := open(t, Options{Dir: t.TempDir()})
+	defer s.Close()
+	plain := mkEvents(0, 2) // 2 resolved outages, no traces
+	appendAll(t, s, plain)
+	appendAll(t, s, mkTracedEvents(uint64(len(plain)), 2))
+	h := s.History()
+	if len(h.Resolved) != 4 {
+		t.Fatalf("resolved = %d, want 4", len(h.Resolved))
+	}
+	if len(h.Traces) != 2 || h.TraceBase != 2 {
+		t.Fatalf("traces = %d (base %d), want 2 (base 2)", len(h.Traces), h.TraceBase)
+	}
+}

@@ -122,6 +122,31 @@
 // -probe-budget, and exports every counter at the Prometheus-format
 // /metrics endpoint.
 //
+// # Observability
+//
+// Three layers make a running deployment explainable. Provenance traces
+// (Config.Tracing, keplerd -trace) record, per resolved outage, the
+// evidence chain that produced it: each bin's diverted-path samples with
+// their stable-baseline counts, every localization step with the
+// candidates considered and eliminated, collateral-damage folds into
+// dominating epicenters, and probe campaign verdicts. The trace follows
+// the outage through the resolution hook (Hooks.TraceRecorded, fired only
+// when tracing is on — disabled, the published event sequence is
+// byte-for-byte unchanged, and detection output never differs either way),
+// persists through the store WAL and snapshots size-capped, and serves at
+// GET /v1/outages/{id}/trace plus a "trace" SSE event kind. Staged
+// bin-close latency (metrics.BinStageStats, Engine.SetBinStageStats)
+// decomposes every bin close into fixed-bucket duration histograms —
+// shard barrier, divert merge, probe collect, classify, finish, hooks —
+// exported as JSON quantiles in /v1/stats and as Prometheus histogram
+// series (kepler_bin_close_seconds, kepler_bin_close_stage_seconds) on
+// /metrics; keplerd -slow-bin-ms logs a structured per-stage report for
+// any bin close over the threshold. And both commands log diagnostics
+// through log/slog — keplerd -log-format text|json, -log-level, with
+// per-component loggers threaded into the source, store, probe scheduler
+// and HTTP server — while report output (stdout, SSE, the JSON API) stays
+// fixed-format.
+//
 // The facade re-exports the detection core; richer control lives in the
 // internal packages, which the module's commands and examples exercise:
 //
@@ -215,6 +240,13 @@ type (
 	Hooks = core.Hooks
 	// OutageStatus is a point-in-time snapshot of one ongoing outage.
 	OutageStatus = core.OutageStatus
+	// OutageTrace is the provenance record behind one resolved outage
+	// (Config.Tracing): the per-bin evidence chain — diverted-path samples,
+	// localization steps, collateral folds, probe verdicts — delivered via
+	// Hooks.TraceRecorded.
+	OutageTrace = core.OutageTrace
+	// TraceChapter is one bin's contribution to an OutageTrace.
+	TraceChapter = core.TraceChapter
 
 	// Dictionary maps community values to physical PoPs.
 	Dictionary = communities.Dictionary
