@@ -38,11 +38,11 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "world seed the archive was generated with")
-		archive = flag.String("archive", "archive.mrt", "MRT-lite archive to replay")
-		tfail   = flag.Float64("tfail", 0.10, "outage signal threshold")
-		verbose = flag.Bool("v", false, "also print link/AS-level incidents")
-		unres   = flag.Bool("report-unresolved", true, "report outages whose epicenter could not be pinned (no data plane in replay mode)")
+		seed     = flag.Int64("seed", 1, "world seed the archive was generated with")
+		archive  = flag.String("archive", "archive.mrt", "MRT-lite archive to replay")
+		tfail    = flag.Float64("tfail", 0.10, "outage signal threshold")
+		verbose  = flag.Bool("v", false, "also print link/AS-level incidents")
+		unres    = flag.Bool("report-unresolved", true, "report outages whose epicenter could not be pinned (no data plane in replay mode)")
 		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "path-state shard workers; 1 runs the sequential detector, <= 0 one worker per core")
 		invest   = flag.Int("invest-workers", 0, "goroutines for the bin-close signal investigation; <= 1 classifies inline (output is identical at any count)")
 		logFmt   = flag.String("log-format", "text", "stderr diagnostics format: text or json")

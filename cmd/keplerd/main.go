@@ -266,6 +266,7 @@ func main() {
 	// additionally turns outliers into structured warn reports.
 	binStage := &metrics.BinStageStats{}
 	if *slowBinMS > 0 {
+		//keplervet:ignore atomicstats write-once config before the engine or server goroutines exist
 		binStage.SlowBinThreshold = time.Duration(*slowBinMS) * time.Millisecond
 		binStage.OnSlowBin = func(sp metrics.BinSpans) {
 			dlog.Warn("slow bin close", slowBinAttrs(sp)...)

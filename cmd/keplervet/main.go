@@ -1,0 +1,88 @@
+// Command keplervet runs the project's determinism and concurrency
+// analyzers (internal/lint) over the given package patterns:
+//
+//	go run ./cmd/keplervet ./...
+//
+// It exits 0 when the tree is clean, 1 when any diagnostic is reported,
+// and 2 on usage or load errors. Diagnostics print one per line as
+// file:line:col: [analyzer] message; -json switches to a machine-readable
+// array (CI uploads it as an artifact). -analyzers runs a subset, -list
+// prints the suite with the contract each analyzer enforces.
+//
+// A finding that is a sanctioned exception — a metrics span reading the
+// wall clock, a buffered WAL write whose durability point is the bin-close
+// flush — is silenced at the site with
+//
+//	//keplervet:ignore <analyzer> <reason>
+//
+// and an ignore that no longer suppresses anything is itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kepler/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: keplervet [-json] [-analyzers a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	opts := lint.Options{}
+	if *names != "" {
+		known := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+		for _, n := range strings.Split(*names, ",") {
+			n = strings.TrimSpace(n)
+			if !known[n] {
+				fmt.Fprintf(os.Stderr, "keplervet: unknown analyzer %q (run -list for the suite)\n", n)
+				os.Exit(2)
+			}
+			opts.Analyzers = append(opts.Analyzers, n)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "keplervet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers, opts)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "keplervet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

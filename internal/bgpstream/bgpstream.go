@@ -353,11 +353,23 @@ func (t *SessionTracker) IsDown(key SessionKey, at time.Time) bool {
 }
 
 // Gaps returns all closed gaps observed so far plus open gaps (End zero).
+// Open gaps are appended in sorted session order so the result is a pure
+// function of the observed stream, not of map iteration order.
 func (t *SessionTracker) Gaps() []Gap {
-	out := make([]Gap, len(t.gaps), len(t.gaps)+len(t.down))
+	keys := make([]SessionKey, 0, len(t.down))
+	for key := range t.down {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Collector != keys[j].Collector {
+			return keys[i].Collector < keys[j].Collector
+		}
+		return keys[i].PeerAS < keys[j].PeerAS
+	})
+	out := make([]Gap, len(t.gaps), len(t.gaps)+len(keys))
 	copy(out, t.gaps)
-	for key, start := range t.down {
-		out = append(out, Gap{Session: key, Start: start})
+	for _, key := range keys {
+		out = append(out, Gap{Session: key, Start: t.down[key]})
 	}
 	return out
 }

@@ -74,6 +74,15 @@ func (g *popGroup) commonAS() bgp.ASN {
 	if len(links) == 0 {
 		return 0
 	}
+	// The intersection fold below is order-independent, but sort anyway:
+	// determinism that is visible mechanically beats determinism that
+	// needs a commutativity argument.
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].near != links[j].near {
+			return links[i].near < links[j].near
+		}
+		return links[i].far < links[j].far
+	})
 	cands := map[bgp.ASN]bool{links[0].near: true, links[0].far: true}
 	for _, l := range links[1:] {
 		next := map[bgp.ASN]bool{}
@@ -228,6 +237,7 @@ func (inv *investigator) distinctNonSiblings(set map[bgp.ASN]bool) int {
 			asns = append(asns, a)
 		}
 	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
 	if inv.orgs == nil {
 		return len(asns)
 	}

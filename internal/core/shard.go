@@ -384,6 +384,7 @@ func (s *pathShard) removeStable(pop colo.PoP, key PathKey) {
 			if len(set) == 0 {
 				delete(s.stable[pop], near)
 				if len(s.freeSets) < maxFreeSets {
+					//keplervet:ignore maporder free-list recycling: pooled sets are empty, reuse order never reaches output
 					s.freeSets = append(s.freeSets, set)
 				}
 			}
@@ -445,12 +446,14 @@ func (s *pathShard) finishBin() {
 				recs[i] = divertRec{} // drop oldPath references
 			}
 			if len(s.freeRecs) < maxFreeRecs {
+				//keplervet:ignore maporder free-list recycling: pooled slabs are emptied, reuse order never reaches output
 				s.freeRecs = append(s.freeRecs, recs[:0])
 			}
 			delete(byNear, near)
 		}
 		delete(s.diverted, pop)
 		if len(s.freeByNear) < maxFreeMaps {
+			//keplervet:ignore maporder free-list recycling: pooled maps are cleared, reuse order never reaches output
 			s.freeByNear = append(s.freeByNear, byNear)
 		}
 	}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Analyzers returns the full keplervet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, WallTime, HookBarrier, AtomicStats, SyncClose}
+}
+
+// scopePaths builds a Scope predicate matching exact import paths.
+func scopePaths(paths ...string) func(string) bool {
+	return func(p string) bool {
+		for _, want := range paths {
+			if p == want {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// calleeObj resolves the static callee of a call expression: a package
+// function, a method, or a dot-imported/builtin identifier. Calls through
+// function values resolve to nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// calleeName is the bare name of a call's function or method, or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isHookFieldCall reports whether call invokes a func-typed field of a
+// struct type named "Hooks" — the shape of every lifecycle callback
+// (inv.hooks.OutageResolved(...), d.hooks.BinClosed(...)).
+func isHookFieldCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false
+	}
+	if _, isFunc := selection.Type().Underlying().(*types.Signature); !isFunc {
+		return false
+	}
+	recv := namedType(selection.Recv())
+	return recv != nil && recv.Obj().Name() == "Hooks"
+}
+
+// rootObj resolves the object an assignable expression ultimately names:
+// the variable for an identifier, the field for a selector chain. Index
+// expressions return nil (per-key map/slice writes commute across
+// iteration orders).
+func rootObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// funcDecls maps every package-level function and method declaration to
+// its types object.
+func funcDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Syntax {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// localCallees collects the package-local functions a declaration's body
+// calls (including from function literals nested inside it). Calls through
+// stored function values are invisible — a documented under-approximation.
+func localCallees(pkg *Package, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	if fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := calleeObj(pkg.Info, call).(*types.Func); ok {
+			if _, local := decls[fn]; local {
+				out[fn] = true
+			}
+		}
+		return true
+	})
+	return out
+}

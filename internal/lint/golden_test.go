@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"strconv"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// A want is one expectation parsed from a trailing comment of the form
+//
+//	// want <analyzer> "substring" [<analyzer> "substring" ...]
+//
+// in a testdata package: the named analyzer must report a diagnostic on
+// that line whose message contains the substring. Every diagnostic the
+// run produces must be claimed by exactly one want, and every want must
+// be claimed by a diagnostic — unexpected findings (false positives) and
+// missing findings (false negatives) both fail the test.
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+func loadTestdata(t *testing.T, patterns ...string) []*Package {
+	t.Helper()
+	pkgs, err := Load("", patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("loading %v: no packages", patterns)
+	}
+	return pkgs
+}
+
+// parseWants extracts every want clause from the packages' comments.
+func parseWants(t *testing.T, pkgs []*Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for {
+						rest = strings.TrimSpace(rest)
+						if rest == "" {
+							break
+						}
+						sp := strings.IndexFunc(rest, unicode.IsSpace)
+						if sp < 0 {
+							t.Fatalf("%s: malformed want clause %q: analyzer without pattern", pos, c.Text)
+						}
+						analyzer := rest[:sp]
+						rest = strings.TrimSpace(rest[sp:])
+						end := quotedEnd(rest)
+						if end < 0 {
+							t.Fatalf("%s: malformed want clause %q: missing quoted pattern", pos, c.Text)
+						}
+						substr, err := strconv.Unquote(rest[:end+1])
+						if err != nil {
+							t.Fatalf("%s: malformed want pattern %q: %v", pos, rest[:end+1], err)
+						}
+						wants = append(wants, &want{
+							file: pos.Filename, line: pos.Line,
+							analyzer: analyzer, substr: substr,
+						})
+						rest = rest[end+1:]
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// quotedEnd returns the index of the closing quote of the Go string
+// literal at the start of s, honoring backslash escapes, or -1.
+func quotedEnd(s string) int {
+	if len(s) == 0 || s[0] != '"' {
+		return -1
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// runGolden loads the patterns, runs the named analyzer, and diffs the
+// diagnostics against the // want comments in the sources.
+func runGolden(t *testing.T, analyzer string, patterns ...string) {
+	t.Helper()
+	pkgs := loadTestdata(t, patterns...)
+	wants := parseWants(t, pkgs)
+	if len(wants) == 0 {
+		t.Fatalf("no // want comments under %v: the golden package asserts nothing", patterns)
+	}
+	diags := Run(pkgs, Analyzers(), Options{AllPackages: true, Analyzers: []string{analyzer}})
+
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.File && w.line == d.Line &&
+				w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: missing %s diagnostic containing %q", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	runGolden(t, "maporder", "./testdata/src/maporder")
+}
+
+func TestWallTimeGolden(t *testing.T) {
+	runGolden(t, "walltime", "./testdata/src/walltime")
+}
+
+func TestHookBarrierGolden(t *testing.T) {
+	runGolden(t, "hookbarrier", "./testdata/src/hookbarrier")
+}
+
+func TestAtomicStatsGolden(t *testing.T) {
+	runGolden(t, "atomicstats", "./testdata/src/atomicstats", "./testdata/src/atomicstats/metrics")
+}
+
+func TestSyncCloseGolden(t *testing.T) {
+	runGolden(t, "syncclose", "./testdata/src/syncclose")
+}
+
+// enclosingFunc names the function declaration containing the diagnostic.
+func enclosingFunc(pkgs []*Package, d Diagnostic) string {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				start, end := pkg.Fset.Position(fd.Pos()), pkg.Fset.Position(fd.End())
+				if start.Filename == d.File && start.Line <= d.Line && d.Line <= end.Line {
+					return fd.Name.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// TestIgnoreSuppression pins the contract of //keplervet:ignore: each
+// directive silences exactly one line's diagnostics for one analyzer, an
+// identical unsuppressed violation still surfaces, a directive with
+// nothing to suppress is itself reported, and malformed directives
+// (missing analyzer, unknown analyzer, missing reason) are each flagged.
+func TestIgnoreSuppression(t *testing.T) {
+	pkgs := loadTestdata(t, "./testdata/src/ignore")
+	diags := Run(pkgs, Analyzers(), Options{AllPackages: true, Analyzers: []string{"walltime"}})
+
+	var wall, meta []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "walltime":
+			wall = append(wall, d)
+		case "keplervet":
+			meta = append(meta, d)
+		default:
+			t.Errorf("diagnostic from unexpected analyzer: %s", d)
+		}
+	}
+
+	// The two suppressed time.Now calls must be silent; the third,
+	// identical and undirected, must survive.
+	if len(wall) != 1 {
+		t.Fatalf("got %d surviving walltime diagnostics, want exactly 1 (the unsuppressed site): %v", len(wall), wall)
+	}
+	if fn := enclosingFunc(pkgs, wall[0]); fn != "unsuppressed" {
+		t.Errorf("surviving walltime diagnostic is in %q, want %q: %s", fn, "unsuppressed", wall[0])
+	}
+
+	wantMeta := []struct{ fn, substr string }{
+		{"clean", "unused ignore: no walltime diagnostic here to suppress"},
+		{"malformedDirectives", "malformed ignore: missing analyzer name"},
+		{"malformedDirectives", `ignore names unknown analyzer "nosuchanalyzer"`},
+		{"malformedDirectives", `ignore for "walltime" has no reason`},
+	}
+	if len(meta) != len(wantMeta) {
+		t.Errorf("got %d keplervet meta-diagnostics, want %d: %v", len(meta), len(wantMeta), meta)
+	}
+	for _, w := range wantMeta {
+		found := false
+		for _, d := range meta {
+			if enclosingFunc(pkgs, d) == w.fn && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing keplervet diagnostic in %s containing %q; got %v", w.fn, w.substr, meta)
+		}
+	}
+}
+
+// TestWriteJSON pins the machine-readable output shape the CI job
+// archives: an empty run is a JSON empty array, and diagnostics round-trip.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty run encodes as %q, want []", got)
+	}
+
+	in := []Diagnostic{{Analyzer: "maporder", File: "a.go", Line: 3, Col: 7, Message: "m"}}
+	buf.Reset()
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Errorf("round-trip mismatch: %+v", out)
+	}
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed and type-checked package, ready for
+// analysis. Syntax holds only the non-test files (GoFiles): the
+// determinism contracts keplervet enforces are about production code, and
+// tests legitimately use wall clocks, unsorted iteration and raw files.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Sources maps each parsed filename to its raw bytes (suppression
+	// comments need to know what shares a line with them).
+	Sources map[string][]byte
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Error      *struct{ Err string }
+}
+
+// goList runs the go tool from dir and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves patterns (relative to dir; "" means the current directory)
+// into fully type-checked packages. It keeps the zero-dependency ethos:
+// the go tool itself supplies compiled export data for every import
+// (`go list -deps -export`), and the target packages are parsed and
+// type-checked from source with the stdlib go/parser + go/types.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		sources := make(map[string][]byte, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			path := filepath.Join(t.Dir, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			sources[path] = src
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Syntax:     files,
+			Types:      tpkg,
+			Info:       info,
+			Sources:    sources,
+		})
+	}
+	return pkgs, nil
+}

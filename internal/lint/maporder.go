@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` over a map whose body performs an
+// order-sensitive effect — appending to a slice that outlives the loop,
+// firing a hook/event callback, calling an encoder/writer, charging probe
+// budget — unless the collected slice is subsequently sorted in the same
+// function (the repo's sorted-keys idiom). Go randomizes map iteration
+// order per run, so any such loop makes detection output a function of the
+// runtime's hash seed instead of the record stream.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "map iteration feeding order-sensitive output must go through a sorted key slice; " +
+		"appends into a slice that the same function later sorts are recognized as the sorted-keys idiom",
+	Scope: scopePaths("kepler/internal/core", "kepler/internal/bgpstream", "kepler/internal/probe"),
+	Run:   runMapOrder,
+}
+
+// effectNamePrefixes are method/function name prefixes treated as
+// order-sensitive when called from inside a map-range body: encoding,
+// byte-stream writing, event publication, and probe submission (budget is
+// charged in submission order).
+var effectNamePrefixes = []string{
+	"Encode", "Marshal", "Write", "Publish", "Emit", "Fire", "Charge", "Submit", "Send", "Append",
+}
+
+func runMapOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := sortedTargets(info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				reportMapRangeEffects(pass, rs, sorted)
+				return true
+			})
+		}
+	}
+}
+
+// sortedTargets collects the objects that fd passes to a sorting call
+// (sort.Slice/Sort/Strings/..., slices.Sort*, or any project helper whose
+// name contains "sort"/"Sort"): appending map keys or values into one of
+// these inside a map range is the sanctioned sorted-iteration idiom.
+func sortedTargets(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSortingCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := rootObj(info, arg); obj != nil {
+				out[obj] = true
+			}
+		}
+		// Method form: keys.Sort() — the receiver is the target.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if obj := rootObj(info, sel.X); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reportMapRangeEffects walks one map-range body and reports every
+// order-sensitive effect not covered by the sorted-keys idiom.
+func reportMapRangeEffects(pass *Pass, rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	info := pass.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(n.Lhs) <= i {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "append" {
+					continue
+				}
+				target := rootObj(info, n.Lhs[i])
+				if target == nil || sorted[target] {
+					continue // indexed target (commutes) or sorted afterwards
+				}
+				if target.Pos() >= rs.Pos() && target.Pos() < rs.End() {
+					continue // slice local to the loop body
+				}
+				pass.Reportf(n.Pos(), "append to %q inside map iteration: order is randomized; collect into a sorted key slice first", target.Name())
+			}
+		case *ast.CallExpr:
+			if isHookFieldCall(info, n) {
+				pass.Reportf(n.Pos(), "hook/event callback fired inside map iteration: delivery order is randomized; iterate a sorted key slice")
+				return true
+			}
+			if name := calleeName(n); name != "append" && hasEffectPrefix(name) {
+				if obj := calleeObj(info, n); obj != nil {
+					pass.Reportf(n.Pos(), "order-sensitive call %s inside map iteration; iterate a sorted key slice", name)
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: message order is randomized; iterate a sorted key slice")
+		}
+		return true
+	})
+}
+
+// isSortingCall recognizes both the stdlib sorters (any function of
+// package sort or slices) and project helpers whose name mentions sorting.
+func isSortingCall(info *types.Info, call *ast.CallExpr) bool {
+	if fn, ok := calleeObj(info, call).(*types.Func); ok && fn.Pkg() != nil {
+		if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+			return true
+		}
+	}
+	name := calleeName(call)
+	return name != "" && strings.Contains(strings.ToLower(name), "sort")
+}
+
+func hasEffectPrefix(name string) bool {
+	for _, p := range effectNamePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SyncClose guards the durability contract of the store layer: a function
+// that writes to an *os.File (WAL segments, snapshot segments, checkpoint
+// segments) must not be able to return success without the data reaching
+// an fsync — either a (*os.File).Sync in the same function or a call to a
+// package-local helper that syncs. Writes whose error result is discarded
+// are flagged too: an unchecked short write is a silent torn frame.
+//
+// Two write shapes are recognized: direct method writes
+// (f.Write/WriteString/WriteAt/Truncate) and passing an *os.File into a
+// call whose parameter is a Write-capable interface (io.Writer and
+// friends, e.g. writeFrame(f, payload)). Wrapping constructors (New*) are
+// exempt — handing a file to bufio.NewWriter defers durability to the
+// explicit flush/sync points, which this analyzer checks at their own
+// call sites. Deliberately deferred durability (the WAL's buffered
+// bin-close flush) is documented with //keplervet:ignore syncclose.
+var SyncClose = &Analyzer{
+	Name: "syncclose",
+	Doc: "os.File writes in the store must fsync before success-return, and write errors " +
+		"must not be discarded (torn frames otherwise go unnoticed)",
+	Scope: scopePaths("kepler/internal/store"),
+	Run:   runSyncClose,
+}
+
+// fileWriteMethods are the *os.File methods that mutate file contents.
+var fileWriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Truncate":    true,
+}
+
+func runSyncClose(pass *Pass) {
+	info := pass.Pkg.Info
+	decls := funcDecls(pass.Pkg)
+
+	type writeSite struct {
+		pos  token.Pos
+		desc string
+	}
+	type fn struct {
+		obj    *types.Func
+		writes []writeSite
+		syncs  bool
+	}
+
+	var funcs []*fn
+	byObj := make(map[*types.Func]*fn)
+	callees := make(map[*types.Func]map[*types.Func]bool)
+
+	var objs []*types.Func
+	for _, f := range pass.Pkg.Syntax {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					objs = append(objs, obj)
+				}
+			}
+		}
+	}
+
+	for _, obj := range objs {
+		fd := decls[obj]
+		fi := &fn{obj: obj}
+		byObj[obj] = fi
+		funcs = append(funcs, fi)
+		callees[obj] = localCallees(pass.Pkg, fd, decls)
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isOsFile(info.TypeOf(sel.X)) {
+				switch {
+				case sel.Sel.Name == "Sync":
+					fi.syncs = true
+				case fileWriteMethods[sel.Sel.Name]:
+					fi.writes = append(fi.writes, writeSite{call.Pos(), "(*os.File)." + sel.Sel.Name})
+				}
+				return true
+			}
+			// *os.File handed to a writer-shaped parameter.
+			if name := calleeName(call); name == "" || strings.HasPrefix(name, "New") {
+				return true
+			}
+			sig := calleeSignature(info, call)
+			if sig == nil {
+				return true
+			}
+			for i, arg := range call.Args {
+				if !isOsFile(info.TypeOf(arg)) {
+					continue
+				}
+				if pt := paramType(sig, i); pt != nil && hasWriteMethod(pt) {
+					fi.writes = append(fi.writes, writeSite{call.Pos(), "file passed to " + calleeName(call)})
+				}
+			}
+			return true
+		})
+	}
+
+	// A function "reaches a sync" if it syncs directly or calls (to any
+	// depth, within the package) a function that does.
+	reaches := make(map[*types.Func]bool)
+	var reachesSync func(obj *types.Func, visiting map[*types.Func]bool) bool
+	reachesSync = func(obj *types.Func, visiting map[*types.Func]bool) bool {
+		if r, ok := reaches[obj]; ok {
+			return r
+		}
+		if visiting[obj] {
+			return false
+		}
+		visiting[obj] = true
+		defer delete(visiting, obj)
+		fi := byObj[obj]
+		if fi != nil && fi.syncs {
+			reaches[obj] = true
+			return true
+		}
+		for callee := range callees[obj] {
+			if reachesSync(callee, visiting) {
+				reaches[obj] = true
+				return true
+			}
+		}
+		reaches[obj] = false
+		return false
+	}
+
+	for _, fi := range funcs {
+		if len(fi.writes) == 0 || reachesSync(fi.obj, map[*types.Func]bool{}) {
+			continue
+		}
+		for _, w := range fi.writes {
+			pass.Reportf(w.pos, "%s in %s, which can return without an fsync: sync before success or route the write through a syncing helper",
+				w.desc, fi.obj.Name())
+		}
+	}
+
+	// Discarded write errors, independent of sync reachability.
+	for _, obj := range objs {
+		fd := decls[obj]
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && isFileWriteCall(info, call) {
+					pass.Reportf(call.Pos(), "file write error discarded; an unchecked short write is a silent torn frame")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && isFileWriteCall(info, call) && allBlank(n.Lhs) {
+					pass.Reportf(call.Pos(), "file write error discarded; an unchecked short write is a silent torn frame")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFileWriteCall reports whether call is a direct *os.File write method.
+func isFileWriteCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isOsFile(info.TypeOf(sel.X)) && fileWriteMethods[sel.Sel.Name]
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// isOsFile reports whether t is os.File or *os.File.
+func isOsFile(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n := namedType(t)
+	return n != nil && n.Obj().Name() == "File" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "os"
+}
+
+// calleeSignature resolves the static signature of a call, or nil.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if fn, ok := calleeObj(info, call).(*types.Func); ok {
+		sig, _ := fn.Type().(*types.Signature)
+		return sig
+	}
+	if t := info.TypeOf(call.Fun); t != nil {
+		sig, _ := t.Underlying().(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// paramType returns the type of parameter i, collapsing variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if i >= params.Len() {
+		if !sig.Variadic() {
+			return nil
+		}
+		i = params.Len() - 1
+	}
+	t := params.At(i).Type()
+	if i == params.Len()-1 && sig.Variadic() {
+		if s, ok := t.(*types.Slice); ok {
+			t = s.Elem()
+		}
+	}
+	return t
+}
+
+// hasWriteMethod reports whether t is an interface whose method set
+// includes Write([]byte) (n int, err error) — the io.Writer shape.
+func hasWriteMethod(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Write" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+// Package atomicstats is golden-test input for the atomicstats analyzer's
+// use rule: accessing metrics *Stats counters from a consumer package.
+package atomicstats
+
+import (
+	"sync/atomic"
+
+	"kepler/internal/lint/testdata/src/atomicstats/metrics"
+)
+
+// bump updates counters through their atomic method set: allowed.
+func bump(s *metrics.FleetStats) {
+	s.Good.Add(1)
+	atomic.AddInt64(&s.Bad, 1)
+}
+
+// read loads atomically: allowed.
+func read(s *metrics.FleetStats) int64 {
+	return s.Good.Load() + atomic.LoadInt64(&s.Bad)
+}
+
+// snapshotUse consumes the point-in-time copy: plain by design.
+func snapshotUse(s *metrics.FleetStats) int64 {
+	snap := s.Snapshot()
+	return snap.Good + snap.Bad
+}
+
+// copyAtomic copies an atomic counter as a value.
+func copyAtomic(s *metrics.FleetStats) {
+	v := s.Good // want atomicstats "atomic counter FleetStats.Good used as a value"
+	_ = v.Load()
+}
+
+// racyWrite updates a plain counter with a read-modify-write.
+func racyWrite(s *metrics.FleetStats) {
+	s.Bad++ // want atomicstats "non-atomic access to counter field FleetStats.Bad"
+}
+
+// racyRead reads a plain counter directly.
+func racyRead(s *metrics.FleetStats) int64 {
+	return s.Bad // want atomicstats "non-atomic access to counter field FleetStats.Bad"
+}

@@ -1,0 +1,29 @@
+// Package metrics is golden-test input for the atomicstats analyzer's
+// declaration rule: it mirrors the real internal/metrics naming
+// conventions (*Stats = live counters, *Snapshot = point-in-time copies).
+package metrics
+
+import "sync/atomic"
+
+// FleetStats mixes a correct atomic counter with a plain one.
+type FleetStats struct {
+	Good atomic.Int64
+	Bad  int64 // want atomicstats "counter field FleetStats.Bad is a plain int64"
+
+	hidden int64 // unexported: not part of the counter surface
+}
+
+// FleetSnapshot is a point-in-time copy: plain fields are the point.
+type FleetSnapshot struct {
+	Good int64
+	Bad  int64
+}
+
+// Snapshot reads the counters atomically.
+func (s *FleetStats) Snapshot() FleetSnapshot {
+	return FleetSnapshot{Good: s.Good.Load(), Bad: readBad(s)}
+}
+
+func readBad(s *FleetStats) int64 {
+	return atomic.LoadInt64(&s.Bad)
+}

@@ -1,0 +1,57 @@
+// Package hookbarrier is golden-test input for the hookbarrier analyzer.
+package hookbarrier
+
+// Hooks mimics core.Hooks: func-typed callback fields.
+type Hooks struct {
+	Resolved func(int)
+	Closed   func(int)
+}
+
+type engine struct {
+	hooks Hooks
+	done  []int
+}
+
+// emit fires a hook. It is called from closeBinOver (a barrier root) and
+// from Leak (an exported non-root): the Leak chain is the violation.
+func (e *engine) emit(v int) {
+	e.done = append(e.done, v)
+	if e.hooks.Resolved != nil {
+		e.hooks.Resolved(v) // want hookbarrier "hook fired in emit, which is reachable from Leak"
+	}
+}
+
+// closeBinOver is a barrier root: hooks fired here or below are fine.
+func (e *engine) closeBinOver(end int) {
+	e.tick(end)
+	if e.hooks.Closed != nil {
+		e.hooks.Closed(end)
+	}
+}
+
+// tick is reachable only from closeBinOver: its emit chain is legitimate
+// (the emit diagnostic above comes from the Leak chain, not this one).
+func (e *engine) tick(end int) {
+	e.emit(end)
+}
+
+// Flush is a root by name: firing hooks on the flush path is the
+// sanctioned stream-end behavior.
+func (e *engine) Flush() {
+	if e.hooks.Closed != nil {
+		e.hooks.Closed(-1)
+	}
+}
+
+// Leak is an exported entry that reaches emit without passing a barrier
+// root — the escape hookbarrier exists to catch.
+func (e *engine) Leak(v int) {
+	e.emit(v)
+}
+
+// Direct fires a hook straight from an exported non-root function.
+func (e *engine) Direct(v int) {
+	if e.hooks.Resolved != nil {
+		e.hooks.Resolved(v) // want hookbarrier "hook fired in Direct, which is reachable from Direct"
+	}
+}

@@ -1,0 +1,42 @@
+// Package ignore is golden-test input for the //keplervet:ignore
+// suppression machinery. TestIgnoreSuppression asserts against this file
+// programmatically (no // want comments): the two suppressed sites must
+// produce nothing, the unsuppressed twin must still be reported, the
+// unused directive must be reported as such, and the malformed
+// directives must each surface a "keplervet" diagnostic.
+package ignore
+
+import "time"
+
+// suppressedTrailing carries the directive on the violating line itself.
+func suppressedTrailing() time.Time {
+	return time.Now() //keplervet:ignore walltime test fixture: trailing suppression
+}
+
+// suppressedStandalone carries the directive on the line above.
+func suppressedStandalone() time.Time {
+	//keplervet:ignore walltime test fixture: standalone suppression
+	return time.Now()
+}
+
+// unsuppressed is the identical violation with no directive — it proves
+// each ignore above silenced exactly its own line, nothing more.
+func unsuppressed() time.Time {
+	return time.Now()
+}
+
+// clean has a directive with nothing to suppress: stale allowlist.
+func clean() int {
+	//keplervet:ignore walltime stale: nothing on the next line reads the clock
+	return 1
+}
+
+// malformed directives: no analyzer name, unknown analyzer, no reason.
+func malformedDirectives() int {
+	//keplervet:ignore
+	x := 1
+	//keplervet:ignore nosuchanalyzer some reason
+	x++
+	//keplervet:ignore walltime
+	return x
+}

@@ -1,0 +1,109 @@
+// Package maporder is golden-test input for the maporder analyzer.
+package maporder
+
+import "sort"
+
+// Hooks mimics the core lifecycle-callback struct shape.
+type Hooks struct {
+	Fired func(string)
+}
+
+type sink struct {
+	hooks Hooks
+	out   []string
+}
+
+func (s *sink) Encode(v string) {}
+
+// collectUnsorted appends map contents straight into an outer slice.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want maporder "append to \"out\" inside map iteration"
+	}
+	return out
+}
+
+// collectSorted is the sanctioned idiom: collect, then sort.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSortSlice uses sort.Slice after collection.
+func collectSortSlice(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// sortInts stands in for a project sorting helper.
+func sortInts(v []int) { sort.Ints(v) }
+
+// collectHelperSorted is sorted through a project helper.
+func collectHelperSorted(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	return keys
+}
+
+// fireHooks invokes a lifecycle callback per map entry.
+func (s *sink) fireHooks(m map[string]int) {
+	for k := range m {
+		s.hooks.Fired(k) // want maporder "hook/event callback fired inside map iteration"
+	}
+}
+
+// encodeEach calls an encoder per map entry.
+func (s *sink) encodeEach(m map[string]int) {
+	for k := range m {
+		s.Encode(k) // want maporder "order-sensitive call Encode"
+	}
+}
+
+// sendEach streams map entries over a channel.
+func sendEach(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want maporder "channel send inside map iteration"
+	}
+}
+
+// loopLocal appends into a slice scoped to the loop body: no escape.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// perKeyWrites mutate another map keyed by the iteration variable:
+// commutative, order never observable.
+func perKeyWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// aggregate folds map values commutatively.
+func aggregate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,65 @@
+// Package syncclose is golden-test input for the syncclose analyzer.
+package syncclose
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// appendSynced writes then fsyncs in the same function: contract held.
+func appendSynced(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// appendViaHelper routes durability through a package-local syncing helper.
+func appendViaHelper(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return flush(f)
+}
+
+func flush(f *os.File) error { return f.Sync() }
+
+// buffered hands the file to a wrapping constructor: durability is
+// deferred to the writer's own flush points, checked at their call sites.
+func buffered(f *os.File) *bufio.Writer {
+	return bufio.NewWriter(f)
+}
+
+// readFrame only reads: no durability obligation.
+func readFrame(f *os.File, b []byte) (int, error) {
+	return f.Read(b)
+}
+
+// appendUnsynced can return nil with the frame still in the page cache.
+func appendUnsynced(f *os.File, b []byte) error {
+	_, err := f.Write(b) // want syncclose "(*os.File).Write in appendUnsynced, which can return without an fsync"
+	return err
+}
+
+// writeThrough hands the file to an io.Writer-shaped helper, no fsync.
+func writeThrough(f *os.File, b []byte) error {
+	return writeFrame(f, b) // want syncclose "file passed to writeFrame in writeThrough, which can return without an fsync"
+}
+
+func writeFrame(w io.Writer, b []byte) error {
+	_, err := w.Write(b)
+	return err
+}
+
+// fireAndForget drops the write error on the floor.
+func fireAndForget(f *os.File, b []byte) error {
+	f.Write(b) // want syncclose "file write error discarded"
+	return f.Sync()
+}
+
+// blankedError discards the error explicitly; just as silent a torn frame.
+func blankedError(f *os.File) error {
+	_, _ = f.WriteString("frame") // want syncclose "file write error discarded"
+	return f.Sync()
+}

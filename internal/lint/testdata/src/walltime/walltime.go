@@ -1,0 +1,39 @@
+// Package walltime is golden-test input for the walltime analyzer.
+package walltime
+
+import "time"
+
+// binEnd advances stream time: pure arithmetic, no wall clock.
+func binEnd(at time.Time, bin time.Duration) time.Time {
+	return at.Truncate(bin).Add(bin)
+}
+
+// expired compares stream timestamps with Time methods: allowed.
+func expired(deadline, at time.Time) bool {
+	return at.After(deadline)
+}
+
+// fromUnix constructs a timestamp from stream data: allowed.
+func fromUnix(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}
+
+// stamp reads the wall clock.
+func stamp() time.Time {
+	return time.Now() // want walltime "wall-clock call time.Now"
+}
+
+// elapsed reads the wall clock through Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want walltime "wall-clock call time.Since"
+}
+
+// stall blocks on the wall clock.
+func stall() {
+	time.Sleep(time.Millisecond) // want walltime "wall-clock call time.Sleep"
+}
+
+// clockFunc leaks the wall clock as a value, not just a call.
+func clockFunc() func() time.Time {
+	return time.Now // want walltime "wall-clock call time.Now"
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime flags wall-clock reads in the detection packages. Detection
+// runs on stream time (record timestamps drive bins, TTLs and cooldowns);
+// a time.Now or time.Sleep on a detection path makes output depend on the
+// host's clock and scheduling, breaking replay and restart equivalence.
+// Metrics spans and histogram stamps are legitimate wall-clock users —
+// allowlist each such call site with
+//
+//	//keplervet:ignore walltime <why this is instrumentation>
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "detection packages must run on stream time; wall-clock calls (time.Now/Since/Until/Sleep/" +
+		"After/Tick/NewTimer/NewTicker/AfterFunc) are flagged unless explicitly allowlisted as instrumentation",
+	Scope: scopePaths(
+		"kepler/internal/core",
+		"kepler/internal/bgpstream",
+		"kepler/internal/pipeline",
+		"kepler/internal/traceroute",
+	),
+	Run: runWallTime,
+}
+
+// wallClockFuncs are the package-time functions that read or wait on the
+// wall clock. Pure arithmetic/construction (time.Unix, time.Date,
+// time.Duration math, time.Parse) is stream-safe and not listed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWallTime(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods like (time.Time).After compare stream timestamps
+			}
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(), "wall-clock call time.%s in a detection package: detection must run on stream time", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -168,6 +168,9 @@ func (r *Replayer) clock() func() time.Time {
 	if r.now != nil {
 		return r.now
 	}
+	// Wall clock by design: this paces the replay against real time; the
+	// records it releases carry their own stream timestamps, which are all
+	// detection ever sees (live is outside keplervet's walltime scope).
 	return time.Now
 }
 

@@ -122,12 +122,12 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 // baseline cleanup, and the lifecycle hooks (which a store-backed daemon
 // uses for its synchronous WAL flush).
 const (
-	StageBarrier = iota // shard barrier wait (Engine only; zero on Detector)
-	StageMerge          // per-shard diverted-index merge (Engine only)
-	StageCollect        // async probe verdict collection + return application
-	StageClassify       // signal grouping, classification, disambiguation
-	StageFinish         // per-shard stable-baseline cleanup
-	StageHooks          // BinClosed hooks: event publication, store flush
+	StageBarrier  = iota // shard barrier wait (Engine only; zero on Detector)
+	StageMerge           // per-shard diverted-index merge (Engine only)
+	StageCollect         // async probe verdict collection + return application
+	StageClassify        // signal grouping, classification, disambiguation
+	StageFinish          // per-shard stable-baseline cleanup
+	StageHooks           // BinClosed hooks: event publication, store flush
 	NumBinStages
 )
 
@@ -167,6 +167,7 @@ type BinStageStats struct {
 	// SlowBinThreshold, when positive, invokes OnSlowBin for any bin whose
 	// total close time meets or exceeds it. Set both before ingestion
 	// starts; OnSlowBin runs on the ingestion goroutine and must be fast.
+	//keplervet:ignore atomicstats write-once config, not a counter: set before ingestion starts, immutable afterwards
 	SlowBinThreshold time.Duration
 	OnSlowBin        func(BinSpans)
 }
@@ -178,6 +179,7 @@ func (s *BinStageStats) Record(spans BinSpans) {
 	for i := range spans.Stage {
 		s.Stages[i].Observe(spans.Stage[i])
 	}
+	//keplervet:ignore atomicstats SlowBinThreshold is write-once config, immutable once ingestion starts
 	if s.SlowBinThreshold > 0 && spans.Total >= s.SlowBinThreshold && s.OnSlowBin != nil {
 		s.OnSlowBin(spans)
 	}

@@ -11,12 +11,12 @@ import (
 // fixed bounds define, including the clamp at zero and the +Inf bucket.
 func TestHistogramBucketing(t *testing.T) {
 	var h Histogram
-	h.Observe(-time.Second)               // clamps to 0 -> first bucket
-	h.Observe(50 * time.Microsecond)      // first bucket
-	h.Observe(100 * time.Microsecond)     // still first bucket (le bound)
-	h.Observe(101 * time.Microsecond)     // second bucket
-	h.Observe(3 * time.Millisecond)       // le=5ms bucket
-	h.Observe(time.Minute)                // +Inf bucket
+	h.Observe(-time.Second)           // clamps to 0 -> first bucket
+	h.Observe(50 * time.Microsecond)  // first bucket
+	h.Observe(100 * time.Microsecond) // still first bucket (le bound)
+	h.Observe(101 * time.Microsecond) // second bucket
+	h.Observe(3 * time.Millisecond)   // le=5ms bucket
+	h.Observe(time.Minute)            // +Inf bucket
 	snap := h.Snapshot()
 
 	if snap.Count != 6 {

@@ -22,7 +22,10 @@ type IngestStats struct {
 }
 
 // Begin marks the ingestion start for rate computation. Idempotent; the
-// engine calls it on the first record.
+// engine calls it on the first record. The wall clock is the point:
+// records/sec measures this host's ingest throughput, not stream time,
+// so it never feeds detection (metrics is outside keplervet's walltime
+// scope by construction).
 func (s *IngestStats) Begin() {
 	s.startOnce.Do(func() { s.start.Store(time.Now().UnixNano()) })
 }

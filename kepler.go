@@ -147,6 +147,40 @@
 // and HTTP server — while report output (stdout, SSE, the JSON API) stays
 // fixed-format.
 //
+// # Determinism invariants
+//
+// Everything above rests on one promise: detection output is a pure
+// function of the record stream — byte-for-byte identical across shard
+// counts, invest-worker counts, restarts and async probing. The
+// equivalence tests pin that promise at runtime; cmd/keplervet
+// (internal/lint) enforces the coding contracts behind it mechanically,
+// with zero dependencies beyond the go tool:
+//
+//   - maporder — map iteration in internal/core, internal/bgpstream and
+//     internal/probe must not feed order-sensitive effects (slice appends
+//     that escape the loop, hook/event callbacks, encoders, channel
+//     sends, probe charging) unless the collect-then-sort idiom is used:
+//     Go randomizes range-over-map order on purpose.
+//   - walltime — the detection packages (core, bgpstream, pipeline,
+//     traceroute) run on stream time; time.Now/Since/Sleep and friends
+//     are flagged there unless allowlisted as instrumentation.
+//   - hookbarrier — Hooks callbacks may fire only on the bin-close/flush
+//     barrier path (closeBinOver, Flush, finishProbes and their exclusive
+//     callees); anywhere else publishes state mid-bin and races the
+//     shards.
+//   - atomicstats — metrics *Stats counter fields must be atomic types
+//     and accessed only through their atomic method sets (concurrent
+//     writers, lock-free readers); *Snapshot copies are plain by design.
+//   - syncclose — os.File writes in internal/store must reach an fsync
+//     before a success return, and write errors must not be discarded (a
+//     torn WAL frame must never be silent).
+//
+// Run the suite with `go run ./cmd/keplervet ./...` (exit 0 clean, 1 on
+// findings; -json for the machine-readable form CI archives). A
+// sanctioned exception is annotated in place with
+// `//keplervet:ignore <analyzer> <reason>` — the reason is mandatory,
+// and an ignore that no longer suppresses anything is itself reported.
+//
 // The facade re-exports the detection core; richer control lives in the
 // internal packages, which the module's commands and examples exercise:
 //
@@ -189,6 +223,7 @@
 //	curl 'localhost:8080/v1/outages?limit=50'            # resolved history, first page
 //	curl 'localhost:8080/v1/outages?after=50&limit=50'   # ... next page
 //	curl -N localhost:8080/v1/events                     # live SSE event stream
+//	go run ./cmd/keplervet ./...                         # check the determinism contracts
 //
 // Restarting keplerd against the same -data-dir recovers and keeps serving
 // the accumulated history; `curl -N -H 'Last-Event-ID: 42'
