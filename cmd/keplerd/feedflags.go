@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// validateFeedFlags checks the feed-health watchdog knobs. The silence
+// threshold is stream time (never wall clock), so it composes with any
+// replay speed; zero disables the watchdog entirely. The coverage floor
+// gates /healthz readiness and is meaningless without the watchdog that
+// measures coverage.
+func validateFeedFlags(silence time.Duration, floor float64) error {
+	if silence < 0 {
+		return fmt.Errorf("-feed-silence must be non-negative, got %v (0 disables the feed watchdog)", silence)
+	}
+	if floor < 0 || floor > 1 {
+		return fmt.Errorf("-feed-floor must be in [0,1], got %v (it is the live/known session ratio below which /healthz degrades)", floor)
+	}
+	if floor > 0 && silence == 0 {
+		return fmt.Errorf("-feed-floor requires -feed-silence > 0 (coverage is undefined without the watchdog)")
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateFeedFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		silence time.Duration
+		floor   float64
+		wantErr bool
+	}{
+		{"disabled", 0, 0, false},
+		{"watchdog only", 30 * time.Minute, 0, false},
+		{"watchdog with floor", 30 * time.Minute, 0.5, false},
+		{"floor of one", time.Minute, 1, false},
+		{"negative silence", -time.Second, 0, true},
+		{"negative floor", time.Minute, -0.1, true},
+		{"floor above one", time.Minute, 1.1, true},
+		{"floor without watchdog", 0, 0.5, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFeedFlags(tc.silence, tc.floor)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("validateFeedFlags(%v, %v) error = %v, wantErr %v",
+					tc.silence, tc.floor, err, tc.wantErr)
+			}
+		})
+	}
+}

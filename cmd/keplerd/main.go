@@ -61,6 +61,21 @@
 // setting like it is to the detection config. Recording costs nothing when
 // disabled and never perturbs detection output either way.
 //
+// With -feed-silence (30m of stream time by default; 0 disables) the
+// engine runs a feed-health watchdog: every collector and every
+// (collector, peer) session is tracked by the stream clock, flagged
+// degraded after the silence threshold and recovered when it speaks
+// again. Transitions surface as feed_degraded / feed_recovered SSE
+// events, warn/info log lines and counters; the current per-session view
+// with a live/known coverage ratio is served at /v1/health/feeds and as
+// kepler_feed_* gauges at /metrics. The watchdog runs on stream time
+// only, so it is deterministic across replay speeds and restarts — its
+// state rides in the engine checkpoint and its events sit under the
+// replay gate like every other kind, which binds a data dir to the
+// -feed-silence setting like it is to the detection config.
+// -feed-floor withdraws /healthz readiness (503) while feed coverage
+// sits below the given ratio.
+//
 // Observability: keplerd logs through log/slog — -log-format text|json,
 // -log-level debug|info|warn|error — with component-scoped loggers for the
 // store, probe scheduler, server and source. Every bin close is measured
@@ -68,11 +83,19 @@
 // baseline cleanup, hooks); the fixed-bucket histograms appear in /v1/stats
 // under bin_close and at /metrics as kepler_bin_close_seconds /
 // kepler_bin_close_stage_seconds. -slow-bin-ms logs a structured per-stage
-// report for any bin close over the threshold.
+// report for any bin close over the threshold. The serving path itself is
+// measured too: per-endpoint request latency and status-class histograms
+// (kepler_http_request_seconds), SSE delivery lag from publish to the
+// completed client write (kepler_sse_delivery_lag_seconds), and
+// per-subscriber queue depth / drop gauges (kepler_sse_queue_depth,
+// kepler_sse_queue_dropped_total) — all in /v1/stats under http and
+// subscribers, and at /metrics. cmd/keplerload soaks the serving path
+// from the client side and reports both perspectives side by side.
 //
-// Endpoints: /healthz, /metrics (Prometheus text exposition), /v1/outages,
-// /v1/outages/{id}/trace, /v1/outages/open, /v1/incidents, /v1/probes,
-// /v1/stats, /v1/events (SSE). /v1/outages and /v1/incidents paginate with
+// Endpoints: /healthz, /metrics (Prometheus text exposition),
+// /v1/health/feeds, /v1/outages, /v1/outages/{id}/trace,
+// /v1/outages/open, /v1/incidents, /v1/probes, /v1/stats, /v1/events
+// (SSE). /v1/outages and /v1/incidents paginate with
 // ?after=<id>&limit=<n>.
 // -pprof-addr additionally serves the standard net/http/pprof debug
 // endpoints on a listener of their own — opt-in, and never on the API port.
@@ -102,6 +125,7 @@ import (
 	"syscall"
 	"time"
 
+	"kepler/internal/bgpstream"
 	"kepler/internal/core"
 	"kepler/internal/events"
 	"kepler/internal/live"
@@ -138,6 +162,8 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
 		slowBinMS = flag.Int("slow-bin-ms", 0, "log a structured per-stage report for any bin close slower than this many milliseconds; 0 disables")
 		tracing   = flag.Bool("trace", true, "record detection provenance traces, served at /v1/outages/{id}/trace; a data dir is bound to this setting like it is to the detection config")
+		feedSil   = flag.Duration("feed-silence", 30*time.Minute, "stream time after which a silent collector or peer session is flagged degraded (feed-health watchdog, /v1/health/feeds); 0 disables. A data dir is bound to this setting like it is to the detection config")
+		feedFloor = flag.Float64("feed-floor", 0, "feed coverage ratio (live/known peer sessions) below which /healthz reports 503; 0 disables, requires -feed-silence > 0")
 	)
 	flag.Parse()
 
@@ -178,6 +204,9 @@ func main() {
 		fatal(err)
 	}
 	if err := validateSlowBinFlag(*slowBinMS); err != nil {
+		fatal(err)
+	}
+	if err := validateFeedFlags(*feedSil, *feedFloor); err != nil {
 		fatal(err)
 	}
 
@@ -260,6 +289,7 @@ func main() {
 	kcfg.ReportUnresolved = *unres
 	kcfg.InvestWorkers = *investW
 	kcfg.Tracing = *tracing
+	kcfg.FeedSilence = *feedSil
 
 	// Staged bin-close latency: always collected (a handful of monotonic
 	// clock reads per bin), exported via /v1/stats and /metrics. -slow-bin-ms
@@ -389,11 +419,18 @@ func main() {
 	} else if st != nil {
 		dlog.Info("no usable checkpoint; re-ingesting from record zero")
 	}
+	// Serving-path telemetry: per-endpoint latency/status histograms plus
+	// the SSE delivery-lag histogram, and the feed transition counters.
+	httpStats := metrics.NewHTTPStats()
+	feedStats := &metrics.FeedStats{}
 	srvOpts := server.Options{
 		Bus:       bus,
 		Service:   svc,
 		Ingest:    func() metrics.IngestSnapshot { return eng.Stats() },
 		BinStage:  func() metrics.BinStageSnapshot { return binStage.Snapshot() },
+		HTTP:      httpStats,
+		Feed:      feedStats,
+		FeedFloor: *feedFloor,
 		Namer:     w.PoPName,
 		SSEBuffer: *sseBuffer,
 		Logger:    logger.With("component", "server"),
@@ -459,6 +496,9 @@ func main() {
 		snap := server.BuildSnapshot(end, eng, resolved)
 		snap.Traces = append([]core.OutageTrace(nil), traces...)
 		snap.TraceBase = traceBase
+		if fh, ok := eng.FeedHealth(end); ok {
+			snap.Feeds = &fh
+		}
 		if sched != nil {
 			snap.Pending = eng.PendingConfirmations()
 			snap.ProbeOutcomes = append([]core.ProbeOutcome(nil), recentOutcomes...)
@@ -518,6 +558,23 @@ func main() {
 			dlog.Warn("probe campaign expired unanswered",
 				"campaign", o.Pending.ID, "signal_pop", o.Pending.SignalPoP.String())
 		}
+	}
+	// Feed-health transitions: count and log them on top of publication.
+	// The chain sits under the replay gate like every other callback, so a
+	// restart's catch-up neither double-publishes nor double-counts them.
+	publishFeedDegraded := hooks.FeedDegraded
+	hooks.FeedDegraded = func(tr bgpstream.FeedTransition) {
+		publishFeedDegraded(tr)
+		feedStats.Degraded.Add(1)
+		dlog.Warn("feed degraded", "scope", tr.Scope, "collector", tr.Collector,
+			"peer_as", tr.PeerAS, "last_seen", tr.LastSeen, "at", tr.At)
+	}
+	publishFeedRecovered := hooks.FeedRecovered
+	hooks.FeedRecovered = func(tr bgpstream.FeedTransition) {
+		publishFeedRecovered(tr)
+		feedStats.Recovered.Add(1)
+		dlog.Info("feed recovered", "scope", tr.Scope, "collector", tr.Collector,
+			"peer_as", tr.PeerAS, "at", tr.At)
 	}
 	// saveCheckpoint runs inside gated BinClosed hooks: the engine is at a
 	// bin barrier, every event up to here has been appended to the WAL (the

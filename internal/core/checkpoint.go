@@ -19,7 +19,9 @@ import (
 // would silently desynchronize the replay gate, so a version mismatch is a
 // hard decode error and recovery falls back to an older checkpoint or a
 // full re-ingest.
-const CheckpointVersion = 1
+//
+// Version history: 2 added the feed-health watchdog state (Feed).
+const CheckpointVersion = 2
 
 // Checkpoint is the complete serializable detection state of an Engine (or
 // Detector) at a bin barrier: the per-path monitoring tables, the stable
@@ -46,6 +48,10 @@ type Checkpoint struct {
 	ProbeSeq uint64 `json:"probe_seq"`
 
 	Sessions bgpstream.SessionCheckpoint `json:"sessions"`
+	// Feed is the feed-health watchdog state (Config.FeedSilence); empty
+	// when the watchdog is disabled. Like Sessions it is global, not
+	// per-shard, so the encoding stays shard-count independent.
+	Feed bgpstream.FeedCheckpoint `json:"feed"`
 
 	Paths  []PathCheckpoint   `json:"paths,omitempty"`
 	Stable []StableCheckpoint `json:"stable,omitempty"`
@@ -200,6 +206,9 @@ func captureCheckpoint(binStart time.Time, records uint64, fan *bgpstream.Fanout
 		ProbeSeq: inv.probeSeq,
 		Sessions: fan.Tracker().Checkpoint(),
 	}
+	if inv.feed != nil {
+		c.Feed = inv.feed.Checkpoint()
+	}
 
 	// Per-path monitoring state, merged across shards and globally sorted:
 	// the encoding is shard-count independent.
@@ -303,6 +312,12 @@ func restoreCheckpoint(c *Checkpoint, cfg Config, shards []*pathShard, inv *inve
 	}
 	if len(c.Pending) > 0 && inv.prober == nil {
 		return fmt.Errorf("core: checkpoint carries %d pending probe campaigns but no prober is wired (SetProber before RestoreFrom)", len(c.Pending))
+	}
+	if inv.feed != nil {
+		// A checkpoint written without the watchdog restores it empty; the
+		// replay-gate arithmetic only holds when FeedSilence matches across
+		// runs, the same config binding every other knob has.
+		inv.feed.Restore(c.Feed)
 	}
 	at := func(key PathKey) *pathShard {
 		if shardOf == nil {

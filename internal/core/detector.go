@@ -77,7 +77,7 @@ func (v shardView) pathsContaining(a bgp.ASN) int                        { retur
 // then degrades to AS-level). The data plane is optional via SetDataPlane.
 func New(cfg Config, dict *communities.Dictionary, cmap *colo.Map, orgs *as2org.Table) *Detector {
 	sh := newPathShard(cfg, dict, cmap)
-	return &Detector{
+	d := &Detector{
 		cfg:    cfg,
 		sh:     sh,
 		inv:    newInvestigator(cfg, cmap, orgs, shardView{sh}),
@@ -85,6 +85,10 @@ func New(cfg Config, dict *communities.Dictionary, cmap *colo.Map, orgs *as2org.
 		clock:  binClock{interval: cfg.BinInterval},
 		shards: []*pathShard{sh},
 	}
+	if cfg.FeedSilence > 0 {
+		d.inv.feed = bgpstream.NewFeedWatchdog(cfg.FeedSilence)
+	}
+	return d
 }
 
 // SetDataPlane wires the synchronous targeted-measurement backend.
@@ -117,6 +121,9 @@ func (d *Detector) Process(rec *mrt.Record) []Outage {
 	d.seen++
 	d.inProcess = true
 	d.clock.advance(rec.Time, d.closeBin)
+	if d.inv.feed != nil {
+		d.inv.feed.Observe(rec)
+	}
 
 	if d.fan.Add(rec) > 0 {
 		d.opsSinceBarrier = true
@@ -193,3 +200,11 @@ func (d *Detector) OpenOutages() []colo.PoP { return d.inv.tracker.open() }
 
 // OpenOutageStatuses snapshots every ongoing outage, sorted by epicenter.
 func (d *Detector) OpenOutageStatuses() []OutageStatus { return d.inv.tracker.openStatuses() }
+
+// FeedHealth snapshots the feed watchdog as of asOf; see Engine.FeedHealth.
+func (d *Detector) FeedHealth(asOf time.Time) (snap bgpstream.FeedSnapshot, ok bool) {
+	if d.inv.feed == nil {
+		return bgpstream.FeedSnapshot{}, false
+	}
+	return d.inv.feed.Snapshot(asOf), true
+}

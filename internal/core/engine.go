@@ -209,6 +209,9 @@ func NewEngine(cfg Config, dict *communities.Dictionary, cmap *colo.Map, orgs *a
 	e.view = &mergedView{shards: e.shards}
 	e.view.reset()
 	e.inv = newInvestigator(cfg, cmap, orgs, e.view)
+	if cfg.FeedSilence > 0 {
+		e.inv.feed = bgpstream.NewFeedWatchdog(cfg.FeedSilence)
+	}
 	for _, s := range e.shards {
 		go s.run()
 	}
@@ -252,6 +255,11 @@ func (e *Engine) Process(rec *mrt.Record) []Outage {
 	e.seen++
 	e.inProcess = true
 	e.clock.advance(rec.Time, e.closeBin)
+	if e.inv.feed != nil {
+		// After the bin closes preceding this record: its liveness proof
+		// belongs to the bin it falls into, matching the Detector exactly.
+		e.inv.feed.Observe(rec)
+	}
 	if n := e.fan.Add(rec); n > 0 {
 		e.opsSinceBarrier = true
 		e.stats.Ops.Add(int64(n))
@@ -283,8 +291,8 @@ func (e *Engine) reclaim(i int) {
 // tick outage tracking, redistribute restoration watches, and release the
 // shards (which then drop their diverted paths from the stable baseline).
 func (e *Engine) closeBin(end time.Time) {
-	if !e.opsSinceBarrier && e.inv.tracker.idle() && !e.inv.hasPending() {
-		return // nothing processed, tracked or parked: the bin close is a no-op
+	if !e.opsSinceBarrier && e.inv.tracker.idle() && !e.inv.hasPending() && !e.inv.feedDue(end) {
+		return // nothing processed, tracked, parked or feed-due: the close is a no-op
 	}
 	t0 := time.Now() //keplervet:ignore walltime metrics span: barrier wall-time for IngestStats, never read by detection
 	b := &binBarrier{end: end, resume: make(chan struct{})}
@@ -396,6 +404,16 @@ func (e *Engine) OpenOutageStatuses() []OutageStatus { return e.inv.tracker.open
 
 // SessionTracker exposes the fan-out's session tracker.
 func (e *Engine) SessionTracker() *bgpstream.SessionTracker { return e.fan.Tracker() }
+
+// FeedHealth snapshots the feed watchdog as of asOf (normally the last
+// closed bin). ok is false when Config.FeedSilence is zero. Only valid
+// between Process calls or inside a BinClosed hook.
+func (e *Engine) FeedHealth(asOf time.Time) (snap bgpstream.FeedSnapshot, ok bool) {
+	if e.inv.feed == nil {
+		return bgpstream.FeedSnapshot{}, false
+	}
+	return e.inv.feed.Snapshot(asOf), true
+}
 
 // Stats snapshots the engine's ingestion counters, including per-shard
 // queue depths (in batches).

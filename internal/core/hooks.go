@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kepler/internal/bgp"
+	"kepler/internal/bgpstream"
 	"kepler/internal/colo"
 )
 
@@ -45,6 +46,14 @@ type Hooks struct {
 	// ProbeExpired fires when a pending confirmation outlives its TTL
 	// without a verdict and is dropped.
 	ProbeExpired func(ProbeOutcome)
+	// FeedDegraded fires — only with Config.FeedSilence set — when a
+	// collector or peer session crosses the silence threshold at a bin
+	// close, before that bin's BinClosed callback. Transitions are ordered
+	// by (scope, collector, peer), a pure function of the record stream.
+	FeedDegraded func(bgpstream.FeedTransition)
+	// FeedRecovered fires when a previously degraded feed is seen again,
+	// under the same ordering and determinism contract as FeedDegraded.
+	FeedRecovered func(bgpstream.FeedTransition)
 	// TraceRecorded fires — only with Config.Tracing enabled — immediately
 	// after the OutageResolved callback of the same outage, carrying the
 	// evidence chain behind it: trace i always describes resolved outage i.

@@ -6,6 +6,7 @@ import (
 
 	"kepler/internal/as2org"
 	"kepler/internal/bgp"
+	"kepler/internal/bgpstream"
 	"kepler/internal/colo"
 	"kepler/internal/metrics"
 )
@@ -47,6 +48,12 @@ type investigator struct {
 	incidents []Incident
 	tracker   *outageTracker
 	completed []Outage
+
+	// feed, when set (Config.FeedSilence), is the stream-time liveness
+	// watchdog; its transitions fire at bin closes, right before BinClosed.
+	// It is observed on the ingestion goroutine and evaluated only at
+	// barriers, so it needs no locking.
+	feed *bgpstream.FeedWatchdog
 
 	// binStage, when set, receives the staged wall-clock spans of every
 	// non-idle bin close (SetBinStageStats). Purely observational: timing
@@ -232,6 +239,7 @@ func (inv *investigator) closeBinOver(end time.Time, shards []*pathShard, divert
 		s.finishBin()
 	}
 	mark(metrics.StageFinish)
+	inv.fireFeedTransitions(end)
 	if inv.hooks.BinClosed != nil {
 		inv.hooks.BinClosed(end)
 	}
@@ -239,5 +247,30 @@ func (inv *investigator) closeBinOver(end time.Time, shards []*pathShard, divert
 	if stage != nil {
 		spans.Total = spans.Stage[metrics.StageBarrier] + spans.Stage[metrics.StageMerge] + time.Since(start) //keplervet:ignore walltime metrics span: staged bin-close histogram stamp
 		stage.Record(spans)
+	}
+}
+
+// feedDue reports whether the watchdog has transitions pending at end,
+// without committing them. The engine's idle-bin fast path consults it so
+// a silence threshold crossing still closes an otherwise no-op bin.
+func (inv *investigator) feedDue(end time.Time) bool {
+	return inv.feed != nil && inv.feed.Due(end)
+}
+
+// fireFeedTransitions evaluates and emits the bin's feed-health edges. It
+// runs only from closeBinOver (the bin-barrier hook site), keeping every
+// hook invocation inside the barrier contract.
+func (inv *investigator) fireFeedTransitions(end time.Time) {
+	if inv.feed == nil {
+		return
+	}
+	for _, tr := range inv.feed.Evaluate(end) {
+		if tr.Degraded {
+			if inv.hooks.FeedDegraded != nil {
+				inv.hooks.FeedDegraded(tr)
+			}
+		} else if inv.hooks.FeedRecovered != nil {
+			inv.hooks.FeedRecovered(tr)
+		}
 	}
 }

@@ -74,6 +74,16 @@ type Config struct {
 	// (Section 4.2); this knob exists for the ablation benchmark that
 	// demonstrates the bias.
 	DisablePerASGrouping bool
+	// FeedSilence, when positive, arms the feed-health watchdog: a
+	// collector or peer session whose feed has been silent (no records of
+	// any kind) for at least this much stream time at a bin close is
+	// declared degraded, firing Hooks.FeedDegraded, and recovers on its
+	// next record (Hooks.FeedRecovered). Liveness is judged on record
+	// timestamps only — never the wall clock — so the transition sequence
+	// is part of the deterministic output: byte-for-byte identical across
+	// shard counts, replay speeds and restarts. Zero disables the
+	// watchdog. Feed events never influence detection results.
+	FeedSilence time.Duration
 	// Tracing records a provenance trace per resolved outage — the evidence
 	// chain (diverted paths, baseline counts, disambiguation eliminations,
 	// collateral folds, probe verdicts) behind the detection — delivered to

@@ -9,10 +9,12 @@
 package events
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"kepler/internal/bgpstream"
 	"kepler/internal/core"
 	"kepler/internal/metrics"
 )
@@ -31,6 +33,8 @@ const (
 	KindProbeConfirmed Kind = "probe_confirmed"
 	KindProbeExpired   Kind = "probe_expired"
 	KindTrace          Kind = "trace"
+	KindFeedDegraded   Kind = "feed_degraded"
+	KindFeedRecovered  Kind = "feed_recovered"
 )
 
 // Event is one bus message. Exactly one of the payload pointers is non-nil,
@@ -46,14 +50,31 @@ type Event struct {
 	Pending  *core.PendingConfirmation // probe_requested
 	Probe    *core.ProbeOutcome        // probe_confirmed / probe_expired
 	Trace    *core.OutageTrace         // trace (Config.Tracing only)
+	Feed     *bgpstream.FeedTransition // feed_degraded / feed_recovered
+
+	// PublishedAt is the wall-clock instant Publish stamped this event —
+	// the origin of the SSE delivery-lag histogram. It is process-local
+	// observability only: excluded from JSON so the durable WAL and SSE
+	// payloads stay deterministic. Ring-replayed backlog events carry a
+	// stale stamp (and store-tail events a zero one), so consumers must
+	// measure lag on live deliveries only.
+	PublishedAt time.Time `json:"-"`
 }
 
 // Subscriber is one bounded-queue consumer registration.
 type Subscriber struct {
 	bus     *Bus
+	id      uint64
 	ch      chan Event
 	dropped atomic.Int64
 }
+
+// ID returns the subscriber's bus-unique registration id, stable for the
+// subscription's lifetime — the label of its queue-depth gauge.
+func (s *Subscriber) ID() uint64 { return s.id }
+
+// Depth returns the subscriber's current queue occupancy.
+func (s *Subscriber) Depth() int { return len(s.ch) }
 
 // Events returns the subscriber's delivery channel. It is closed when the
 // bus closes or the subscriber cancels.
@@ -75,6 +96,7 @@ type Bus struct {
 	mu     sync.Mutex
 	subs   map[*Subscriber]struct{}
 	seq    uint64
+	subSeq uint64
 	closed bool
 
 	// sink, if set, observes every published event synchronously on the
@@ -154,6 +176,8 @@ func (b *Bus) Subscribe(buffer int) *Subscriber {
 		close(s.ch)
 		return s
 	}
+	b.subSeq++
+	s.id = b.subSeq
 	b.subs[s] = struct{}{}
 	return s
 }
@@ -178,6 +202,8 @@ func (b *Bus) SubscribeFrom(after uint64, buffer int) (s *Subscriber, backlog []
 		close(s.ch)
 		return s, nil, after >= b.seq
 	}
+	b.subSeq++
+	s.id = b.subSeq
 	complete = true
 	b.ring.Each(func(ev Event) {
 		if ev.Seq <= after {
@@ -216,6 +242,9 @@ func (b *Bus) Publish(ev Event) {
 	}
 	b.seq++
 	ev.Seq = b.seq
+	// Wall-clock stamp for the SSE delivery-lag histogram. Observability
+	// only: never serialized, never read by detection.
+	ev.PublishedAt = time.Now()
 	if b.sink != nil {
 		b.sink(ev)
 	}
@@ -258,6 +287,33 @@ func (b *Bus) Seq() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.seq
+}
+
+// SubscriberDepth is a point-in-time view of one subscriber's queue.
+type SubscriberDepth struct {
+	ID      uint64 `json:"id"`
+	Depth   int    `json:"depth"`
+	Cap     int    `json:"cap"`
+	Dropped int64  `json:"dropped"`
+}
+
+// SubscriberDepths snapshots every live subscriber's queue occupancy,
+// capacity, and drop count, ascending by subscriber id — the backing data
+// for the per-subscriber queue-depth gauges in /v1/stats and /metrics.
+func (b *Bus) SubscriberDepths() []SubscriberDepth {
+	b.mu.Lock()
+	out := make([]SubscriberDepth, 0, len(b.subs))
+	for s := range b.subs {
+		out = append(out, SubscriberDepth{
+			ID:      s.id,
+			Depth:   len(s.ch),
+			Cap:     cap(s.ch),
+			Dropped: s.dropped.Load(),
+		})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Stats is a point-in-time view of the bus.
@@ -311,6 +367,12 @@ func EngineHooks(b *Bus) core.Hooks {
 		},
 		TraceRecorded: func(tr core.OutageTrace) {
 			b.Publish(Event{Time: tr.End, Kind: KindTrace, Trace: &tr})
+		},
+		FeedDegraded: func(tr bgpstream.FeedTransition) {
+			b.Publish(Event{Time: tr.At, Kind: KindFeedDegraded, Feed: &tr})
+		},
+		FeedRecovered: func(tr bgpstream.FeedTransition) {
+			b.Publish(Event{Time: tr.At, Kind: KindFeedRecovered, Feed: &tr})
 		},
 	}
 }

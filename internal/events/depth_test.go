@@ -1,0 +1,125 @@
+package events
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubscriberDepthsStalled pins the queue-depth gauge semantics: a
+// subscriber that never drains reports a full queue plus drops, while a
+// drained subscriber reports depth zero; ids ascend in registration order.
+func TestSubscriberDepthsStalled(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+
+	stalled := b.Subscribe(4)
+	healthy := b.Subscribe(16)
+	defer stalled.Close()
+	defer healthy.Close()
+	if stalled.ID() == 0 || healthy.ID() <= stalled.ID() {
+		t.Fatalf("ids = %d, %d; want ascending registration order starting at 1",
+			stalled.ID(), healthy.ID())
+	}
+
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Kind: KindBinClosed, Time: time.Unix(int64(i), 0)})
+	}
+	for i := 0; i < 10; i++ {
+		<-healthy.Events()
+	}
+
+	depths := b.SubscriberDepths()
+	if len(depths) != 2 {
+		t.Fatalf("depths = %d entries, want 2", len(depths))
+	}
+	st, ok := depths[0], depths[1]
+	if st.ID != stalled.ID() {
+		st, ok = depths[1], depths[0]
+	}
+	if st.Depth != 4 || st.Cap != 4 {
+		t.Errorf("stalled depth/cap = %d/%d, want 4/4", st.Depth, st.Cap)
+	}
+	if st.Dropped != 6 {
+		t.Errorf("stalled dropped = %d, want 6", st.Dropped)
+	}
+	if stalled.Depth() != 4 {
+		t.Errorf("Subscriber.Depth() = %d, want 4", stalled.Depth())
+	}
+	if ok.Depth != 0 || ok.Dropped != 0 {
+		t.Errorf("healthy depth/dropped = %d/%d, want 0/0", ok.Depth, ok.Dropped)
+	}
+	for i := 1; i < len(depths); i++ {
+		if depths[i].ID <= depths[i-1].ID {
+			t.Errorf("depths not ascending by id: %+v", depths)
+		}
+	}
+}
+
+// TestSubscriberDepthsConcurrent races subscribe/unsubscribe/publish against
+// SubscriberDepths readers. Run with -race; correctness here is absence of
+// data races plus internally consistent snapshots.
+func TestSubscriberDepthsConcurrent(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // publisher
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Publish(Event{Kind: KindBinClosed, Time: time.Unix(int64(i), 0)})
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() { // churning subscribers, some draining, some not
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := b.Subscribe(2)
+				select {
+				case <-s.Events():
+				default:
+				}
+				s.Close()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // gauge reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, d := range b.SubscriberDepths() {
+				if d.Depth < 0 || d.Depth > d.Cap {
+					t.Errorf("inconsistent depth %d (cap %d)", d.Depth, d.Cap)
+					return
+				}
+				if d.ID == 0 {
+					t.Error("subscriber with zero id")
+					return
+				}
+			}
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

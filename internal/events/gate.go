@@ -3,6 +3,7 @@ package events
 import (
 	"time"
 
+	"kepler/internal/bgpstream"
 	"kepler/internal/core"
 )
 
@@ -75,6 +76,16 @@ func MuteHooks(h core.Hooks, muted func() bool) core.Hooks {
 				h.TraceRecorded(tr)
 			}
 		},
+		FeedDegraded: func(tr bgpstream.FeedTransition) {
+			if !muted() && h.FeedDegraded != nil {
+				h.FeedDegraded(tr)
+			}
+		},
+		FeedRecovered: func(tr bgpstream.FeedTransition) {
+			if !muted() && h.FeedRecovered != nil {
+				h.FeedRecovered(tr)
+			}
+		},
 	}
 }
 
@@ -134,6 +145,16 @@ func GateHooks(h core.Hooks, skip uint64) core.Hooks {
 		TraceRecorded: func(tr core.OutageTrace) {
 			if pass() && h.TraceRecorded != nil {
 				h.TraceRecorded(tr)
+			}
+		},
+		FeedDegraded: func(tr bgpstream.FeedTransition) {
+			if pass() && h.FeedDegraded != nil {
+				h.FeedDegraded(tr)
+			}
+		},
+		FeedRecovered: func(tr bgpstream.FeedTransition) {
+			if pass() && h.FeedRecovered != nil {
+				h.FeedRecovered(tr)
 			}
 		},
 	}

@@ -72,6 +72,50 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins the two boundary behaviors the
+// quantile estimate promises: an empty snapshot reports zero (not the first
+// bound), and observations beyond the largest bound — the +Inf bucket —
+// report the last finite bound rather than infinity, for every q.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	snap := empty.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := snap.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := snap.Mean(); got != 0 {
+		t.Errorf("empty Mean() = %v, want 0", got)
+	}
+
+	last := DurationBounds[len(DurationBounds)-1]
+	var inf Histogram
+	inf.Observe(time.Minute) // beyond the 10s top bound
+	inf.Observe(time.Hour)
+	isnap := inf.Snapshot()
+	if got := isnap.Counts[len(isnap.Counts)-1]; got != 2 {
+		t.Fatalf("+Inf bucket = %d, want 2", got)
+	}
+	for _, q := range []float64{0.01, 0.5, 1.0} {
+		if got := isnap.Quantile(q); got != last {
+			t.Errorf("all-inf Quantile(%v) = %v, want last bound %v", q, got, last)
+		}
+	}
+
+	// Mixed: one finite, one +Inf — p50 lands on the finite bucket's bound,
+	// p100 clamps to the last finite bound.
+	var mixed Histogram
+	mixed.Observe(time.Millisecond)
+	mixed.Observe(time.Minute)
+	msnap := mixed.Snapshot()
+	if got := msnap.Quantile(0.5); got != time.Millisecond {
+		t.Errorf("mixed p50 = %v, want 1ms", got)
+	}
+	if got := msnap.Quantile(1.0); got != last {
+		t.Errorf("mixed p100 = %v, want %v", got, last)
+	}
+}
+
 // TestHistogramConcurrent hammers one histogram from many goroutines with
 // concurrent snapshots — the ingest-writer / HTTP-reader pattern. Run with
 // -race.

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHTTPStatsObserveAndSnapshot checks lazy endpoint registration, status
+// class bucketing, and the sorted snapshot order.
+func TestHTTPStatsObserveAndSnapshot(t *testing.T) {
+	h := NewHTTPStats()
+	h.Observe("GET /v1/outages", 200, time.Millisecond)
+	h.Observe("GET /v1/outages", 200, 2*time.Millisecond)
+	h.Observe("GET /v1/outages", 404, time.Millisecond)
+	h.Observe("GET /healthz", 503, 500*time.Microsecond)
+	h.Observe("GET /healthz", 7, time.Microsecond) // nonsense status -> "other"
+	h.SSELag.Observe(3 * time.Millisecond)
+
+	snap := h.Snapshot()
+	if len(snap.Endpoints) != 2 {
+		t.Fatalf("endpoints = %d, want 2", len(snap.Endpoints))
+	}
+	if snap.Endpoints[0].Endpoint != "GET /healthz" || snap.Endpoints[1].Endpoint != "GET /v1/outages" {
+		t.Fatalf("endpoints not sorted: %q, %q", snap.Endpoints[0].Endpoint, snap.Endpoints[1].Endpoint)
+	}
+	hz := snap.Endpoints[0]
+	if hz.Statuses["5xx"] != 1 || hz.Statuses["other"] != 1 {
+		t.Errorf("healthz statuses = %v, want 5xx:1 other:1", hz.Statuses)
+	}
+	out := snap.Endpoints[1]
+	if out.Statuses["2xx"] != 2 || out.Statuses["4xx"] != 1 {
+		t.Errorf("outages statuses = %v, want 2xx:2 4xx:1", out.Statuses)
+	}
+	if out.Latency.Count != 3 {
+		t.Errorf("outages latency count = %d, want 3", out.Latency.Count)
+	}
+	if snap.SSELag.Count != 1 {
+		t.Errorf("sse lag count = %d, want 1", snap.SSELag.Count)
+	}
+}
+
+// TestHTTPStatsConcurrent drives observations and snapshots from many
+// goroutines. Run with -race.
+func TestHTTPStatsConcurrent(t *testing.T) {
+	h := NewHTTPStats()
+	endpoints := []string{"GET /a", "GET /b", "GET /c"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(endpoints[(w+i)%len(endpoints)], 200+i%400, time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	var total int64
+	for _, e := range h.Snapshot().Endpoints {
+		total += e.Latency.Count
+	}
+	if total != 8*500 {
+		t.Errorf("total observations = %d, want %d", total, 8*500)
+	}
+}
+
+// TestFeedStatsSnapshot checks the transition counter copy.
+func TestFeedStatsSnapshot(t *testing.T) {
+	var fs FeedStats
+	fs.Degraded.Add(3)
+	fs.Recovered.Add(2)
+	snap := fs.Snapshot()
+	if snap.Degraded != 3 || snap.Recovered != 2 {
+		t.Errorf("snapshot = %+v, want {3 2}", snap)
+	}
+}

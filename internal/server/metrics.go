@@ -118,6 +118,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Bus != nil {
 		bs := s.opts.Bus.Stats()
 		wr("kepler_bus_subscribers", "gauge", "Registered event-bus subscribers.", float64(bs.Subscribers))
+		if depths := s.opts.Bus.SubscriberDepths(); len(depths) > 0 {
+			fmt.Fprint(&b, "# HELP kepler_sse_queue_depth Per-subscriber event queue occupancy.\n# TYPE kepler_sse_queue_depth gauge\n")
+			for _, d := range depths {
+				fmt.Fprintf(&b, "kepler_sse_queue_depth{subscriber=\"%d\"} %d\n", d.ID, d.Depth)
+			}
+			fmt.Fprint(&b, "# HELP kepler_sse_queue_dropped_total Per-subscriber deliveries lost to a full queue.\n# TYPE kepler_sse_queue_dropped_total counter\n")
+			for _, d := range depths {
+				fmt.Fprintf(&b, "kepler_sse_queue_dropped_total{subscriber=\"%d\"} %d\n", d.ID, d.Dropped)
+			}
+		}
+	}
+	if snap.Feeds != nil {
+		f := snap.Feeds
+		wr("kepler_feed_coverage_ratio", "gauge", "Live peer sessions over known peer sessions (stream time).", f.Coverage())
+		wr("kepler_feed_collectors_known", "gauge", "Collectors ever observed by the feed watchdog.", float64(f.CollectorsKnown))
+		wr("kepler_feed_collectors_live", "gauge", "Collectors within the silence threshold.", float64(f.CollectorsLive))
+		wr("kepler_feed_sessions_known", "gauge", "Peer sessions ever observed by the feed watchdog.", float64(f.SessionsKnown))
+		wr("kepler_feed_sessions_live", "gauge", "Peer sessions within the silence threshold.", float64(f.SessionsLive))
+	}
+	if s.opts.Feed != nil {
+		fs := s.opts.Feed.Snapshot()
+		wr("kepler_feed_degraded_total", "counter", "Feed degraded transitions published.", float64(fs.Degraded))
+		wr("kepler_feed_recovered_total", "counter", "Feed recovered transitions published.", float64(fs.Recovered))
+	}
+	if s.opts.HTTP != nil {
+		hs := s.opts.HTTP.Snapshot()
+		if len(hs.Endpoints) > 0 {
+			name := "kepler_http_request_seconds"
+			fmt.Fprintf(&b, "# HELP %s API request latency by route pattern (SSE streams record connection lifetime).\n# TYPE %s histogram\n", name, name)
+			for _, e := range hs.Endpoints {
+				writeHistogramSeries(&b, name, fmt.Sprintf(`endpoint=%q`, e.Endpoint), e.Latency)
+			}
+		}
+		writeHistogram(&b, "kepler_sse_delivery_lag_seconds",
+			"Bus publication to completed client write, live SSE deliveries only.",
+			"", hs.SSELag)
 	}
 	if s.opts.BinStage != nil {
 		bc := s.opts.BinStage()

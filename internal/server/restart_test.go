@@ -143,6 +143,10 @@ func restartScenario(t *testing.T) (*pipeline.Stack, *topology.World, *simulate.
 	}
 	cfg := core.DefaultConfig()
 	cfg.ReportUnresolved = true
+	// Watchdog on: restart equivalence must hold with feed transitions in
+	// the published stream (they burn gate-counted callbacks like any other
+	// event kind).
+	cfg.FeedSilence = 5 * time.Minute
 	return stack, w, res, cfg, start
 }
 

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kepler/internal/bgpstream"
 	"kepler/internal/colo"
 	"kepler/internal/core"
 	"kepler/internal/events"
@@ -71,6 +72,9 @@ type Snapshot struct {
 	// dropped by the store's retention cap. Empty when tracing is disabled.
 	Traces    []core.OutageTrace
 	TraceBase int
+	// Feeds is the feed-health watchdog snapshot as of At (stream time).
+	// Nil when the watchdog is disabled (core.Config.FeedSilence zero).
+	Feeds *bgpstream.FeedSnapshot
 }
 
 // BuildSnapshot captures the engine's queryable state. resolved is the
@@ -110,6 +114,17 @@ type Options struct {
 	// BinStage supplies the staged bin-close latency histograms for
 	// /v1/stats and the /metrics histogram exposition. Optional.
 	BinStage func() metrics.BinStageSnapshot
+	// HTTP collects per-endpoint latency/status histograms and the SSE
+	// delivery-lag histogram, surfaced in /v1/stats and /metrics. Optional.
+	HTTP *metrics.HTTPStats
+	// Feed counts feed-health transitions published to the bus (post-gate)
+	// for /v1/stats and /metrics. Optional.
+	Feed *metrics.FeedStats
+	// FeedFloor is the feed coverage ratio below which /healthz degrades to
+	// 503 (readiness withdrawn while most peer sessions are silent). Zero
+	// disables the check; it only applies when the snapshot carries a
+	// watchdog section.
+	FeedFloor float64
 	// Namer resolves PoP display names (e.g. topology.World.PoPName in
 	// replay mode, where the world is known). Optional.
 	Namer func(colo.PoP) string
@@ -148,6 +163,7 @@ func New(opts Options) *Server {
 	s.snap.Store(&Snapshot{})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/health/feeds", s.handleFeeds)
 	s.mux.HandleFunc("GET /v1/outages", s.handleOutages)
 	s.mux.HandleFunc("GET /v1/outages/open", s.handleOpen)
 	s.mux.HandleFunc("GET /v1/outages/{id}/trace", s.handleTrace)
@@ -173,19 +189,39 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 // SetReady flips the /healthz readiness signal.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
-// Handler returns the root handler with request accounting applied.
+// Handler returns the root handler with request accounting and per-endpoint
+// latency instrumentation applied.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if svc := s.opts.Service; svc != nil {
-			svc.HTTPRequests.Add(1)
-			cw := &countingWriter{ResponseWriter: w}
-			s.mux.ServeHTTP(cw, r)
-			if cw.status >= 400 {
-				svc.HTTPErrors.Add(1)
-			}
+		svc, hs := s.opts.Service, s.opts.HTTP
+		if svc == nil && hs == nil {
+			s.mux.ServeHTTP(w, r)
 			return
 		}
-		s.mux.ServeHTTP(w, r)
+		start := time.Now()
+		if svc != nil {
+			svc.HTTPRequests.Add(1)
+		}
+		cw := &countingWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(cw, r)
+		status := cw.status
+		if status == 0 {
+			status = http.StatusOK // handler never called WriteHeader
+		}
+		if svc != nil && status >= 400 {
+			svc.HTTPErrors.Add(1)
+		}
+		if hs != nil {
+			// r.Pattern is the matched route ("GET /v1/outages"), keeping
+			// label cardinality fixed regardless of path values. SSE streams
+			// record their whole connection lifetime here (the +Inf bucket);
+			// their per-event latency is the delivery-lag histogram.
+			pat := r.Pattern
+			if pat == "" {
+				pat = "unmatched"
+			}
+			hs.Observe(pat, status, time.Since(start))
+		}
 	})
 }
 
@@ -219,18 +255,45 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{"status": "ok"}
-	if snap := s.snap.Load(); !snap.At.IsZero() {
+	snap := s.snap.Load()
+	if !snap.At.IsZero() {
 		body["last_bin_close"] = snap.At
 	}
 	if s.opts.Ingest != nil {
 		body["bin_lag_seconds"] = s.opts.Ingest().BinLag.Seconds()
+	}
+	if snap.Feeds != nil {
+		body["feed_coverage"] = snap.Feeds.Coverage()
 	}
 	if !s.ready.Load() {
 		body["status"] = "starting"
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
+	// Readiness also demands a minimally live feed: below the coverage
+	// floor the detector is formally running but effectively blind, so
+	// stop advertising health (load balancers should drain, not route).
+	if s.opts.FeedFloor > 0 && snap.Feeds != nil && snap.Feeds.Coverage() < s.opts.FeedFloor {
+		body["status"] = "degraded"
+		body["feed_floor"] = s.opts.FeedFloor
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleFeeds serves the feed-health watchdog snapshot: per-collector and
+// per-peer-session liveness as of the last closed bin, in stream time. 404
+// when the watchdog is disabled.
+func (s *Server) handleFeeds(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap.Feeds == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": "feed watchdog disabled (configure a feed silence threshold)",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.feedHealthView(snap.Feeds))
 }
 
 // handleTrace serves the provenance trace of one resolved outage: the
@@ -431,9 +494,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Bus != nil {
 		st := s.opts.Bus.Stats()
 		resp.Bus = &st
+		if depths := s.opts.Bus.SubscriberDepths(); len(depths) > 0 {
+			resp.Subscribers = depths
+		}
 	}
 	if s.opts.Service != nil {
 		resp.Service = serviceView(s.opts.Service.Snapshot())
+	}
+	if s.opts.HTTP != nil {
+		resp.HTTP = httpView(s.opts.HTTP.Snapshot())
+	}
+	if snap.Feeds != nil {
+		fv := s.feedHealthView(snap.Feeds)
+		resp.Feeds = &fv
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

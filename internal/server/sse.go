@@ -103,7 +103,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl.Flush()
 
-	writeEvent := func(ev events.Event) bool {
+	writeEvent := func(ev events.Event, live bool) bool {
 		if allow != nil && !allow[ev.Kind] {
 			return true
 		}
@@ -115,13 +115,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return false // client went away mid-write
 		}
 		fl.Flush()
+		// Delivery lag: bus publication to completed client write. Only
+		// live deliveries count — backlog events carry publication stamps
+		// from before this connection existed (possibly a prior process).
+		if live && s.opts.HTTP != nil && !ev.PublishedAt.IsZero() {
+			s.opts.HTTP.SSELag.Observe(time.Since(ev.PublishedAt))
+		}
 		return true
 	}
 	// Missed events first: everything published after Last-Event-ID was
 	// captured atomically with the subscription, so the transition from
 	// backlog to live delivery neither drops nor repeats an event.
 	for _, ev := range backlog {
-		if !writeEvent(ev) {
+		if !writeEvent(ev, false) {
 			return
 		}
 	}
@@ -138,7 +144,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				fl.Flush()
 				return
 			}
-			if !writeEvent(ev) {
+			if !writeEvent(ev, true) {
 				return
 			}
 		case <-heartbeat.C:

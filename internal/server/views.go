@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"kepler/internal/bgp"
+	"kepler/internal/bgpstream"
 	"kepler/internal/colo"
 	"kepler/internal/core"
 	"kepler/internal/events"
@@ -508,19 +509,112 @@ func binCloseView(s metrics.BinStageSnapshot) *BinCloseView {
 	return v
 }
 
+// FeedStatusView is the JSON shape of one collector's or peer session's
+// liveness in /v1/health/feeds.
+type FeedStatusView struct {
+	Collector        string    `json:"collector"`
+	PeerAS           bgp.ASN   `json:"peer_as,omitempty"`
+	LastSeen         time.Time `json:"last_seen"`
+	SilentForSeconds float64   `json:"silent_for_seconds"`
+	Degraded         bool      `json:"degraded"`
+}
+
+// FeedHealthView is the /v1/health/feeds response (also embedded in
+// /v1/stats). All times are stream time: the watchdog never consults the
+// wall clock, so a replayed archive reports the health its feeds had then.
+type FeedHealthView struct {
+	AsOf            time.Time        `json:"as_of"`
+	SilenceSeconds  float64          `json:"silence_seconds"`
+	Coverage        float64          `json:"coverage"`
+	CollectorsKnown int              `json:"collectors_known"`
+	CollectorsLive  int              `json:"collectors_live"`
+	SessionsKnown   int              `json:"sessions_known"`
+	SessionsLive    int              `json:"sessions_live"`
+	DegradedEvents  int64            `json:"degraded_events"`
+	RecoveredEvents int64            `json:"recovered_events"`
+	Collectors      []FeedStatusView `json:"collectors"`
+	Sessions        []FeedStatusView `json:"sessions"`
+}
+
+func feedStatusViews(sts []bgpstream.FeedStatus) []FeedStatusView {
+	out := make([]FeedStatusView, len(sts))
+	for i, st := range sts {
+		out[i] = FeedStatusView{
+			Collector:        st.Collector,
+			PeerAS:           st.PeerAS,
+			LastSeen:         st.LastSeen,
+			SilentForSeconds: st.SilentFor.Seconds(),
+			Degraded:         st.Degraded,
+		}
+	}
+	return out
+}
+
+func (s *Server) feedHealthView(f *bgpstream.FeedSnapshot) FeedHealthView {
+	v := FeedHealthView{
+		AsOf:            f.At,
+		SilenceSeconds:  f.Silence.Seconds(),
+		Coverage:        f.Coverage(),
+		CollectorsKnown: f.CollectorsKnown,
+		CollectorsLive:  f.CollectorsLive,
+		SessionsKnown:   f.SessionsKnown,
+		SessionsLive:    f.SessionsLive,
+		Collectors:      feedStatusViews(f.Collectors),
+		Sessions:        feedStatusViews(f.Sessions),
+	}
+	if s.opts.Feed != nil {
+		fs := s.opts.Feed.Snapshot()
+		v.DegradedEvents = fs.Degraded
+		v.RecoveredEvents = fs.Recovered
+	}
+	return v
+}
+
+// EndpointView is the JSON shape of one endpoint's serving stats.
+type EndpointView struct {
+	Endpoint string           `json:"endpoint"`
+	Latency  StageLatencyView `json:"latency"`
+	Statuses map[string]int64 `json:"statuses"`
+}
+
+// HTTPView is the serving-path telemetry section of /v1/stats.
+type HTTPView struct {
+	Endpoints []EndpointView    `json:"endpoints"`
+	SSELag    *StageLatencyView `json:"sse_lag,omitempty"`
+}
+
+func httpView(s metrics.HTTPSnapshot) *HTTPView {
+	v := &HTTPView{Endpoints: make([]EndpointView, len(s.Endpoints))}
+	for i, e := range s.Endpoints {
+		v.Endpoints[i] = EndpointView{
+			Endpoint: e.Endpoint,
+			Latency:  stageLatencyView(e.Latency),
+			Statuses: e.Statuses,
+		}
+	}
+	if s.SSELag.Count > 0 {
+		lag := stageLatencyView(s.SSELag)
+		v.SSELag = &lag
+	}
+	return v
+}
+
 // StatsView is the /v1/stats response.
 type StatsView struct {
-	Ready      bool            `json:"ready"`
-	SnapshotAt time.Time       `json:"snapshot_at"`
-	OpenCount  int             `json:"open_outages"`
-	Resolved   int             `json:"resolved_outages"`
-	Incidents  int             `json:"incidents"`
-	Ingest     *IngestView     `json:"ingest,omitempty"`
-	Store      *StoreView      `json:"store,omitempty"`
-	Probe      *ProbeStatsView `json:"probe,omitempty"`
-	BinClose   *BinCloseView   `json:"bin_close,omitempty"`
-	Bus        *events.Stats   `json:"bus,omitempty"`
-	Service    *ServiceView    `json:"service,omitempty"`
+	Ready       bool                     `json:"ready"`
+	SnapshotAt  time.Time                `json:"snapshot_at"`
+	OpenCount   int                      `json:"open_outages"`
+	Resolved    int                      `json:"resolved_outages"`
+	Incidents   int                      `json:"incidents"`
+	Ingest      *IngestView              `json:"ingest,omitempty"`
+	Store       *StoreView               `json:"store,omitempty"`
+	Probe       *ProbeStatsView          `json:"probe,omitempty"`
+	BinClose    *BinCloseView            `json:"bin_close,omitempty"`
+	Bus         *events.Stats            `json:"bus,omitempty"`
+	Subscribers []events.SubscriberDepth `json:"subscribers,omitempty"`
+	Service     *ServiceView             `json:"service,omitempty"`
+	HTTP        *HTTPView                `json:"http,omitempty"`
+	Feeds       *FeedHealthView          `json:"feeds,omitempty"`
 }
 
 // EventView is the SSE data payload: the bus event with its payload
@@ -535,6 +629,8 @@ type EventView struct {
 	Pending  *PendingProbeView `json:"pending,omitempty"`
 	Probe    *ProbeOutcomeView `json:"probe,omitempty"`
 	Trace    *TraceView        `json:"trace,omitempty"`
+	// Feed transitions are already JSON-shaped; passed through as-is.
+	Feed *bgpstream.FeedTransition `json:"feed,omitempty"`
 }
 
 func (s *Server) eventView(ev events.Event) EventView {
@@ -563,5 +659,6 @@ func (s *Server) eventView(ev events.Event) EventView {
 		tv := s.traceView(0, ev.Trace)
 		v.Trace = &tv
 	}
+	v.Feed = ev.Feed
 	return v
 }

@@ -147,6 +147,35 @@
 // and HTTP server — while report output (stdout, SSE, the JSON API) stays
 // fixed-format.
 //
+// The feed-health watchdog (Config.FeedSilence, keplerd -feed-silence)
+// watches the input side: every collector and (collector, peer) session
+// is tracked on the stream clock and flagged degraded once silent past
+// the threshold, recovered when it speaks again. The paper's detector
+// reads dozens of independent BGP feeds, and a silently dead feed skews
+// the diverted-path denominators long before it shows up in detection
+// output — the watchdog makes that visible as feed_degraded /
+// feed_recovered events (Hooks.FeedDegraded/FeedRecovered, their own SSE
+// kinds), a per-session view with a live/known coverage ratio at
+// /v1/health/feeds, and kepler_feed_* series at /metrics. Because it
+// runs on stream time only, fires on the bin barrier, checkpoints with
+// the engine and sits under the replay gate, it is deterministic across
+// shard counts, replay speeds and restarts, and never perturbs detection
+// output. keplerd -feed-floor turns coverage into readiness: /healthz
+// reports 503 while the ratio sits below the floor.
+//
+// The serving path is measured from both sides. Server-side,
+// metrics.HTTPStats records per-endpoint request latency and
+// status-class histograms (kepler_http_request_seconds), the SSE
+// delivery-lag histogram from bus publish to the completed client write
+// (kepler_sse_delivery_lag_seconds), and per-subscriber queue depth and
+// drop gauges (kepler_sse_queue_depth, kepler_sse_queue_dropped_total) —
+// all under http, subscribers and feeds in /v1/stats and on /metrics.
+// Client-side, cmd/keplerload soaks a running keplerd with concurrent
+// API pollers and SSE consumers (including deliberately slow ones, which
+// exercise the bounded-queue drop path) and emits a JSON report pairing
+// client-observed latency quantiles with the server's own deltas over
+// the same interval.
+//
 // # Determinism invariants
 //
 // Everything above rests on one promise: detection output is a pure
@@ -223,6 +252,8 @@
 //	curl 'localhost:8080/v1/outages?limit=50'            # resolved history, first page
 //	curl 'localhost:8080/v1/outages?after=50&limit=50'   # ... next page
 //	curl -N localhost:8080/v1/events                     # live SSE event stream
+//	curl localhost:8080/v1/health/feeds                  # per-collector/per-peer feed health
+//	keplerload -addr http://localhost:8080 -duration 30s # soak the serving path, JSON report
 //	go run ./cmd/keplervet ./...                         # check the determinism contracts
 //
 // Restarting keplerd against the same -data-dir recovers and keeps serving
