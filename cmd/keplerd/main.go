@@ -92,6 +92,19 @@
 // subscribers, and at /metrics. cmd/keplerload soaks the serving path
 // from the client side and reports both perspectives side by side.
 //
+// Serving tier: read and event throughput scale independently of history
+// size and client count. With -data-dir, /v1/outages and /v1/incidents
+// page off the store's indexed snapshot segments through a -read-cache
+// bounded LRU — resident memory and boot cost no longer grow with how long
+// the data dir has been accumulating. Every read endpoint carries a strong
+// ETag per published snapshot and answers If-None-Match with 304; the
+// hottest bodies are pre-marshaled once per snapshot. /v1/events clients
+// fan out from a relay (-relay, on by default) that holds exactly one bus
+// subscription, so a thousand SSE streams cost the ingestion path one
+// subscriber; per-client queues stay bounded and an aggregate budget sheds
+// newest-joined clients first under overload (relay counters in /v1/stats
+// and /metrics).
+//
 // Endpoints: /healthz, /metrics (Prometheus text exposition),
 // /v1/health/feeds, /v1/outages, /v1/outages/{id}/trace,
 // /v1/outages/open, /v1/incidents, /v1/probes, /v1/stats, /v1/events
@@ -164,6 +177,8 @@ func main() {
 		tracing   = flag.Bool("trace", true, "record detection provenance traces, served at /v1/outages/{id}/trace; a data dir is bound to this setting like it is to the detection config")
 		feedSil   = flag.Duration("feed-silence", 30*time.Minute, "stream time after which a silent collector or peer session is flagged degraded (feed-health watchdog, /v1/health/feeds); 0 disables. A data dir is bound to this setting like it is to the detection config")
 		feedFloor = flag.Float64("feed-floor", 0, "feed coverage ratio (live/known peer sessions) below which /healthz reports 503; 0 disables, requires -feed-silence > 0")
+		relayOn   = flag.Bool("relay", true, "serve /v1/events through the SSE fan-out relay: every client shares one bus subscription; off subscribes each client to the bus directly")
+		readCache = flag.Int("read-cache", 4096, "decoded history entries cached in memory per type when paging /v1/outages and /v1/incidents off snapshot segments (with -data-dir)")
 	)
 	flag.Parse()
 
@@ -207,6 +222,9 @@ func main() {
 		fatal(err)
 	}
 	if err := validateFeedFlags(*feedSil, *feedFloor); err != nil {
+		fatal(err)
+	}
+	if err := validateServeFlags(*relayOn, *readCache); err != nil {
 		fatal(err)
 	}
 
@@ -313,7 +331,7 @@ func main() {
 	var (
 		st         *store.Store
 		storeStats *metrics.StoreStats
-		hist       store.History
+		sum        store.Summary
 		sinkArmed  atomic.Bool // cleared if an append fails: serve on, in memory
 		aborting   atomic.Bool // set by OnAbort: mute hooks through shutdown
 		resume     *store.Checkpoint
@@ -326,6 +344,7 @@ func main() {
 			Dir:          *dataDir,
 			CompactBytes: *compactMB << 20,
 			TailEvents:   *ringSize,
+			ReadCache:    *readCache,
 			Metrics:      storeStats,
 			Logger:       logger.With("component", "store"),
 		})
@@ -333,10 +352,14 @@ func main() {
 			fatal(err)
 		}
 		defer st.Close()
-		hist = st.History()
+		// Summary, not History: recovery needs the bounded state (totals,
+		// traces, pendings, event tail) — the entry histories stay on disk
+		// and are paged in per request, so boot cost and resident memory no
+		// longer scale with how long the data dir has been accumulating.
+		sum = st.Summary()
 		sinkArmed.Store(true)
 		busOpts = append(busOpts,
-			events.WithStartSeq(hist.LastSeq),
+			events.WithStartSeq(sum.LastSeq),
 			events.WithSink(func(ev events.Event) {
 				if !sinkArmed.Load() {
 					return
@@ -350,8 +373,8 @@ func main() {
 			}),
 		)
 		dlog.Info("history recovered", "dir", *dataDir,
-			"outages", len(hist.Resolved), "incidents", len(hist.Incidents),
-			"traces", len(hist.Traces), "seq", hist.LastSeq, "last_bin", hist.LastBin)
+			"outages", sum.ResolvedTotal, "incidents", sum.IncidentTotal,
+			"traces", len(sum.Traces), "seq", sum.LastSeq, "last_bin", sum.LastBin)
 
 		// Newest usable engine checkpoint: structurally valid (CRC-framed),
 		// version-compatible, not ahead of the durable event horizon (a
@@ -359,8 +382,8 @@ func main() {
 		// and runnable in this configuration. Anything else falls back —
 		// older checkpoint, then full re-ingest — never a partial restore.
 		resume = st.LoadCheckpoint(func(c *store.Checkpoint) error {
-			if c.EventSeq > hist.LastSeq {
-				return fmt.Errorf("checkpoint seq %d ahead of durable horizon %d", c.EventSeq, hist.LastSeq)
+			if c.EventSeq > sum.LastSeq {
+				return fmt.Errorf("checkpoint seq %d ahead of durable horizon %d", c.EventSeq, sum.LastSeq)
 			}
 			ec, err := core.DecodeCheckpoint(c.Engine)
 			if err != nil {
@@ -377,9 +400,16 @@ func main() {
 		})
 	}
 
-	// Engine → bus → server wiring.
+	// Engine → bus → server wiring. With the relay on, all SSE clients fan
+	// out from one bus subscription owned by the relay goroutine; the
+	// ingestion path pays for one subscriber no matter how many clients
+	// stream.
 	bus := events.New(svc, busOpts...)
-	bus.SeedRing(hist.Tail)
+	bus.SeedRing(sum.Tail)
+	var relay *events.Relay
+	if *relayOn {
+		relay = events.NewRelay(bus, events.RelayOptions{})
+	}
 	eng := stack.NewEngine(kcfg, *shards)
 	eng.SetBinStageStats(binStage)
 	if sched != nil {
@@ -391,7 +421,7 @@ func main() {
 	// the suffix since the checkpoint instead of the whole stream. The
 	// replay gate below then skips only the events published between the
 	// checkpoint and the durable horizon.
-	gateSkip := hist.LastSeq
+	gateSkip := sum.LastSeq
 	if engCkpt != nil {
 		if err := eng.RestoreFrom(engCkpt); err != nil {
 			// Should be unreachable (LoadCheckpoint pre-validated); rebuild
@@ -411,7 +441,7 @@ func main() {
 		if err := tracked.Seek(context.Background(), cur); err != nil {
 			fatal(fmt.Errorf("checkpoint resume: %w (a data dir is bound to one source; restore the original archive or clear the ckpt-* segments)", err))
 		}
-		gateSkip = hist.LastSeq - resume.EventSeq
+		gateSkip = sum.LastSeq - resume.EventSeq
 		storeStats.ResumeSeq.Store(int64(resume.EventSeq))
 		storeStats.ResumeRecords.Store(int64(resume.Records))
 		dlog.Info("resuming from checkpoint", "record", resume.Records,
@@ -425,6 +455,7 @@ func main() {
 	feedStats := &metrics.FeedStats{}
 	srvOpts := server.Options{
 		Bus:       bus,
+		Relay:     relay,
 		Service:   svc,
 		Ingest:    func() metrics.IngestSnapshot { return eng.Stats() },
 		BinStage:  func() metrics.BinStageSnapshot { return binStage.Snapshot() },
@@ -443,20 +474,35 @@ func main() {
 	}
 	srv := server.New(srvOpts)
 
-	// resolved accumulates on the ingest goroutine only: the hooks run
-	// inside Process/Flush, so snapshot builds observe a consistent slice.
-	// With a store it starts from the recovered history; the replay gate
-	// below keeps catch-up from appending those outages twice.
-	resolved := hist.Resolved
+	// History accounting, all mutated on the ingest goroutine only (the
+	// hooks run inside Process/Flush, so snapshot builds observe consistent
+	// state). Without a store, resolved/eng.Incidents() accumulate in memory
+	// as before. With one, serving pages history off the store's segment
+	// files instead: only the totals live here, seeded from the recovered
+	// summary, and the replay gate keeps catch-up from counting persisted
+	// events twice. Should persistence fail mid-run, the post-failure
+	// entries accumulate in the overlay slices and snapshots splice them
+	// onto the frozen persisted prefix (overlayReader) — serve on, the
+	// degraded tail in memory.
+	var resolved []core.Outage
+	resolvedTotal, incidentTotal := sum.ResolvedTotal, sum.IncidentTotal
+	var outOverlay []core.Outage
+	var incOverlay []core.Incident
+	resolvedCount := func() int {
+		if st != nil {
+			return resolvedTotal
+		}
+		return len(resolved)
+	}
 	// traces mirrors the store's provenance retention on the serving side:
 	// trace j describes resolved outage traceBase+j. Like resolved it only
 	// mutates on the ingest goroutine; the gate keeps catch-up from
 	// re-appending recovered traces.
-	traces := hist.Traces
-	traceBase := hist.TraceBase
+	traces := sum.Traces
+	traceBase := sum.TraceBase
 	const traceCap = 1024
 	noteTrace := func(tr core.OutageTrace) {
-		idx := len(resolved) - 1
+		idx := resolvedCount() - 1
 		if idx < 0 {
 			return
 		}
@@ -483,7 +529,7 @@ func main() {
 	var recentOutcomes []core.ProbeOutcome
 	const recentOutcomeCap = 64
 	if sched != nil {
-		for _, ev := range hist.Tail {
+		for _, ev := range sum.Tail {
 			if (ev.Kind == events.KindProbeConfirmed || ev.Kind == events.KindProbeExpired) && ev.Probe != nil {
 				recentOutcomes = append(recentOutcomes, *ev.Probe)
 			}
@@ -493,7 +539,25 @@ func main() {
 		}
 	}
 	buildSnap := func(end time.Time) *server.Snapshot {
-		snap := server.BuildSnapshot(end, eng, resolved)
+		var snap *server.Snapshot
+		switch {
+		case st == nil:
+			snap = server.BuildSnapshot(end, eng, resolved)
+		case sinkArmed.Load():
+			snap = server.BuildSnapshotPaged(end, eng.OpenOutageStatuses(), st, resolvedTotal, incidentTotal)
+		default:
+			// Persistence failed: splice the in-memory tail onto the frozen
+			// persisted prefix. Full slice expressions freeze the overlay
+			// views so later ingest-goroutine appends never touch what a
+			// concurrent HTTP read is paging through.
+			snap = server.BuildSnapshotPaged(end, eng.OpenOutageStatuses(), overlayReader{
+				st:      st,
+				outs:    outOverlay[:len(outOverlay):len(outOverlay)],
+				incs:    incOverlay[:len(incOverlay):len(incOverlay)],
+				outBase: resolvedTotal - len(outOverlay),
+				incBase: incidentTotal - len(incOverlay),
+			}, resolvedTotal, incidentTotal)
+		}
 		snap.Traces = append([]core.OutageTrace(nil), traces...)
 		snap.TraceBase = traceBase
 		if fh, ok := eng.FeedHealth(end); ok {
@@ -509,11 +573,29 @@ func main() {
 	hooks := events.EngineHooks(bus)
 	publishResolved := hooks.OutageResolved
 	hooks.OutageResolved = func(o core.Outage) {
-		publishResolved(o)
-		resolved = append(resolved, o)
+		publishResolved(o) // the bus sink persists first; sinkArmed is settled after
+		switch {
+		case st == nil:
+			resolved = append(resolved, o)
+		case sinkArmed.Load():
+			resolvedTotal++
+		default:
+			resolvedTotal++
+			outOverlay = append(outOverlay, o)
+		}
 		dlog.Info("outage resolved", "pop", o.PoP.String(), "name", w.PoPName(o.PoP),
 			"start", o.Start, "end", o.End, "duration", o.Duration().Round(time.Minute),
 			"ases", len(o.AffectedASes), "paths", o.DivertedPaths)
+	}
+	if st != nil {
+		publishIncident := hooks.IncidentClassified
+		hooks.IncidentClassified = func(inc core.Incident) {
+			publishIncident(inc)
+			incidentTotal++
+			if !sinkArmed.Load() {
+				incOverlay = append(incOverlay, inc)
+			}
+		}
 	}
 	publishTrace := hooks.TraceRecorded
 	hooks.TraceRecorded = func(tr core.OutageTrace) {
@@ -642,21 +724,21 @@ func main() {
 		// horizon. Probe campaigns that were mid-flight at the previous
 		// shutdown surface right away; the deterministic catch-up re-parks
 		// and re-measures them behind the gate.
-		bootSnap := server.BuildSnapshotFrom(hist.LastBin, nil, hist.Resolved, hist.Incidents)
-		bootSnap.Traces = hist.Traces
-		bootSnap.TraceBase = hist.TraceBase
+		bootSnap := server.BuildSnapshotPaged(sum.LastBin, nil, st, sum.ResolvedTotal, sum.IncidentTotal)
+		bootSnap.Traces = sum.Traces
+		bootSnap.TraceBase = sum.TraceBase
 		switch {
-		case len(hist.PendingProbes) > 0 && sched == nil:
+		case len(sum.PendingProbes) > 0 && sched == nil:
 			// The data dir was written by a probing run but this one has no
 			// backend: the recovered campaigns can never resolve, and the
 			// probe-free catch-up will not reproduce the persisted event
 			// sequence. Warn loudly rather than serve stuck state.
 			dlog.Warn("recovered mid-campaign confirmations dropped: this run has no -probe-backend, and replaying a probing run's data dir without one desynchronizes the replay gate",
-				"pending", len(hist.PendingProbes))
-		case len(hist.PendingProbes) > 0:
-			bootSnap.Pending = hist.PendingProbes
-			probeStats.Pending.Store(int64(len(hist.PendingProbes)))
-			dlog.Info("recovered mid-campaign probe confirmations", "pending", len(hist.PendingProbes))
+				"pending", len(sum.PendingProbes))
+		case len(sum.PendingProbes) > 0:
+			bootSnap.Pending = sum.PendingProbes
+			probeStats.Pending.Store(int64(len(sum.PendingProbes)))
+			dlog.Info("recovered mid-campaign probe confirmations", "pending", len(sum.PendingProbes))
 		}
 		srv.PublishSnapshot(bootSnap)
 		src = live.OnAbort(src, func() { aborting.Store(true) })
@@ -732,9 +814,13 @@ func main() {
 	}
 	stop()
 
-	// Graceful teardown: flush already ran inside Pump; close subscribers,
+	// Graceful teardown: flush already ran inside Pump; close subscribers
+	// (closing the bus drains the relay, which then closes its clients),
 	// sync the store, stop the HTTP server, stop the shard workers.
 	bus.Close()
+	if relay != nil {
+		relay.Close()
+	}
 	if st != nil {
 		if err := st.Close(); err != nil {
 			dlog.Error("store close failed", "error", err)
@@ -758,7 +844,7 @@ func main() {
 	bcSnap := binStage.Snapshot()
 	dlog.Info("bin-close latency", "bins", bcSnap.Total.Count,
 		"mean", bcSnap.Total.Mean(), "p99", bcSnap.Total.Quantile(0.99))
-	dlog.Info("bye", "outages_resolved", len(resolved), "incidents", len(eng.Incidents()))
+	dlog.Info("bye", "outages_resolved", resolvedCount(), "incidents", len(eng.Incidents()))
 }
 
 func speedName(speed float64) string {

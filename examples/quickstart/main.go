@@ -184,5 +184,23 @@ func main() {
 	//	curl -N -H 'Last-Event-ID: 3' localhost:8080/v1/events  # replay missed events
 	//	go run ./cmd/keplerd -seed 1 -synthetic -probe-backend sim -data-dir pdata &
 	//	curl localhost:8080/v1/probes                        # in-flight campaigns + verdicts
-	fmt.Println("\nnext: run this pipeline as a daemon — see cmd/keplerd (HTTP API + SSE, durable -data-dir with checkpointed restarts, -probe-backend)")
+	//
+	// The serving tier scales past a handful of clients: an SSE relay
+	// (-relay, on by default) holds the single upstream bus subscription
+	// and fans events out to every /v1/events client through bounded
+	// per-client queues — a thousand subscribers cost ingestion exactly
+	// one — shedding the newest-joined clients first under overload.
+	// History pages are served straight off the store's indexed segment
+	// files through a small decoded-frame cache (-read-cache), and read
+	// endpoints answer If-None-Match revalidations with 304s between bin
+	// closes:
+	//
+	//	curl -N 'localhost:8080/v1/events?kinds=outage_opened,outage_resolved' &  # client 1
+	//	curl -N localhost:8080/v1/events &                   # client 2: same relay, no new
+	//	                                                     # bus subscription (see /v1/stats)
+	//	curl -i localhost:8080/v1/outages/open               # 200 + ETag
+	//	curl -H 'If-None-Match: "<etag>"' -i localhost:8080/v1/outages/open  # 304, empty body
+	//	go run ./cmd/keplerload -addr http://localhost:8080 -sse-sweep 10,100,1000 \
+	//	    -duration 10s -out sweep.json                    # quantify the fan-out tier
+	fmt.Println("\nnext: run this pipeline as a daemon — see cmd/keplerd (HTTP API + SSE relay fan-out, durable -data-dir with checkpointed restarts, -probe-backend)")
 }

@@ -221,6 +221,29 @@ func (b *Bus) SubscribeFrom(after uint64, buffer int) (s *Subscriber, backlog []
 	return s, backlog, complete
 }
 
+// Replay returns the retained events with Seq > after without registering
+// a subscription — the relay tier's join path, where registration happens
+// on the relay goroutine instead. complete has SubscribeFrom semantics:
+// false when the ring has already evicted position after+1.
+func (b *Bus) Replay(after uint64) (evs []Event, complete bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	complete = true
+	b.ring.Each(func(ev Event) {
+		if ev.Seq <= after {
+			return
+		}
+		if len(evs) == 0 && ev.Seq != after+1 {
+			complete = false // ring already evicted after+1 .. ev.Seq-1
+		}
+		evs = append(evs, ev)
+	})
+	if len(evs) == 0 && after < b.seq {
+		complete = false // everything since `after` was evicted (or never retained)
+	}
+	return evs, complete
+}
+
 func (b *Bus) unsubscribe(s *Subscriber) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

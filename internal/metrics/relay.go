@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RelayStats collects the SSE relay/fan-out tier's counters
+// (internal/events.Relay): one upstream bus subscription feeding N
+// downstream clients. All fields are atomics — the relay goroutine writes
+// while /v1/stats and /metrics read concurrently.
+type RelayStats struct {
+	Deliveries atomic.Int64 // events enqueued to a downstream client
+	Dropped    atomic.Int64 // deliveries lost to one full client queue
+	Shed       atomic.Int64 // deliveries withheld by aggregate load-shedding
+	Joins      atomic.Int64 // downstream clients admitted
+	Leaves     atomic.Int64 // downstream clients departed
+	Clients    atomic.Int64 // currently connected downstream clients (gauge)
+}
+
+// RelaySnapshot is a point-in-time copy of RelayStats.
+type RelaySnapshot struct {
+	Deliveries int64
+	Dropped    int64
+	Shed       int64
+	Joins      int64
+	Leaves     int64
+	Clients    int64
+}
+
+// Snapshot copies the current counter values.
+func (s *RelayStats) Snapshot() RelaySnapshot {
+	return RelaySnapshot{
+		Deliveries: s.Deliveries.Load(),
+		Dropped:    s.Dropped.Load(),
+		Shed:       s.Shed.Load(),
+		Joins:      s.Joins.Load(),
+		Leaves:     s.Leaves.Load(),
+		Clients:    s.Clients.Load(),
+	}
+}
+
+// String renders the snapshot as a single log-friendly line.
+func (s RelaySnapshot) String() string {
+	return fmt.Sprintf("clients=%d deliveries=%d dropped=%d shed=%d joins=%d leaves=%d",
+		s.Clients, s.Deliveries, s.Dropped, s.Shed, s.Joins, s.Leaves)
+}

@@ -30,6 +30,17 @@ type StoreStats struct {
 	// bounded by one checkpoint interval instead of the stream length.
 	ResumeSeq     atomic.Int64
 	ResumeRecords atomic.Int64
+
+	// History-segment serving counters: sealed segments and their offset
+	// indexes, page reads that went to disk, and the decoded-entry LRU.
+	// ReadCacheHits/Misses are the bounded-memory proof of the read path:
+	// resident history is the cache, not the history.
+	SegmentsSealed  atomic.Int64 // history segments written at compaction
+	IndexWrites     atomic.Int64 // offset-index sidecars written
+	IndexRebuilds   atomic.Int64 // missing/corrupt indexes rebuilt by scan on open
+	SegmentReads    atomic.Int64 // page reads served from a segment file
+	ReadCacheHits   atomic.Int64 // entries served from the decoded-frame LRU
+	ReadCacheMisses atomic.Int64 // entries that had to be decoded from disk
 }
 
 // StoreSnapshot is a point-in-time copy of StoreStats.
@@ -46,6 +57,12 @@ type StoreSnapshot struct {
 	CheckpointsDiscarded int64
 	ResumeSeq            int64
 	ResumeRecords        int64
+	SegmentsSealed       int64
+	IndexWrites          int64
+	IndexRebuilds        int64
+	SegmentReads         int64
+	ReadCacheHits        int64
+	ReadCacheMisses      int64
 }
 
 // Snapshot copies the current counter values.
@@ -63,12 +80,19 @@ func (s *StoreStats) Snapshot() StoreSnapshot {
 		CheckpointsDiscarded: s.CheckpointsDiscarded.Load(),
 		ResumeSeq:            s.ResumeSeq.Load(),
 		ResumeRecords:        s.ResumeRecords.Load(),
+		SegmentsSealed:       s.SegmentsSealed.Load(),
+		IndexWrites:          s.IndexWrites.Load(),
+		IndexRebuilds:        s.IndexRebuilds.Load(),
+		SegmentReads:         s.SegmentReads.Load(),
+		ReadCacheHits:        s.ReadCacheHits.Load(),
+		ReadCacheMisses:      s.ReadCacheMisses.Load(),
 	}
 }
 
 // String renders the snapshot as a single log-friendly line.
 func (s StoreSnapshot) String() string {
-	return fmt.Sprintf("appends=%d bytes=%d flushes=%d compactions=%d recovered=%d torn=%d ckpts=%d resume_records=%d",
+	return fmt.Sprintf("appends=%d bytes=%d flushes=%d compactions=%d recovered=%d torn=%d ckpts=%d resume_records=%d segments=%d cache_hits=%d cache_misses=%d",
 		s.Appends, s.AppendedBytes, s.Flushes, s.Compactions,
-		s.RecoveredEvents, s.TornTails, s.CheckpointSaves, s.ResumeRecords)
+		s.RecoveredEvents, s.TornTails, s.CheckpointSaves, s.ResumeRecords,
+		s.SegmentsSealed, s.ReadCacheHits, s.ReadCacheMisses)
 }

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// snapCache rides on a published snapshot: one ETag for the whole read
+// model plus pre-marshaled response bodies. Bounded bodies (the open-outage
+// view) are built at publish time on the ingestion goroutine; history-sized
+// bodies (the no-cursor /v1/outages and /v1/incidents dumps in in-memory
+// serving mode) memoize on first request so the bin barrier never does
+// O(history) marshaling. The cache is immutable except through the mutex,
+// and a snapshot without one (tests constructing Snapshot directly) simply
+// serves uncached.
+type snapCache struct {
+	etag     string
+	openBody []byte // full /v1/outages/open response
+
+	mu            sync.Mutex
+	outagesBody   []byte // no-query /v1/outages response (in-memory mode only)
+	incidentsBody []byte // no-query /v1/incidents response (in-memory mode only)
+}
+
+// marshalBody renders a response body exactly as writeJSON would (trailing
+// newline included), so cached and uncached responses are byte-identical.
+func marshalBody(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// memoize returns the cached body under mu, building it at most once per
+// snapshot.
+func (c *snapCache) memoize(slot *[]byte, build func() []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if *slot == nil {
+		*slot = build()
+	}
+	return *slot
+}
+
+// notModified applies conditional-request handling for a snapshot-derived
+// read endpoint: it stamps the snapshot's ETag on the response and, when
+// the client presented a matching If-None-Match, writes 304 and reports
+// true. ETags are unique per process per published snapshot, so a match
+// guarantees the client's cached body is current; snapshots without a
+// cache (or requests without the header) always revalidate in full.
+func notModified(w http.ResponseWriter, r *http.Request, c *snapCache) bool {
+	if c == nil || c.etag == "" {
+		return false
+	}
+	w.Header().Set("ETag", c.etag)
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == c.etag || cand == "*" {
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	return false
+}
+
+// writeJSONBody writes a pre-marshaled 200 response. Falls back to the
+// builder when the cached bytes are absent (marshal failure at publish).
+func writeJSONBody(w http.ResponseWriter, body []byte, fallback func() any) {
+	if body == nil {
+		writeJSON(w, http.StatusOK, fallback())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}

@@ -60,8 +60,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	wr("kepler_ready", "gauge", "Whether ingestion has started.", ready)
 	wr("kepler_open_outages", "gauge", "Ongoing outages as of the last closed bin.", float64(len(snap.Open)))
-	wr("kepler_resolved_outages_total", "counter", "Completed outages recorded.", float64(len(snap.Resolved)))
-	wr("kepler_incidents_total", "counter", "Classified outage signals recorded.", float64(len(snap.Incidents)))
+	wr("kepler_resolved_outages_total", "counter", "Completed outages recorded.", float64(snap.resolvedTotal()))
+	wr("kepler_incidents_total", "counter", "Classified outage signals recorded.", float64(snap.incidentsTotal()))
 
 	if s.opts.Ingest != nil {
 		ing := s.opts.Ingest()
@@ -99,6 +99,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wr("kepler_store_checkpoints_discarded_total", "counter", "Corrupt or rejected checkpoints skipped at recovery.", float64(st.CheckpointsDiscarded))
 		wr("kepler_store_resume_seq", "gauge", "Event sequence this boot's engine resumed from (0 = full re-ingest).", float64(st.ResumeSeq))
 		wr("kepler_store_resume_records", "gauge", "Record offset this boot's engine resumed from (0 = full re-ingest).", float64(st.ResumeRecords))
+		wr("kepler_store_segments_sealed_total", "counter", "History segments sealed at compaction.", float64(st.SegmentsSealed))
+		wr("kepler_store_index_writes_total", "counter", "Segment offset-index sidecars written.", float64(st.IndexWrites))
+		wr("kepler_store_index_rebuilds_total", "counter", "Missing or corrupt segment indexes rebuilt by scan.", float64(st.IndexRebuilds))
+		wr("kepler_store_segment_reads_total", "counter", "Page reads served from a history segment file.", float64(st.SegmentReads))
+		wr("kepler_store_read_cache_hits_total", "counter", "History entries served from the decoded-frame cache.", float64(st.ReadCacheHits))
+		wr("kepler_store_read_cache_misses_total", "counter", "History entries decoded from disk on a cache miss.", float64(st.ReadCacheMisses))
 	}
 	if s.opts.Probe != nil {
 		pb := s.opts.Probe()
@@ -128,6 +134,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(&b, "kepler_sse_queue_dropped_total{subscriber=\"%d\"} %d\n", d.ID, d.Dropped)
 			}
 		}
+	}
+	if s.opts.Relay != nil {
+		info := s.opts.Relay.Info()
+		wr("kepler_relay_clients", "gauge", "Downstream SSE relay clients connected.", float64(info.Clients))
+		wr("kepler_relay_deliveries_total", "counter", "Events enqueued to relay clients.", float64(info.Deliveries))
+		wr("kepler_relay_dropped_total", "counter", "Relay deliveries lost to a full client queue.", float64(info.Dropped))
+		wr("kepler_relay_shed_total", "counter", "Relay deliveries withheld by the aggregate queue budget.", float64(info.Shed))
+		wr("kepler_relay_joins_total", "counter", "Relay clients admitted.", float64(info.Joins))
+		wr("kepler_relay_leaves_total", "counter", "Relay clients departed.", float64(info.Leaves))
+		wr("kepler_relay_upstream_depth", "gauge", "Occupancy of the relay's single upstream bus queue.", float64(info.UpstreamDepth))
+		wr("kepler_relay_upstream_dropped_total", "counter", "Events the relay itself lost upstream (relay stalled).", float64(info.UpstreamDropped))
 	}
 	if snap.Feeds != nil {
 		f := snap.Feeds

@@ -49,18 +49,45 @@ type EngineState interface {
 	Incidents() []core.Incident
 }
 
+// HistoryReader pages resolved outages and incidents from durable storage
+// by ordinal: entry i of either sequence, independent of how much history
+// exists. store.Store implements it over sealed segment files with an
+// offset index, so serving deep cursors touches one positioned read, not
+// resident memory. Implementations must be safe for concurrent use and
+// must serve ordinals below the published totals immutably (history is
+// append-only; a snapshot's totals only ever grow stale, never wrong).
+type HistoryReader interface {
+	ReadOutages(start, count int) ([]core.Outage, error)
+	ReadIncidents(start, count int) ([]core.Incident, error)
+}
+
 // Snapshot is the immutable read model served by the API. The ingestion
 // goroutine builds a fresh one at each bin barrier and publishes it
 // atomically; handlers only ever read a published snapshot.
 type Snapshot struct {
 	// At is the bin close (or flush instant) the snapshot reflects.
 	At time.Time
-	// Resolved holds every completed outage so far, oldest first.
+	// Resolved holds every completed outage so far, oldest first — the
+	// in-memory serving mode. Leave nil and set History/ResolvedTotal to
+	// page history off disk instead.
 	Resolved []core.Outage
 	// Open holds the ongoing outages as of At.
 	Open []core.OutageStatus
-	// Incidents holds every classified signal so far.
+	// Incidents holds every classified signal so far (in-memory mode, like
+	// Resolved).
 	Incidents []core.Incident
+	// History, when non-nil, serves /v1/outages and /v1/incidents pages by
+	// ordinal instead of the Resolved/Incidents slices, bounding resident
+	// memory by the reader's cache rather than history size.
+	History HistoryReader
+	// ResolvedTotal/IncidentsTotal are the history sizes when History is
+	// set (ids 1..total remain the pagination cursors).
+	ResolvedTotal  int
+	IncidentsTotal int
+
+	// cache holds the ETag and pre-marshaled response bodies PublishSnapshot
+	// attaches; handlers treat a nil cache as a plain uncached snapshot.
+	cache *snapCache
 	// Pending holds the signal groups parked behind in-flight probe
 	// campaigns as of At (asynchronous-prober deployments only).
 	Pending []core.PendingConfirmation
@@ -93,11 +120,41 @@ func BuildSnapshotFrom(at time.Time, open []core.OutageStatus, resolved []core.O
 	return &Snapshot{At: at, Resolved: resolved, Open: open, Incidents: incidents}
 }
 
+// BuildSnapshotPaged assembles a disk-paged snapshot: history stays in the
+// reader (the store's segment files), only the totals and the bounded open
+// set live in memory. The store-backed daemon publishes these so resident
+// memory no longer grows with history.
+func BuildSnapshotPaged(at time.Time, open []core.OutageStatus, hist HistoryReader, resolvedTotal, incidentsTotal int) *Snapshot {
+	return &Snapshot{At: at, Open: open, History: hist,
+		ResolvedTotal: resolvedTotal, IncidentsTotal: incidentsTotal}
+}
+
+// resolvedTotal is the resolved-history size regardless of serving mode.
+func (sn *Snapshot) resolvedTotal() int {
+	if sn.History != nil {
+		return sn.ResolvedTotal
+	}
+	return len(sn.Resolved)
+}
+
+// incidentsTotal is the incident-history size regardless of serving mode.
+func (sn *Snapshot) incidentsTotal() int {
+	if sn.History != nil {
+		return sn.IncidentsTotal
+	}
+	return len(sn.Incidents)
+}
+
 // Options configures a Server.
 type Options struct {
 	// Bus feeds the SSE stream. Required for /v1/events; other endpoints
 	// work without it.
 	Bus *events.Bus
+	// Relay, when set, serves /v1/events through the fan-out tier instead
+	// of subscribing each client to the bus directly: N streaming clients
+	// cost the ingestion path one bus subscriber. The relay must be built
+	// over the same Bus (Last-Event-ID resume still replays its ring).
+	Relay *events.Relay
 	// Service receives HTTP/SSE counter updates; shared with the bus so
 	// /v1/stats reports both sides. Optional.
 	Service *metrics.ServiceStats
@@ -144,6 +201,12 @@ type Server struct {
 	snap  atomic.Pointer[Snapshot]
 	ready atomic.Bool
 	mux   *http.ServeMux
+
+	// bootID and pubSeq make ETags: unique per process per published
+	// snapshot, so If-None-Match can never false-match across restarts
+	// (a false mismatch merely costs one full response).
+	bootID int64
+	pubSeq atomic.Uint64
 }
 
 // New builds a server. Publish a first snapshot and SetReady(true) once
@@ -159,8 +222,8 @@ func New(opts Options) *Server {
 	if opts.Logger == nil {
 		opts.Logger = slog.New(slog.DiscardHandler)
 	}
-	s := &Server{opts: opts}
-	s.snap.Store(&Snapshot{})
+	s := &Server{opts: opts, bootID: time.Now().UnixNano()}
+	s.snap.Store(&Snapshot{cache: &snapCache{etag: `"0-0"`}})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/health/feeds", s.handleFeeds)
@@ -176,11 +239,18 @@ func New(opts Options) *Server {
 }
 
 // PublishSnapshot atomically swaps the read model. Called from the
-// ingestion goroutine (BinClosed hook and after the final flush).
+// ingestion goroutine (BinClosed hook and after the final flush). The
+// publish pre-marshals the bounded read views (/v1/outages/open and the
+// stats header) and mints the snapshot's ETag; unbounded views memoize on
+// first request instead, keeping the bin barrier O(open outages).
 func (s *Server) PublishSnapshot(snap *Snapshot) {
-	if snap != nil {
-		s.snap.Store(snap)
+	if snap == nil {
+		return
 	}
+	c := &snapCache{etag: fmt.Sprintf("\"%x-%x\"", s.bootID, s.pubSeq.Add(1))}
+	c.openBody = marshalBody(s.openResponse(snap))
+	snap.cache = c
+	s.snap.Store(snap)
 }
 
 // Snapshot returns the currently served read model.
@@ -293,6 +363,9 @@ func (s *Server) handleFeeds(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if notModified(w, r, snap.cache) {
+		return
+	}
 	writeJSON(w, http.StatusOK, s.feedHealthView(snap.Feeds))
 }
 
@@ -308,8 +381,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.snap.Load()
-	if id > uint64(len(snap.Resolved)) {
+	if id > uint64(snap.resolvedTotal()) {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown outage id"})
+		return
+	}
+	if notModified(w, r, snap.cache) {
 		return
 	}
 	idx := int(id-1) - snap.TraceBase
@@ -373,6 +449,40 @@ func (p pageParams) window(n int) (start, count int, nextAfter uint64) {
 	return start, count, nextAfter
 }
 
+// outagesResponse is the /v1/outages response shape.
+type outagesResponse struct {
+	AsOf      time.Time    `json:"as_of"`
+	Count     int          `json:"count"`
+	Total     int          `json:"total"`
+	NextAfter uint64       `json:"next_after,omitempty"`
+	Outages   []OutageView `json:"outages"`
+}
+
+// buildOutagesPage resolves one cursor page against the snapshot, from the
+// in-memory slice or the disk-backed history reader.
+func (s *Server) buildOutagesPage(snap *Snapshot, p pageParams) (outagesResponse, error) {
+	total := snap.resolvedTotal()
+	start, count, nextAfter := p.window(total)
+	outs := make([]OutageView, count)
+	if snap.History != nil && count > 0 {
+		rows, err := snap.History.ReadOutages(start, count)
+		if err != nil {
+			return outagesResponse{}, err
+		}
+		if len(rows) != count {
+			return outagesResponse{}, fmt.Errorf("history returned %d of %d outages", len(rows), count)
+		}
+		for i := range rows {
+			outs[i] = s.outageView(uint64(start+i)+1, &rows[i])
+		}
+	} else {
+		for i := 0; i < count; i++ {
+			outs[i] = s.outageView(uint64(start+i)+1, &snap.Resolved[start+i])
+		}
+	}
+	return outagesResponse{snap.At, count, total, nextAfter, outs}, nil
+}
+
 func (s *Server) handleOutages(w http.ResponseWriter, r *http.Request) {
 	p, err := parsePage(r)
 	if err != nil {
@@ -380,31 +490,109 @@ func (s *Server) handleOutages(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.snap.Load()
-	start, count, nextAfter := p.window(len(snap.Resolved))
-	outs := make([]OutageView, count)
-	for i := 0; i < count; i++ {
-		outs[i] = s.outageView(uint64(start+i)+1, &snap.Resolved[start+i])
+	if notModified(w, r, snap.cache) {
+		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		AsOf      time.Time    `json:"as_of"`
-		Count     int          `json:"count"`
-		Total     int          `json:"total"`
-		NextAfter uint64       `json:"next_after,omitempty"`
-		Outages   []OutageView `json:"outages"`
-	}{snap.At, count, len(snap.Resolved), nextAfter, outs})
+	// The no-cursor request is the hot default page: serve the memoized
+	// bytes, marshaled at most once per published snapshot.
+	if r.URL.RawQuery == "" && snap.cache != nil {
+		body := snap.cache.memoize(&snap.cache.outagesBody, func() []byte {
+			resp, err := s.buildOutagesPage(snap, p)
+			if err != nil {
+				return nil
+			}
+			return marshalBody(resp)
+		})
+		if body != nil {
+			writeJSONBody(w, body, nil)
+			return
+		}
+	}
+	resp, err := s.buildOutagesPage(snap, p)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
-	snap := s.snap.Load()
+// openResponse builds the full /v1/outages/open body (pre-marshaled at
+// snapshot publish — the open set is bounded by ongoing outages, not
+// history).
+func (s *Server) openResponse(snap *Snapshot) any {
 	outs := make([]OpenOutageView, len(snap.Open))
 	for i := range snap.Open {
 		outs[i] = s.openView(&snap.Open[i])
 	}
-	writeJSON(w, http.StatusOK, struct {
+	return struct {
 		AsOf    time.Time        `json:"as_of"`
 		Count   int              `json:"count"`
 		Outages []OpenOutageView `json:"outages"`
-	}{snap.At, len(outs), outs})
+	}{snap.At, len(outs), outs}
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if notModified(w, r, snap.cache) {
+		return
+	}
+	if snap.cache != nil {
+		writeJSONBody(w, snap.cache.openBody, func() any { return s.openResponse(snap) })
+		return
+	}
+	writeJSON(w, http.StatusOK, s.openResponse(snap))
+}
+
+// incidentsResponse is the /v1/incidents response shape.
+type incidentsResponse struct {
+	AsOf      time.Time      `json:"as_of"`
+	Count     int            `json:"count"`
+	Total     int            `json:"total"`
+	NextAfter uint64         `json:"next_after,omitempty"`
+	Incidents []IncidentView `json:"incidents"`
+}
+
+// incidentScanChunk bounds how many incidents a disk-backed filter scan
+// materializes at a time, so a kind-filtered deep cursor never loads the
+// whole history.
+const incidentScanChunk = 512
+
+// buildIncidentsPage resolves one incident cursor page. Ids index the
+// unfiltered incident sequence, so cursors stay stable whether or not a
+// kind filter is applied; the filter selects within the cursor window. In
+// disk-backed mode the scan reads fixed-size chunks until the page fills.
+func (s *Server) buildIncidentsPage(snap *Snapshot, p pageParams, kind string) (incidentsResponse, error) {
+	total := snap.incidentsTotal()
+	incs := make([]IncidentView, 0, 16)
+	var nextAfter uint64
+	start := int(min(p.after, uint64(total)))
+	for base := start; base < total && nextAfter == 0; base += incidentScanChunk {
+		n := min(incidentScanChunk, total-base)
+		var rows []core.Incident
+		if snap.History != nil {
+			var err error
+			rows, err = snap.History.ReadIncidents(base, n)
+			if err != nil {
+				return incidentsResponse{}, err
+			}
+			if len(rows) != n {
+				return incidentsResponse{}, fmt.Errorf("history returned %d of %d incidents", len(rows), n)
+			}
+		} else {
+			rows = snap.Incidents[base : base+n]
+		}
+		for i := range rows {
+			if kind != "" && rows[i].Kind.String() != kind {
+				continue
+			}
+			if p.limit > 0 && len(incs) == p.limit {
+				nextAfter = incs[len(incs)-1].ID
+				break
+			}
+			incs = append(incs, s.incidentView(uint64(base+i)+1, &rows[i]))
+		}
+	}
+	return incidentsResponse{snap.At, len(incs), total, nextAfter, incs}, nil
 }
 
 func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
@@ -413,7 +601,6 @@ func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
-	snap := s.snap.Load()
 	kind := r.URL.Query().Get("kind")
 	if kind != "" {
 		switch kind {
@@ -425,28 +612,29 @@ func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// Ids index the unfiltered incident sequence, so cursors stay stable
-	// whether or not a kind filter is applied; the filter selects within
-	// the cursor window.
-	incs := make([]IncidentView, 0, 16)
-	var nextAfter uint64
-	for i := int(min(p.after, uint64(len(snap.Incidents)))); i < len(snap.Incidents); i++ {
-		if kind != "" && snap.Incidents[i].Kind.String() != kind {
-			continue
-		}
-		if p.limit > 0 && len(incs) == p.limit {
-			nextAfter = incs[len(incs)-1].ID
-			break
-		}
-		incs = append(incs, s.incidentView(uint64(i)+1, &snap.Incidents[i]))
+	snap := s.snap.Load()
+	if notModified(w, r, snap.cache) {
+		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		AsOf      time.Time      `json:"as_of"`
-		Count     int            `json:"count"`
-		Total     int            `json:"total"`
-		NextAfter uint64         `json:"next_after,omitempty"`
-		Incidents []IncidentView `json:"incidents"`
-	}{snap.At, len(incs), len(snap.Incidents), nextAfter, incs})
+	if r.URL.RawQuery == "" && snap.cache != nil {
+		body := snap.cache.memoize(&snap.cache.incidentsBody, func() []byte {
+			resp, err := s.buildIncidentsPage(snap, p, "")
+			if err != nil {
+				return nil
+			}
+			return marshalBody(resp)
+		})
+		if body != nil {
+			writeJSONBody(w, body, nil)
+			return
+		}
+	}
+	resp, err := s.buildIncidentsPage(snap, p, kind)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleProbes serves the active-measurement view: campaigns currently in
@@ -454,6 +642,9 @@ func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
 // from the same immutable snapshot as every other read.
 func (s *Server) handleProbes(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
+	if notModified(w, r, snap.cache) {
+		return
+	}
 	pend := make([]PendingProbeView, len(snap.Pending))
 	for i := range snap.Pending {
 		pend[i] = s.pendingView(&snap.Pending[i])
@@ -476,8 +667,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Ready:      s.ready.Load(),
 		SnapshotAt: snap.At,
 		OpenCount:  len(snap.Open),
-		Resolved:   len(snap.Resolved),
-		Incidents:  len(snap.Incidents),
+		Resolved:   snap.resolvedTotal(),
+		Incidents:  snap.incidentsTotal(),
 	}
 	if s.opts.Ingest != nil {
 		resp.Ingest = ingestView(s.opts.Ingest())
@@ -496,6 +687,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Bus = &st
 		if depths := s.opts.Bus.SubscriberDepths(); len(depths) > 0 {
 			resp.Subscribers = depths
+		}
+	}
+	if s.opts.Relay != nil {
+		info := s.opts.Relay.Info()
+		resp.Relay = &info
+		if depths := s.opts.Relay.ClientDepths(); len(depths) > 0 {
+			resp.RelayClients = depths
 		}
 	}
 	if s.opts.Service != nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +12,20 @@ import (
 	"kepler/internal/events"
 )
 
+// eventStream is the downstream side of either event tier: a direct bus
+// subscription (events.Subscriber) or a relay client (events.RelayClient).
+// The SSE handler serves both interchangeably.
+type eventStream interface {
+	Events() <-chan events.Event
+	Dropped() int64
+	Close()
+}
+
+// sseBatchMax bounds how many queued events one SSE write coalesces. Large
+// enough to drain a bin burst in a handful of writes, small enough that a
+// slow client never stalls behind one enormous buffered write.
+const sseBatchMax = 64
+
 // handleEvents streams the bus over Server-Sent Events. Each bus event
 // becomes one SSE frame:
 //
@@ -18,22 +33,29 @@ import (
 //	event: <kind>
 //	data: <EventView JSON>
 //
-// with comment-only keepalive frames at the heartbeat interval. The
-// subscription queue is bounded (Options.SSEBuffer): a client that stops
-// reading blocks only its own writer goroutine, its queue fills, and
-// further events are dropped for it alone — drop totals appear in
-// /v1/stats. ?kinds=outage_resolved,incident filters server-side.
+// with comment-only keepalive frames at the heartbeat interval. Queued
+// events are coalesced: everything waiting in the subscription (up to
+// sseBatchMax) is marshaled into one buffered write with a single flush,
+// so a bin-close burst costs a client O(1) syscalls, not O(events).
+//
+// When Options.Relay is set, clients subscribe to the fan-out tier instead
+// of the bus — a thousand streams cost ingestion exactly one subscriber.
+// Either way the subscription queue is bounded (Options.SSEBuffer): a
+// client that stops reading blocks only its own writer goroutine, its
+// queue fills, and further events are dropped for it alone — drop totals
+// appear in /v1/stats. ?kinds=outage_resolved,incident filters server-side
+// (in the relay tier, before the client's queue).
 //
 // A reconnecting client sends the standard Last-Event-ID header (every
 // frame's id is the bus sequence number) and first receives the events it
 // missed, replayed from the bus's in-memory ring — which the daemon seeds
 // from the durable store on boot, so resume even works across a restart.
-// Registration and backlog capture are atomic on the bus, making delivery
+// Registration and backlog capture are atomic, making delivery
 // exactly-once; if the requested position has already been evicted from
 // the ring, the replay starts at the oldest retained event after a
 // ": resume incomplete" comment.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	if s.opts.Bus == nil {
+	if s.opts.Bus == nil && s.opts.Relay == nil {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": "event bus not configured"})
 		return
 	}
@@ -69,20 +91,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var (
-		sub      *events.Subscriber
+		stream   eventStream
 		backlog  []events.Event
 		complete = true
 	)
-	if resuming {
-		sub, backlog, complete = s.opts.Bus.SubscribeFrom(lastID, s.opts.SSEBuffer)
-	} else {
-		sub = s.opts.Bus.Subscribe(s.opts.SSEBuffer)
+	switch {
+	case s.opts.Relay != nil && resuming:
+		stream, backlog, complete = s.opts.Relay.SubscribeFrom(lastID, s.opts.SSEBuffer, allow)
+	case s.opts.Relay != nil:
+		stream = s.opts.Relay.Subscribe(s.opts.SSEBuffer, allow)
+	case resuming:
+		stream, backlog, complete = s.opts.Bus.SubscribeFrom(lastID, s.opts.SSEBuffer)
+	default:
+		stream = s.opts.Bus.Subscribe(s.opts.SSEBuffer)
 	}
-	defer sub.Close()
+	defer stream.Close()
 	s.opts.Logger.Debug("sse stream open", "remote", r.RemoteAddr,
-		"resuming", resuming, "backlog", len(backlog), "complete", complete)
+		"relay", s.opts.Relay != nil, "resuming", resuming,
+		"backlog", len(backlog), "complete", complete)
 	defer func() {
-		s.opts.Logger.Debug("sse stream closed", "remote", r.RemoteAddr, "dropped", sub.Dropped())
+		s.opts.Logger.Debug("sse stream closed", "remote", r.RemoteAddr, "dropped", stream.Dropped())
 	}()
 	if svc := s.opts.Service; svc != nil {
 		svc.SSEConnected.Add(1)
@@ -103,48 +131,82 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl.Flush()
 
-	writeEvent := func(ev events.Event, live bool) bool {
-		if allow != nil && !allow[ev.Kind] {
+	var (
+		buf    bytes.Buffer // reused frame buffer across batches
+		stamps []time.Time  // publication stamps of live events in the batch
+	)
+	// writeBatch coalesces a batch of events into one write and one flush,
+	// preserving event order. Delivery lag (bus publication to completed
+	// client write) is observed per event after the flush; only live
+	// deliveries count — backlog events carry publication stamps from
+	// before this connection existed (possibly a prior process).
+	writeBatch := func(evs []events.Event, live bool) bool {
+		buf.Reset()
+		stamps = stamps[:0]
+		for _, ev := range evs {
+			if allow != nil && !allow[ev.Kind] {
+				continue
+			}
+			data, err := json.Marshal(s.eventView(ev))
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&buf, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+			if live && !ev.PublishedAt.IsZero() {
+				stamps = append(stamps, ev.PublishedAt)
+			}
+		}
+		if buf.Len() == 0 {
 			return true
 		}
-		data, err := json.Marshal(s.eventView(ev))
-		if err != nil {
-			return true
-		}
-		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
+		if _, err := w.Write(buf.Bytes()); err != nil {
 			return false // client went away mid-write
 		}
 		fl.Flush()
-		// Delivery lag: bus publication to completed client write. Only
-		// live deliveries count — backlog events carry publication stamps
-		// from before this connection existed (possibly a prior process).
-		if live && s.opts.HTTP != nil && !ev.PublishedAt.IsZero() {
-			s.opts.HTTP.SSELag.Observe(time.Since(ev.PublishedAt))
+		if s.opts.HTTP != nil {
+			for _, at := range stamps {
+				s.opts.HTTP.SSELag.Observe(time.Since(at))
+			}
 		}
 		return true
 	}
 	// Missed events first: everything published after Last-Event-ID was
 	// captured atomically with the subscription, so the transition from
 	// backlog to live delivery neither drops nor repeats an event.
-	for _, ev := range backlog {
-		if !writeEvent(ev, false) {
-			return
-		}
+	if !writeBatch(backlog, false) {
+		return
 	}
 
 	heartbeat := time.NewTicker(s.opts.Heartbeat)
 	defer heartbeat.Stop()
 
+	batch := make([]events.Event, 0, sseBatchMax)
 	for {
 		select {
-		case ev, ok := <-sub.Events():
+		case ev, ok := <-stream.Events():
 			if !ok {
 				// Bus closed: daemon shutdown. End the stream cleanly.
 				fmt.Fprint(w, "event: bye\ndata: {}\n\n")
 				fl.Flush()
 				return
 			}
-			if !writeEvent(ev, true) {
+			// Coalesce whatever else is already queued into this write. A
+			// close mid-drain just ends the batch; the next select observes
+			// the closed channel and says bye.
+			batch = append(batch[:0], ev)
+		drain:
+			for len(batch) < sseBatchMax {
+				select {
+				case ev2, ok2 := <-stream.Events():
+					if !ok2 {
+						break drain
+					}
+					batch = append(batch, ev2)
+				default:
+					break drain
+				}
+			}
+			if !writeBatch(batch, true) {
 				return
 			}
 		case <-heartbeat.C:

@@ -183,6 +183,12 @@ type StoreView struct {
 	CheckpointsDiscarded int64 `json:"checkpoints_discarded"`
 	ResumeSeq            int64 `json:"resume_seq"`
 	ResumeRecords        int64 `json:"resume_records"`
+	SegmentsSealed       int64 `json:"segments_sealed"`
+	IndexWrites          int64 `json:"index_writes"`
+	IndexRebuilds        int64 `json:"index_rebuilds"`
+	SegmentReads         int64 `json:"segment_reads"`
+	ReadCacheHits        int64 `json:"read_cache_hits"`
+	ReadCacheMisses      int64 `json:"read_cache_misses"`
 }
 
 func storeView(s metrics.StoreSnapshot) *StoreView {
@@ -199,6 +205,12 @@ func storeView(s metrics.StoreSnapshot) *StoreView {
 		CheckpointsDiscarded: s.CheckpointsDiscarded,
 		ResumeSeq:            s.ResumeSeq,
 		ResumeRecords:        s.ResumeRecords,
+		SegmentsSealed:       s.SegmentsSealed,
+		IndexWrites:          s.IndexWrites,
+		IndexRebuilds:        s.IndexRebuilds,
+		SegmentReads:         s.SegmentReads,
+		ReadCacheHits:        s.ReadCacheHits,
+		ReadCacheMisses:      s.ReadCacheMisses,
 	}
 }
 
@@ -472,6 +484,10 @@ func (s *Server) traceView(id uint64, tr *core.OutageTrace) TraceView {
 }
 
 // StageLatencyView is the JSON shape of one bin-close latency histogram.
+// Buckets, when present, carries the per-bucket (non-cumulative) counts
+// over metrics.DurationBounds plus the +Inf overflow — cumulative counts
+// are differencable across scrapes, which is how keplerload computes
+// per-phase quantiles from two /v1/stats polls.
 type StageLatencyView struct {
 	Count       int64   `json:"count"`
 	SumSeconds  float64 `json:"sum_seconds"`
@@ -479,6 +495,7 @@ type StageLatencyView struct {
 	P50Seconds  float64 `json:"p50_seconds"`
 	P90Seconds  float64 `json:"p90_seconds"`
 	P99Seconds  float64 `json:"p99_seconds"`
+	Buckets     []int64 `json:"buckets,omitempty"`
 }
 
 func stageLatencyView(h metrics.HistogramSnapshot) StageLatencyView {
@@ -490,6 +507,13 @@ func stageLatencyView(h metrics.HistogramSnapshot) StageLatencyView {
 		P90Seconds:  h.Quantile(0.90).Seconds(),
 		P99Seconds:  h.Quantile(0.99).Seconds(),
 	}
+}
+
+// stageLatencyViewWithBuckets additionally exposes the raw bucket counts.
+func stageLatencyViewWithBuckets(h metrics.HistogramSnapshot) StageLatencyView {
+	v := stageLatencyView(h)
+	v.Buckets = h.Counts
+	return v
 }
 
 // BinCloseView is the staged bin-close latency section of /v1/stats.
@@ -593,7 +617,7 @@ func httpView(s metrics.HTTPSnapshot) *HTTPView {
 		}
 	}
 	if s.SSELag.Count > 0 {
-		lag := stageLatencyView(s.SSELag)
+		lag := stageLatencyViewWithBuckets(s.SSELag)
 		v.SSELag = &lag
 	}
 	return v
@@ -601,20 +625,22 @@ func httpView(s metrics.HTTPSnapshot) *HTTPView {
 
 // StatsView is the /v1/stats response.
 type StatsView struct {
-	Ready       bool                     `json:"ready"`
-	SnapshotAt  time.Time                `json:"snapshot_at"`
-	OpenCount   int                      `json:"open_outages"`
-	Resolved    int                      `json:"resolved_outages"`
-	Incidents   int                      `json:"incidents"`
-	Ingest      *IngestView              `json:"ingest,omitempty"`
-	Store       *StoreView               `json:"store,omitempty"`
-	Probe       *ProbeStatsView          `json:"probe,omitempty"`
-	BinClose    *BinCloseView            `json:"bin_close,omitempty"`
-	Bus         *events.Stats            `json:"bus,omitempty"`
-	Subscribers []events.SubscriberDepth `json:"subscribers,omitempty"`
-	Service     *ServiceView             `json:"service,omitempty"`
-	HTTP        *HTTPView                `json:"http,omitempty"`
-	Feeds       *FeedHealthView          `json:"feeds,omitempty"`
+	Ready        bool                     `json:"ready"`
+	SnapshotAt   time.Time                `json:"snapshot_at"`
+	OpenCount    int                      `json:"open_outages"`
+	Resolved     int                      `json:"resolved_outages"`
+	Incidents    int                      `json:"incidents"`
+	Ingest       *IngestView              `json:"ingest,omitempty"`
+	Store        *StoreView               `json:"store,omitempty"`
+	Probe        *ProbeStatsView          `json:"probe,omitempty"`
+	BinClose     *BinCloseView            `json:"bin_close,omitempty"`
+	Bus          *events.Stats            `json:"bus,omitempty"`
+	Subscribers  []events.SubscriberDepth `json:"subscribers,omitempty"`
+	Relay        *events.RelayInfo        `json:"relay,omitempty"`
+	RelayClients []events.SubscriberDepth `json:"relay_clients,omitempty"`
+	Service      *ServiceView             `json:"service,omitempty"`
+	HTTP         *HTTPView                `json:"http,omitempty"`
+	Feeds        *FeedHealthView          `json:"feeds,omitempty"`
 }
 
 // EventView is the SSE data payload: the bus event with its payload

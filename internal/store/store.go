@@ -93,6 +93,11 @@ type Options struct {
 	// dropped first and History.TraceBase advances, keeping the
 	// resolved-index-to-trace mapping intact (default 1024).
 	TraceCap int
+	// ReadCache is the capacity, in decoded entries per history type, of
+	// the LRU fronting sealed-segment reads (default 4096). It bounds the
+	// resident memory of the disk-backed read path: pages outside the cache
+	// cost one positioned read of the segment file.
+	ReadCache int
 	// Metrics receives append/flush/compaction/recovery counters. Optional.
 	Metrics *metrics.StoreStats
 	// Logger receives recovery, compaction and corruption reports. Nil
@@ -109,6 +114,9 @@ func (o *Options) defaults() {
 	}
 	if o.TraceCap <= 0 {
 		o.TraceCap = 1024
+	}
+	if o.ReadCache <= 0 {
+		o.ReadCache = 4096
 	}
 }
 
@@ -148,15 +156,26 @@ type Store struct {
 	opts Options
 	m    *metrics.StoreStats
 
-	mu        sync.Mutex
-	seq       uint64
-	lastBin   time.Time
-	resolved  []core.Outage
-	incidents []core.Incident
+	mu      sync.Mutex
+	seq     uint64
+	lastBin time.Time
+	// History lives in two tiers: sealed immutable segments on disk (with
+	// loaded offset indexes) and the unsealed in-memory tail accumulated
+	// since the last compaction. outBase/incBase are the ordinals of the
+	// first unsealed entry; totals are base + len(tail).
+	outSegs   []*segment
+	incSegs   []*segment
+	outBase   int
+	incBase   int
+	outTail   []core.Outage
+	incTail   []core.Incident
 	pending   map[uint64]core.PendingConfirmation // open probe campaigns
 	tail      *events.Ring                        // retains the last opts.TailEvents events
 	traces    []core.OutageTrace                  // trace j -> resolved outage traceBase+j
 	traceBase int
+
+	outCache *lru[core.Outage]   // decoded sealed-outage LRU
+	incCache *lru[core.Incident] // decoded sealed-incident LRU
 
 	f        *os.File
 	bw       *bufio.Writer
@@ -167,17 +186,29 @@ type Store struct {
 	log *slog.Logger
 }
 
-// snapState is the snapshot-segment payload.
+// snapState is the snapshot-manifest payload. Version 2 manifests are
+// incremental: history entries live in sealed segments, so the manifest
+// carries only the totals (plus the bounded pending/trace/tail state) and
+// its size no longer grows with history. Version 0 (legacy) manifests
+// inline the full Resolved/Incidents arrays; recovery accepts both and the
+// next compaction migrates a legacy history into segments.
 type snapState struct {
-	Seq       uint64                     `json:"seq"`
-	LastBin   time.Time                  `json:"last_bin"`
-	Resolved  []core.Outage              `json:"resolved"`
-	Incidents []core.Incident            `json:"incidents"`
-	Pending   []core.PendingConfirmation `json:"pending_probes,omitempty"`
-	Traces    []core.OutageTrace         `json:"traces,omitempty"`
-	TraceBase int                        `json:"trace_base,omitempty"`
-	Tail      []events.Event             `json:"tail"`
+	Version       int                        `json:"version,omitempty"`
+	Seq           uint64                     `json:"seq"`
+	LastBin       time.Time                  `json:"last_bin"`
+	ResolvedTotal int                        `json:"resolved_total,omitempty"`
+	IncidentTotal int                        `json:"incident_total,omitempty"`
+	Resolved      []core.Outage              `json:"resolved,omitempty"`
+	Incidents     []core.Incident            `json:"incidents,omitempty"`
+	Pending       []core.PendingConfirmation `json:"pending_probes,omitempty"`
+	Traces        []core.OutageTrace         `json:"traces,omitempty"`
+	TraceBase     int                        `json:"trace_base,omitempty"`
+	Tail          []events.Event             `json:"tail"`
 }
+
+// snapVersionIncremental marks a manifest whose history is sealed in
+// segments rather than inlined.
+const snapVersionIncremental = 2
 
 // Open opens (or initializes) the store in dir, recovering any persisted
 // history: the newest valid snapshot segment is loaded, the WAL replayed on
@@ -196,17 +227,20 @@ func Open(opts Options) (*Store, error) {
 		log = slog.New(slog.DiscardHandler)
 	}
 	s := &Store{
-		opts:    opts,
-		m:       opts.Metrics,
-		log:     log,
-		pending: make(map[uint64]core.PendingConfirmation),
-		tail:    events.NewRing(opts.TailEvents),
+		opts:     opts,
+		m:        opts.Metrics,
+		log:      log,
+		pending:  make(map[uint64]core.PendingConfirmation),
+		tail:     events.NewRing(opts.TailEvents),
+		outCache: newLRU[core.Outage](opts.ReadCache),
+		incCache: newLRU[core.Incident](opts.ReadCache),
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
 	s.log.Debug("history recovered",
-		"seq", s.seq, "resolved", len(s.resolved), "incidents", len(s.incidents),
+		"seq", s.seq, "resolved", s.outBase+len(s.outTail), "incidents", s.incBase+len(s.incTail),
+		"sealed_outages", s.outBase, "sealed_incidents", s.incBase, "segments", len(s.outSegs)+len(s.incSegs),
 		"pending_probes", len(s.pending), "traces", len(s.traces), "wal_bytes", s.walBytes)
 	return s, nil
 }
@@ -222,6 +256,8 @@ func segExt(prefix string) string {
 		return ".snap"
 	case ckptPrefix:
 		return ".ckpt"
+	case outSegPrefix, incSegPrefix:
+		return ".seg"
 	default:
 		return ".log"
 	}
@@ -240,13 +276,25 @@ func parseSeg(name, prefix string) (uint64, bool) {
 	return n, true
 }
 
-// recover loads the newest valid snapshot, replays the matching WAL, and
-// leaves the store positioned for appends.
+// recover loads the sealed history segments and the newest valid snapshot
+// manifest, replays the matching WAL, and leaves the store positioned for
+// appends. store.Open never materializes sealed history into memory: only
+// the manifest's bounded state (pending probes, traces, event tail) and
+// the unsealed WAL window are resident afterwards.
 func (s *Store) recover() error {
 	entries, err := os.ReadDir(s.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	// Segments first: their entry counts are the authoritative sealed
+	// totals the manifest is reconciled against.
+	if s.outSegs, err = s.loadSegments(outSegPrefix, entries); err != nil {
+		return err
+	}
+	if s.incSegs, err = s.loadSegments(incSegPrefix, entries); err != nil {
+		return err
+	}
+
 	var snaps []uint64
 	for _, e := range entries {
 		if n, ok := parseSeg(e.Name(), snapPrefix); ok {
@@ -264,8 +312,6 @@ func (s *Store) recover() error {
 		}
 		s.seq = st.Seq
 		s.lastBin = st.LastBin
-		s.resolved = st.Resolved
-		s.incidents = st.Incidents
 		s.traces = st.Traces
 		s.traceBase = st.TraceBase
 		for _, p := range st.Pending {
@@ -274,6 +320,21 @@ func (s *Store) recover() error {
 		for _, ev := range st.Tail {
 			s.tail.Push(ev)
 		}
+		switch {
+		case st.Version >= snapVersionIncremental:
+			// Incremental manifest: history is sealed; only totals travel.
+			s.outBase, s.incBase = st.ResolvedTotal, st.IncidentTotal
+		case sealedTotal(s.outSegs) > 0 || sealedTotal(s.incSegs) > 0:
+			// Legacy inline manifest but segments exist: a crash landed
+			// between sealing and the first incremental manifest write, so
+			// every inline entry is already sealed — drop the inline copy.
+			s.outBase, s.incBase = len(st.Resolved), len(st.Incidents)
+		default:
+			// Legacy inline manifest: the inline entries become the
+			// unsealed tail and migrate into segments at the next
+			// compaction.
+			s.outTail, s.incTail = st.Resolved, st.Incidents
+		}
 		break
 	}
 	s.walBase = s.seq
@@ -281,6 +342,7 @@ func (s *Store) recover() error {
 	if err := s.replayWAL(filepath.Join(s.opts.Dir, segName(walPrefix, s.walBase))); err != nil {
 		return err
 	}
+	s.reconcileSealed()
 
 	// Reopen the WAL for appending (creating it on first boot).
 	f, err := os.OpenFile(filepath.Join(s.opts.Dir, segName(walPrefix, s.walBase)),
@@ -297,6 +359,43 @@ func (s *Store) recover() error {
 	s.walBytes = fi.Size()
 	s.bw = bufio.NewWriter(f)
 	return nil
+}
+
+// reconcileSealed resolves the overlap between sealed segments and the
+// replayed WAL. A crash between segment sealing and the manifest rename
+// leaves segments newer than the manifest: the first entries replayed from
+// the WAL are then already sealed, so they are dropped from the unsealed
+// tail (sealing preserves order, making the overlap exactly a prefix). The
+// inverse — a manifest claiming more sealed entries than the segments hold
+// — means segment files were lost; totals clamp to what is servable.
+func (s *Store) reconcileSealed() {
+	sealedOut, sealedInc := sealedTotal(s.outSegs), sealedTotal(s.incSegs)
+	if over := sealedOut - s.outBase; over > 0 {
+		if over > len(s.outTail) {
+			s.log.Error("sealed outages exceed recovered history; clamping",
+				"sealed", sealedOut, "recovered", s.outBase+len(s.outTail))
+			over = len(s.outTail)
+		}
+		s.outTail = append([]core.Outage(nil), s.outTail[over:]...)
+		s.outBase += over
+	} else if over < 0 {
+		s.log.Error("manifest outage total exceeds sealed segments; history truncated",
+			"manifest_total", s.outBase, "sealed", sealedOut)
+		s.outBase = sealedOut
+	}
+	if over := sealedInc - s.incBase; over > 0 {
+		if over > len(s.incTail) {
+			s.log.Error("sealed incidents exceed recovered history; clamping",
+				"sealed", sealedInc, "recovered", s.incBase+len(s.incTail))
+			over = len(s.incTail)
+		}
+		s.incTail = append([]core.Incident(nil), s.incTail[over:]...)
+		s.incBase += over
+	} else if over < 0 {
+		s.log.Error("manifest incident total exceeds sealed segments; history truncated",
+			"manifest_total", s.incBase, "sealed", sealedInc)
+		s.incBase = sealedInc
+	}
 }
 
 // loadSnap reads and validates one snapshot segment.
@@ -398,11 +497,11 @@ func (s *Store) apply(ev events.Event) {
 	switch ev.Kind {
 	case events.KindOutageResolved:
 		if ev.Outage != nil {
-			s.resolved = append(s.resolved, *ev.Outage)
+			s.outTail = append(s.outTail, *ev.Outage)
 		}
 	case events.KindIncident:
 		if ev.Incident != nil {
-			s.incidents = append(s.incidents, *ev.Incident)
+			s.incTail = append(s.incTail, *ev.Incident)
 		}
 	case events.KindBinClosed:
 		s.lastBin = ev.Time
@@ -428,7 +527,7 @@ func (s *Store) apply(ev events.Event) {
 // to histories whose older prefix predates tracing. Called with the lock
 // held (or during single-threaded recovery).
 func (s *Store) applyTrace(tr core.OutageTrace) {
-	idx := len(s.resolved) - 1
+	idx := s.outBase + len(s.outTail) - 1
 	if idx < 0 {
 		return // trace without a resolved outage: wiring anomaly, drop
 	}
@@ -492,9 +591,13 @@ func (s *Store) Append(ev events.Event) error {
 	return nil
 }
 
-// compact writes the materialized state into a fresh snapshot segment,
-// rotates to an empty WAL, and deletes the superseded files. Called with
-// the lock held, at a bin boundary.
+// compact seals the unsealed history tail into fresh immutable segments
+// (with offset indexes), writes an incremental snapshot manifest carrying
+// only bounded state, rotates to an empty WAL, and deletes the superseded
+// manifest/WAL files. Sealing happens before the manifest rename so a crash
+// anywhere in between recovers cleanly: reconcileSealed drops the
+// WAL-replayed prefix that is already sealed. Called with the lock held, at
+// a bin boundary.
 func (s *Store) compact() error {
 	if err := s.bw.Flush(); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -503,15 +606,35 @@ func (s *Store) compact() error {
 		return fmt.Errorf("store: %w", err)
 	}
 
+	if len(s.outTail) > 0 {
+		g, err := sealTail(s, outSegPrefix, s.outBase, s.outTail)
+		if err != nil {
+			return err
+		}
+		s.outSegs = append(s.outSegs, g)
+		s.outBase += len(s.outTail)
+		s.outTail = nil
+	}
+	if len(s.incTail) > 0 {
+		g, err := sealTail(s, incSegPrefix, s.incBase, s.incTail)
+		if err != nil {
+			return err
+		}
+		s.incSegs = append(s.incSegs, g)
+		s.incBase += len(s.incTail)
+		s.incTail = nil
+	}
+
 	st := snapState{
-		Seq:       s.seq,
-		LastBin:   s.lastBin,
-		Resolved:  s.resolved,
-		Incidents: s.incidents,
-		Pending:   s.pendingSorted(),
-		Traces:    s.traces,
-		TraceBase: s.traceBase,
-		Tail:      s.tail.Events(),
+		Version:       snapVersionIncremental,
+		Seq:           s.seq,
+		LastBin:       s.lastBin,
+		ResolvedTotal: s.outBase,
+		IncidentTotal: s.incBase,
+		Pending:       s.pendingSorted(),
+		Traces:        s.traces,
+		TraceBase:     s.traceBase,
+		Tail:          s.tail.Events(),
 	}
 	payload, err := json.Marshal(&st)
 	if err != nil {
@@ -567,8 +690,9 @@ func (s *Store) compact() error {
 	if s.m != nil {
 		s.m.Compactions.Add(1)
 	}
-	s.log.Debug("WAL compacted into snapshot", "seq", s.seq,
-		"resolved", len(s.resolved), "incidents", len(s.incidents), "snapshot_bytes", len(payload))
+	s.log.Debug("WAL compacted into incremental snapshot", "seq", s.seq,
+		"resolved", s.outBase, "incidents", s.incBase,
+		"segments", len(s.outSegs)+len(s.incSegs), "manifest_bytes", len(payload))
 	return nil
 }
 
@@ -595,21 +719,84 @@ func (s *Store) pendingSorted() []core.PendingConfirmation {
 	return out
 }
 
-// History returns the materialized state: the complete persisted history
-// after Open, and the live history once appends flow. Slices are copies.
+// History returns the fully materialized state: the complete persisted
+// history after Open, and the live history once appends flow. Slices are
+// copies. Sealed entries are decoded from their segments (bypassing the
+// read cache), so this walks the whole history on disk — it exists for
+// equivalence checks and offline tooling; a serving daemon uses Summary
+// plus the paged ReadOutages/ReadIncidents instead.
 func (s *Store) History() History {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return History{
+	outSegs, incSegs := s.outSegs, s.incSegs
+	outBase, incBase := s.outBase, s.incBase
+	outTail, incTail := s.outTail, s.incTail
+	h := History{
 		LastSeq:       s.seq,
 		LastBin:       s.lastBin,
-		Resolved:      append([]core.Outage(nil), s.resolved...),
-		Incidents:     append([]core.Incident(nil), s.incidents...),
 		PendingProbes: s.pendingSorted(),
 		Traces:        append([]core.OutageTrace(nil), s.traces...),
 		TraceBase:     s.traceBase,
 		Tail:          s.tail.Events(),
 	}
+	s.mu.Unlock()
+	var err error
+	if h.Resolved, err = readEntries(s, outSegs, outBase, outTail, s.outCache, 0, outBase+len(outTail), false); err != nil {
+		s.log.Error("history materialization failed", "err", err)
+	}
+	if h.Incidents, err = readEntries(s, incSegs, incBase, incTail, s.incCache, 0, incBase+len(incTail), false); err != nil {
+		s.log.Error("history materialization failed", "err", err)
+	}
+	return h
+}
+
+// Summary is the bounded recovery state a serving daemon needs: everything
+// History carries except the materialized entry slices, which are replaced
+// by totals and read on demand via ReadOutages/ReadIncidents.
+type Summary struct {
+	LastSeq       uint64
+	LastBin       time.Time
+	ResolvedTotal int
+	IncidentTotal int
+	PendingProbes []core.PendingConfirmation
+	Traces        []core.OutageTrace
+	TraceBase     int
+	Tail          []events.Event
+}
+
+// Summary returns the bounded view of the persisted state: O(pending +
+// traces + tail) memory regardless of history size.
+func (s *Store) Summary() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Summary{
+		LastSeq:       s.seq,
+		LastBin:       s.lastBin,
+		ResolvedTotal: s.outBase + len(s.outTail),
+		IncidentTotal: s.incBase + len(s.incTail),
+		PendingProbes: s.pendingSorted(),
+		Traces:        append([]core.OutageTrace(nil), s.traces...),
+		TraceBase:     s.traceBase,
+		Tail:          s.tail.Events(),
+	}
+}
+
+// ReadOutages returns resolved outages with ordinals [start, start+count),
+// clamped to the current total: unsealed entries straight from memory,
+// sealed entries through the decoded-entry LRU with at most one positioned
+// segment read per miss span. Safe from any goroutine.
+func (s *Store) ReadOutages(start, count int) ([]core.Outage, error) {
+	s.mu.Lock()
+	segs, base, tail := s.outSegs, s.outBase, s.outTail
+	s.mu.Unlock()
+	return readEntries(s, segs, base, tail, s.outCache, start, count, true)
+}
+
+// ReadIncidents is ReadOutages for classified incidents.
+func (s *Store) ReadIncidents(start, count int) ([]core.Incident, error) {
+	s.mu.Lock()
+	segs, base, tail := s.incSegs, s.incBase, s.incTail
+	s.mu.Unlock()
+	return readEntries(s, segs, base, tail, s.incCache, start, count, true)
 }
 
 // Flush forces buffered frames to the OS without fsync.

@@ -71,6 +71,34 @@
 // /v1/incidents paginate over that history with stable cursor ids
 // (?after=<id>&limit=<n>).
 //
+// # Serving at scale
+//
+// Read and event throughput scale independently of history size and
+// client count. On the read side, compaction writes history entries
+// into framed segment files with a per-segment offset index (rebuilt
+// on open if missing or torn, keeping the CRC-verified prefix), and
+// snapshots are incremental — each carries only the delta since the
+// previous one, so compaction cost stops growing with history. The
+// daemon boots from a bounded store summary rather than materializing
+// the whole history in memory, and /v1/outages and /v1/incidents
+// cursor pages are answered by seeking directly to the indexed frame
+// through a bounded LRU of decoded entries (keplerd -read-cache): a
+// deep cursor page costs O(page) regardless of history length. Read
+// views are pre-marshaled at the bin barrier and every read endpoint
+// carries a snapshot-generation ETag honoring If-None-Match — between
+// bin closes a polling fleet revalidates with 304s instead of
+// re-marshaling JSON. On the event side, an SSE relay tier (keplerd
+// -relay, on by default) interposes between the bus and the clients:
+// the relay holds the only upstream subscription and fans events to N
+// downstream clients through per-client bounded queues with per-tenant
+// kind filters and exactly-once Last-Event-ID resume, so a thousand
+// SSE clients cost ingestion exactly one subscriber. Overload sheds
+// the newest-joined clients first under an aggregate queue budget —
+// a client stampede degrades the edge, never the detection pipeline —
+// and each client flush coalesces queued events into a single buffered
+// write. BENCH_pr10_serving.json quantifies the tiers under
+// cmd/keplerload's client sweep.
+//
 // # Checkpointed recovery
 //
 // Catch-up re-ingestion is bounded by engine checkpoints rather than the
@@ -251,9 +279,12 @@
 //	curl localhost:8080/v1/outages/open                  # ongoing outages, JSON
 //	curl 'localhost:8080/v1/outages?limit=50'            # resolved history, first page
 //	curl 'localhost:8080/v1/outages?after=50&limit=50'   # ... next page
-//	curl -N localhost:8080/v1/events                     # live SSE event stream
+//	curl -N localhost:8080/v1/events                     # live SSE stream (relay fan-out)
+//	curl -i localhost:8080/v1/outages/open               # note the ETag header ...
+//	curl -H 'If-None-Match: <etag>' localhost:8080/v1/outages/open   # ... 304 until next bin
 //	curl localhost:8080/v1/health/feeds                  # per-collector/per-peer feed health
 //	keplerload -addr http://localhost:8080 -duration 30s # soak the serving path, JSON report
+//	keplerload -addr http://localhost:8080 -sse-sweep 10,100,1000 -duration 10s  # tier sweep
 //	go run ./cmd/keplervet ./...                         # check the determinism contracts
 //
 // Restarting keplerd against the same -data-dir recovers and keeps serving
